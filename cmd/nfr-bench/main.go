@@ -1,0 +1,63 @@
+// Command nfr-bench runs the full experiment suite (DESIGN.md §3) and
+// prints every table that EXPERIMENTS.md records: theorem sweeps,
+// update-cost tables, compression ratios, the 4NF-join comparison and
+// the storage-footprint comparison.
+//
+// Usage:
+//
+//	nfr-bench [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	what := "all"
+	if len(os.Args) > 1 {
+		what = os.Args[1]
+	}
+	w := os.Stdout
+	switch what {
+	case "all":
+		if err := experiments.RunAll(w, ""); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "f3":
+		experiments.RunFig3(w, 400, 17)
+	case "t1":
+		experiments.RunTheorem1(w, 200, 19)
+	case "t2":
+		experiments.RunTheorem2(w, 120, 23)
+	case "t3":
+		experiments.RunTheorem3(w, 150, 29)
+	case "t4":
+		experiments.RunTheorem4(w, 60, 31)
+	case "t5":
+		experiments.RunTheorem5(w, 80, 37)
+	case "a4":
+		experiments.RunTheoremA4(w, []int{100, 300, 1000, 3000, 10000}, []int{2, 3, 4, 5, 6}, 60, 41)
+	case "c1":
+		experiments.RunCompression(w, 43, 4)
+	case "c2":
+		experiments.RunNFRvsJoin(w, 47, 250)
+	case "c3":
+		dir, err := os.MkdirTemp("", "nfr-bench")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		if _, err := experiments.RunStorageFootprint(w, dir, 53, 250); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", what)
+		os.Exit(2)
+	}
+}

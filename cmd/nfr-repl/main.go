@@ -1,0 +1,135 @@
+// Command nfr-repl is an interactive shell (and script runner) for the
+// NF² query language over a canonical-form NFR database.
+//
+// Usage:
+//
+//	nfr-repl                 # interactive
+//	nfr-repl script.nfq      # execute a script, one statement per line
+//	                         # (blank lines and -- comments ignored;
+//	                         #  statements may span lines until ';')
+//	nfr-repl -d DIR ...      # open/persist the database in DIR
+//
+// Extra REPL commands: \save, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+func main() {
+	dir := flag.String("d", "", "database directory to load and save")
+	flag.Parse()
+
+	sess := query.NewSession()
+	if *dir != "" {
+		if _, err := os.Stat(*dir); err == nil {
+			db, err := engine.Load(*dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "load:", err)
+				os.Exit(1)
+			}
+			sess.DB = db
+			fmt.Printf("loaded %d relation(s) from %s\n", len(db.Names()), *dir)
+		}
+	}
+
+	var in io.Reader = os.Stdin
+	interactive := true
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+
+	code := run(sess, in, os.Stdout, interactive, *dir)
+	if *dir != "" {
+		if err := sess.DB.Save(*dir); err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(code)
+}
+
+func run(sess *query.Session, in io.Reader, out io.Writer, interactive bool, dir string) int {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var pending strings.Builder
+	prompt := func() {
+		if interactive {
+			if pending.Len() == 0 {
+				fmt.Fprint(out, "nfr> ")
+			} else {
+				fmt.Fprint(out, "...> ")
+			}
+		}
+	}
+	exitCode := 0
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case "\\quit", "\\q":
+			return exitCode
+		case "\\save":
+			if dir == "" {
+				fmt.Fprintln(out, "no database directory (-d) configured")
+			} else if err := sess.DB.Save(dir); err != nil {
+				fmt.Fprintln(out, "save:", err)
+			} else {
+				fmt.Fprintln(out, "saved to", dir)
+			}
+			prompt()
+			continue
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, "--") {
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt()
+			continue
+		}
+		stmt := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
+		pending.Reset()
+		res, err := sess.Exec(stmt)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			if !interactive {
+				exitCode = 1
+			}
+		} else {
+			fmt.Fprintln(out, res)
+		}
+		prompt()
+	}
+	if pending.Len() > 0 {
+		stmt := strings.TrimSpace(pending.String())
+		if stmt != "" {
+			res, err := sess.Exec(strings.TrimSuffix(stmt, ";"))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				exitCode = 1
+			} else {
+				fmt.Fprintln(out, res)
+			}
+		}
+	}
+	return exitCode
+}

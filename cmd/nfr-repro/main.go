@@ -1,0 +1,54 @@
+// Command nfr-repro reproduces the paper's figures and worked
+// examples exactly, printing them in the paper's tabular notation.
+//
+// Usage:
+//
+//	nfr-repro [fig1|fig2|fig3|ex1|ex2|ex3|all]
+//
+// With no argument, everything is printed.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	what := "all"
+	if len(os.Args) > 1 {
+		what = os.Args[1]
+	}
+	w := os.Stdout
+	run := func(name string, f func()) {
+		if what == "all" || what == name {
+			fmt.Fprintf(w, "── %s %s\n\n", name, pad(70-len(name)))
+			f()
+			fmt.Fprintln(w)
+		}
+	}
+	run("fig1", func() { experiments.RunFig1(w) })
+	run("fig2", func() { experiments.RunFig2(w) })
+	run("fig3", func() { experiments.RunFig3(w, 400, 17) })
+	run("ex1", func() { experiments.RunExample1(w) })
+	run("ex2", func() { experiments.RunExample2(w) })
+	run("ex3", func() { experiments.RunExample3(w) })
+	switch what {
+	case "all", "fig1", "fig2", "fig3", "ex1", "ex2", "ex3":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown artifact %q (want fig1|fig2|fig3|ex1|ex2|ex3|all)\n", what)
+		os.Exit(2)
+	}
+}
+
+func pad(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,0 +1,79 @@
+// Enrollment: the paper's full Section-2 scenario at scale — both the
+// entity relation R1 (MVD-governed) and the relationship relation R2,
+// loaded with a synthetic student body, queried through the algebra,
+// and compared against a 4NF decomposition of R1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nfr "repro"
+	"repro/internal/baseline"
+	"repro/internal/dep"
+	"repro/internal/workload"
+)
+
+func main() {
+	e := workload.GenEnrollment(42, workload.EnrollmentParams{
+		Students: 60, CoursePool: 20, ClubPool: 6, SemesterPool: 4,
+		CoursesPerStudent: 3, ClubsPerStudent: 2,
+	})
+
+	db := nfr.NewDatabase()
+	must(db.Create(nfr.RelationDef{
+		Name:   "R1",
+		Schema: e.R1.Schema(),
+		MVDs:   []nfr.MVD{nfr.NewMVD([]string{"Student"}, []string{"Course"})},
+	}))
+	must(db.Create(nfr.RelationDef{
+		Name:   "R2",
+		Schema: e.R2.Schema(),
+	}))
+	if _, err := db.InsertMany("R1", e.R1.Expand()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.InsertMany("R2", e.R2.Expand()); err != nil {
+		log.Fatal(err)
+	}
+
+	st1, _ := db.Stats("R1")
+	st2, _ := db.Stats("R2")
+	fmt.Printf("R1 (entity relation, MVD):   %5d flat -> %4d NFR tuples (%.1fx)\n",
+		st1.FlatTuples, st1.NFRTuples, st1.Compression)
+	fmt.Printf("R2 (relationship relation):  %5d flat -> %4d NFR tuples (%.1fx)\n",
+		st2.FlatTuples, st2.NFRTuples, st2.Compression)
+
+	// Query: who takes more than 4 courses? On the NFR this is a
+	// cardinality predicate — inexpressible in flat 1NF algebra without
+	// aggregation.
+	r1, _ := db.Rel("R1")
+	busy, err := nfr.Select(r1.Relation(), nfr.Card("Course", nfr.GT, 4))
+	must(err)
+	fmt.Printf("\nstudents with > 4 courses: %d group(s)\n", busy.Len())
+
+	// The same logical database as a 4NF decomposition: two fragment
+	// relations that must be re-joined to answer whole-relation queries.
+	decomp, err := baseline.NewDecomposed4NF(e.R1.Schema(), nil,
+		[]dep.MVD{dep.NewMVD([]string{"Student"}, []string{"Course"})})
+	must(err)
+	for _, f := range e.R1.Expand() {
+		decomp.Insert(f)
+	}
+	joined, joinRows := decomp.ReassembleCounted()
+	fmt.Printf("\n4NF baseline: fragments %v hold %d rows; the re-join touches %d rows to rebuild %d tuples\n",
+		decomp.FragmentAttrs(), decomp.FragmentRows(), joinRows, joined.ExpansionSize())
+	fmt.Printf("NFR answers the same query by scanning %d tuples — the joins the paper says NFRs discard\n",
+		st1.NFRTuples)
+
+	// Dependency hygiene: the engine can check declared dependencies.
+	if v, _ := db.ValidateDeps("R1"); len(v) == 0 {
+		fmt.Println("\nall declared dependencies hold on R1")
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Prerequisites: the paper's Section-2 discussion of "compoundness".
+// The relation CP[Course, Prerequisite] treats a prerequisite *set* as
+// one semantic unit: (c0, {c1,c2}) and (c0, {c1,c3}) are two different
+// alternative prerequisite conditions, so the NFR tuples must NOT be
+// merged or split — unlike SC[Student, Course] where (s, {c1,c2}) is
+// mere grouping. This example shows both readings side by side and why
+// only the second admits nest/unnest freely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nfr "repro"
+	"repro/internal/core"
+	"repro/internal/tuple"
+	"repro/internal/vset"
+)
+
+func main() {
+	// Reading 1 — grouping semantics (the paper's SC example): an NFR
+	// over simple domains. (s, {c1,c2}) *means* {(s,c1),(s,c2)}.
+	sc, err := nfr.FromFlats(nfr.MustSchema("Student", "Course"), []nfr.Flat{
+		nfr.Row("a", "c1"), nfr.Row("a", "c2"), nfr.Row("b", "c1"),
+	})
+	must(err)
+	nested, err := nfr.Nest(sc, "Course")
+	must(err)
+	fmt.Println("SC with grouping semantics (nest/unnest are lossless):")
+	fmt.Println(nfr.RenderTable(nested))
+	flatBack, err := nfr.Unnest(nested, "Course")
+	must(err)
+	fmt.Printf("unnest recovers the original: %v\n\n", flatBack.EquivalentTo(sc))
+
+	// Reading 2 — set-valued semantics (the paper's CP example): the
+	// prerequisite set is atomic. Model each alternative as ONE NFR
+	// tuple whose Prerequisite component is the whole set, and keep
+	// the relation un-nested: each tuple is a distinct alternative.
+	cp := core.NewRelation(nfr.MustSchema("Course", "PrereqAlternative"))
+	addAlt := func(course string, prereqs ...string) {
+		// encode the set as a single string atom so it stays atomic —
+		// the model's domains are simple, exactly the paper's point
+		// that power-set domains need different treatment
+		key := ""
+		for i, p := range prereqs {
+			if i > 0 {
+				key += "+"
+			}
+			key += p
+		}
+		cp.Add(tuple.MustNew(
+			vset.OfStrings(course),
+			vset.OfStrings(key),
+		))
+	}
+	addAlt("c0", "c1", "c2")
+	addAlt("c0", "c1", "c3")
+	fmt.Println("CP with set-valued semantics (each row = one alternative condition):")
+	fmt.Println(nfr.RenderTable(cp))
+
+	// Why the distinction matters: nesting CP on PrereqAlternative
+	// would merge the two alternatives into one tuple, destroying the
+	// OR between them.
+	merged, err := nfr.Nest(cp, "PrereqAlternative")
+	must(err)
+	fmt.Println("\nafter (incorrectly) nesting the alternatives together:")
+	fmt.Println(nfr.RenderTable(merged))
+	fmt.Println("\nthe two alternative conditions are now indistinguishable from one")
+	fmt.Println("four-course conjunction — which is why the paper restricts NFRs to")
+	fmt.Println("grouping semantics over simple domains and flags power-set domains")
+	fmt.Println("(ordered lists, relation-valued fields) as future work.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

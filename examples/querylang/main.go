@@ -1,0 +1,48 @@
+// Querylang: drive the whole system through the NF² query language —
+// DDL with dependencies, bulk DML, tuple-level and flat-level
+// selection, nest/unnest, joins, and dependency validation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nfr "repro"
+)
+
+func main() {
+	s := nfr.NewSession()
+
+	exec := func(stmt string) {
+		res, err := s.Exec(stmt)
+		if err != nil {
+			log.Fatalf("%s\n-> %v", stmt, err)
+		}
+		fmt.Printf("nfr> %s\n%s\n\n", stmt, res)
+	}
+
+	exec(`CREATE takes (Student:string, Course:string, Club:string)
+	      ORDER (Course, Club, Student)
+	      MVD Student ->-> Course`)
+	exec(`INSERT INTO takes VALUES
+	      (s1, c1, b1), (s1, c2, b1), (s1, c3, b1),
+	      (s3, c1, b1), (s3, c2, b1), (s3, c3, b1),
+	      (s2, c1, b2), (s2, c2, b2), (s2, c3, b2)`)
+	exec(`SHOW takes`)
+	exec(`STATS takes`)
+	exec(`SELECT * FROM takes WHERE Course CONTAINS c2 AND NOT Club = b2`)
+	exec(`SELECT * FROM takes WHERE CARD(Course) >= 3`)
+	exec(`SELECT FLAT Student, Course FROM takes`)
+	exec(`DELETE FROM takes VALUES (s1, c1, b1)`)
+	exec(`SHOW takes`)
+	exec(`VALIDATE takes`)
+
+	// joins across relations
+	exec(`CREATE tutors (Course:string, Tutor:string)`)
+	exec(`INSERT INTO tutors VALUES (c1, t1), (c2, t1), (c3, t2)`)
+	exec(`JOIN takes, tutors`)
+
+	// explicit restructuring
+	exec(`UNNEST takes ON Course`)
+	exec(`NEST takes ON Course`)
+}

@@ -1,0 +1,283 @@
+// Package algebra implements a relational algebra over NFRs in the
+// spirit of Jaeschke–Schek (the paper's [7]): the classical operators
+// plus nest and unnest, with two evaluation levels:
+//
+//   - tuple level: predicates and operators see NFR tuples (components
+//     are sets), matching the paper's "realization view" where one NFR
+//     tuple stands for a group;
+//   - flat level: operators defined on R* (the unique 1NF expansion,
+//     Theorem 1) with the result re-nested, giving exactly classical
+//     1NF semantics.
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// CmpOp is a comparison operator for atom predicates.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String renders the operator in SQL-ish notation.
+func (o CmpOp) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Apply evaluates the comparison on two atoms.
+func (o CmpOp) Apply(a, b value.Atom) bool {
+	c := value.Compare(a, b)
+	switch o {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	default:
+		panic(fmt.Sprintf("algebra: unknown CmpOp %d", uint8(o)))
+	}
+}
+
+// Pred is a predicate over NFR tuples, resolved against a schema.
+type Pred interface {
+	// Eval reports whether the tuple satisfies the predicate.
+	Eval(s *schema.Schema, t tuple.Tuple) (bool, error)
+	// String renders the predicate.
+	String() string
+}
+
+// Quantifier selects how a per-atom test applies to a set component.
+type Quantifier uint8
+
+// Quantifiers: Any is the natural reading for selections on NFRs (the
+// group matches if some member matches); All requires every member.
+const (
+	Any Quantifier = iota
+	All
+)
+
+type cmpPred struct {
+	attr  string
+	op    CmpOp
+	val   value.Atom
+	quant Quantifier
+}
+
+// Cmp builds an attribute-vs-constant comparison with Any semantics.
+func Cmp(attr string, op CmpOp, val value.Atom) Pred {
+	return cmpPred{attr: attr, op: op, val: val, quant: Any}
+}
+
+// CmpAll builds an attribute-vs-constant comparison with All semantics.
+func CmpAll(attr string, op CmpOp, val value.Atom) Pred {
+	return cmpPred{attr: attr, op: op, val: val, quant: All}
+}
+
+func (p cmpPred) Eval(s *schema.Schema, t tuple.Tuple) (bool, error) {
+	i := s.Index(p.attr)
+	if i < 0 {
+		return false, fmt.Errorf("algebra: unknown attribute %q", p.attr)
+	}
+	set := t.Set(i)
+	if p.quant == All {
+		for _, a := range set.Atoms() {
+			if !p.op.Apply(a, p.val) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, a := range set.Atoms() {
+		if p.op.Apply(a, p.val) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (p cmpPred) String() string {
+	q := ""
+	if p.quant == All {
+		q = "all "
+	}
+	return fmt.Sprintf("%s %s%s %s", p.attr, q, p.op, p.val)
+}
+
+type attrCmpPred struct {
+	left, right string
+	op          CmpOp
+}
+
+// CmpAttrs compares two attributes with Any-Any semantics (some pair
+// of members satisfies the comparison).
+func CmpAttrs(left string, op CmpOp, right string) Pred {
+	return attrCmpPred{left: left, right: right, op: op}
+}
+
+func (p attrCmpPred) Eval(s *schema.Schema, t tuple.Tuple) (bool, error) {
+	li, ri := s.Index(p.left), s.Index(p.right)
+	if li < 0 {
+		return false, fmt.Errorf("algebra: unknown attribute %q", p.left)
+	}
+	if ri < 0 {
+		return false, fmt.Errorf("algebra: unknown attribute %q", p.right)
+	}
+	for _, a := range t.Set(li).Atoms() {
+		for _, b := range t.Set(ri).Atoms() {
+			if p.op.Apply(a, b) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+func (p attrCmpPred) String() string {
+	return fmt.Sprintf("%s %s %s", p.left, p.op, p.right)
+}
+
+type containsPred struct {
+	attr string
+	val  value.Atom
+}
+
+// Contains tests set membership: val ∈ t[attr]. Equivalent to
+// Cmp(attr, EQ, val) with Any semantics but reads better for sets.
+func Contains(attr string, val value.Atom) Pred {
+	return containsPred{attr: attr, val: val}
+}
+
+func (p containsPred) Eval(s *schema.Schema, t tuple.Tuple) (bool, error) {
+	i := s.Index(p.attr)
+	if i < 0 {
+		return false, fmt.Errorf("algebra: unknown attribute %q", p.attr)
+	}
+	return t.Set(i).Contains(p.val), nil
+}
+
+func (p containsPred) String() string {
+	return fmt.Sprintf("%s contains %s", p.attr, p.val)
+}
+
+type cardPred struct {
+	attr string
+	op   CmpOp
+	n    int
+}
+
+// Card tests the cardinality of a component: |t[attr]| op n. This is
+// the predicate 1NF cannot express — it queries the grouping itself.
+func Card(attr string, op CmpOp, n int) Pred {
+	return cardPred{attr: attr, op: op, n: n}
+}
+
+func (p cardPred) Eval(s *schema.Schema, t tuple.Tuple) (bool, error) {
+	i := s.Index(p.attr)
+	if i < 0 {
+		return false, fmt.Errorf("algebra: unknown attribute %q", p.attr)
+	}
+	return p.op.Apply(value.NewInt(int64(t.Set(i).Len())), value.NewInt(int64(p.n))), nil
+}
+
+func (p cardPred) String() string {
+	return fmt.Sprintf("card(%s) %s %d", p.attr, p.op, p.n)
+}
+
+type andPred struct{ ps []Pred }
+type orPred struct{ ps []Pred }
+type notPred struct{ p Pred }
+type truePred struct{}
+
+// And conjoins predicates.
+func And(ps ...Pred) Pred { return andPred{ps} }
+
+// Or disjoins predicates.
+func Or(ps ...Pred) Pred { return orPred{ps} }
+
+// Not negates a predicate.
+func Not(p Pred) Pred { return notPred{p} }
+
+// True matches every tuple.
+func True() Pred { return truePred{} }
+
+func (p andPred) Eval(s *schema.Schema, t tuple.Tuple) (bool, error) {
+	for _, q := range p.ps {
+		ok, err := q.Eval(s, t)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func (p andPred) String() string { return joinPreds(p.ps, " and ") }
+
+func (p orPred) Eval(s *schema.Schema, t tuple.Tuple) (bool, error) {
+	for _, q := range p.ps {
+		ok, err := q.Eval(s, t)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (p orPred) String() string { return joinPreds(p.ps, " or ") }
+
+func (p notPred) Eval(s *schema.Schema, t tuple.Tuple) (bool, error) {
+	ok, err := p.p.Eval(s, t)
+	return !ok && err == nil, err
+}
+
+func (p notPred) String() string { return "not (" + p.p.String() + ")" }
+
+func (truePred) Eval(*schema.Schema, tuple.Tuple) (bool, error) { return true, nil }
+func (truePred) String() string                                 { return "true" }
+
+func joinPreds(ps []Pred, sep string) string {
+	out := "("
+	for i, p := range ps {
+		if i > 0 {
+			out += sep
+		}
+		out += p.String()
+	}
+	return out + ")"
+}

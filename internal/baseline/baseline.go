@@ -1,0 +1,289 @@
+// Package baseline implements the comparison system the paper argues
+// against: a classical 1NF store in which MVD-governed relations are
+// decomposed into fourth normal form and queries that need the
+// original relation recombine the fragments with natural joins. The
+// experiment harness runs identical logical workloads against this
+// baseline and the NFR engine.
+package baseline
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// Store1NF is a flat relation with per-tuple insert/delete — the 1NF
+// half of the comparison. Its operations are trivially O(1) per tuple
+// (hash set), which is exactly the paper's point of reference: NFR
+// updates must stay comparable while holding far fewer tuples.
+type Store1NF struct {
+	sch  *schema.Schema
+	rows map[string]tuple.Flat
+}
+
+// New1NF returns an empty 1NF store.
+func New1NF(s *schema.Schema) *Store1NF {
+	return &Store1NF{sch: s, rows: make(map[string]tuple.Flat)}
+}
+
+// Schema returns the store's schema.
+func (s *Store1NF) Schema() *schema.Schema { return s.sch }
+
+// Len returns the number of flat tuples.
+func (s *Store1NF) Len() int { return len(s.rows) }
+
+// Insert adds a flat tuple; it reports whether the store changed.
+func (s *Store1NF) Insert(f tuple.Flat) bool {
+	k := f.Key()
+	if _, dup := s.rows[k]; dup {
+		return false
+	}
+	s.rows[k] = f.Clone()
+	return true
+}
+
+// Delete removes a flat tuple; it reports whether the store changed.
+func (s *Store1NF) Delete(f tuple.Flat) bool {
+	k := f.Key()
+	if _, ok := s.rows[k]; !ok {
+		return false
+	}
+	delete(s.rows, k)
+	return true
+}
+
+// Has reports membership.
+func (s *Store1NF) Has(f tuple.Flat) bool {
+	_, ok := s.rows[f.Key()]
+	return ok
+}
+
+// Scan calls fn for every tuple (arbitrary order), stopping on false.
+func (s *Store1NF) Scan(fn func(tuple.Flat) bool) {
+	for _, f := range s.rows {
+		if !fn(f) {
+			return
+		}
+	}
+}
+
+// Relation materializes the store as a 1NF core.Relation.
+func (s *Store1NF) Relation() *core.Relation {
+	r := core.NewRelation(s.sch)
+	for _, f := range s.rows {
+		r.Add(tuple.FromFlat(f))
+	}
+	return r
+}
+
+// Decomposed4NF is the 4NF half of the comparison: the universe split
+// into fragments by the classical MVD decomposition, each fragment a
+// 1NF store, with Reassemble natural-joining them back — the joins the
+// paper says NFRs let a schema "discard".
+type Decomposed4NF struct {
+	sch       *schema.Schema
+	fragments []*fragment
+}
+
+type fragment struct {
+	attrs schema.AttrSet
+	names []string // sorted attribute names
+	idx   []int    // positions in the universe schema, aligned to names
+	store *Store1NF
+}
+
+// NewDecomposed4NF decomposes the schema by the given dependencies and
+// prepares one store per fragment.
+func NewDecomposed4NF(s *schema.Schema, fds []dep.FD, mvds []dep.MVD) (*Decomposed4NF, error) {
+	universe := schema.NewAttrSet(s.Names()...)
+	frags := dep.Decompose4NF(universe, fds, mvds)
+	d := &Decomposed4NF{sch: s}
+	for _, fa := range frags {
+		names := fa.Sorted()
+		fs, err := s.Project(names...)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, len(names))
+		for i, n := range names {
+			idx[i] = s.Index(n)
+		}
+		d.fragments = append(d.fragments, &fragment{attrs: fa, names: names, idx: idx, store: New1NF(fs)})
+	}
+	return d, nil
+}
+
+// NumFragments returns the number of 4NF fragments.
+func (d *Decomposed4NF) NumFragments() int { return len(d.fragments) }
+
+// FragmentAttrs lists each fragment's attribute set.
+func (d *Decomposed4NF) FragmentAttrs() []string {
+	out := make([]string, len(d.fragments))
+	for i, f := range d.fragments {
+		out[i] = f.attrs.String()
+	}
+	return out
+}
+
+// FragmentRows returns the total number of rows across fragments.
+func (d *Decomposed4NF) FragmentRows() int {
+	n := 0
+	for _, f := range d.fragments {
+		n += f.store.Len()
+	}
+	return n
+}
+
+func (fr *fragment) project(f tuple.Flat) tuple.Flat {
+	proj := make(tuple.Flat, len(fr.idx))
+	for i, j := range fr.idx {
+		proj[i] = f[j]
+	}
+	return proj
+}
+
+// Insert projects the flat tuple into every fragment.
+func (d *Decomposed4NF) Insert(f tuple.Flat) {
+	for _, fr := range d.fragments {
+		fr.store.Insert(fr.project(f))
+	}
+}
+
+// Delete removes the tuple's projections from every fragment without
+// existence checks. This exhibits the classic deletion anomaly: a
+// projection still needed by another tuple is lost. Use DeleteChecked
+// for the correct (and costly) version.
+func (d *Decomposed4NF) Delete(f tuple.Flat) {
+	for _, fr := range d.fragments {
+		fr.store.Delete(fr.project(f))
+	}
+}
+
+// DeleteChecked removes each projection only when no other tuple of
+// the reassembled relation still needs it. It returns the number of
+// rows visited by the existence checks — the anomaly cost that the
+// harness charges to the 4NF baseline.
+func (d *Decomposed4NF) DeleteChecked(f tuple.Flat) int {
+	whole := d.Reassemble()
+	visited := 0
+	fKey := f.Key()
+	for _, fr := range d.fragments {
+		proj := fr.project(f)
+		projKey := proj.Key()
+		needed := false
+		for _, g := range whole.Expand() {
+			visited++
+			if g.Key() == fKey {
+				continue
+			}
+			if fr.project(g).Key() == projKey {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			fr.store.Delete(proj)
+		}
+	}
+	return visited
+}
+
+// Reassemble natural-joins all fragments back into the universe
+// relation (attribute order restored).
+func (d *Decomposed4NF) Reassemble() *core.Relation {
+	r, _ := d.ReassembleCounted()
+	return r
+}
+
+// ReassembleCounted is Reassemble plus the count of intermediate rows
+// materialized across the join pipeline — the work metric compared
+// against an NFR scan.
+func (d *Decomposed4NF) ReassembleCounted() (*core.Relation, int) {
+	out := core.NewRelation(d.sch)
+	if len(d.fragments) == 0 {
+		return out, 0
+	}
+	type prow map[string]value.Atom
+
+	var cur []prow
+	d.fragments[0].store.Scan(func(f tuple.Flat) bool {
+		m := make(prow, len(d.fragments[0].names))
+		for i, n := range d.fragments[0].names {
+			m[n] = f[i]
+		}
+		cur = append(cur, m)
+		return true
+	})
+	rows := len(cur)
+	seen := schema.NewAttrSet(d.fragments[0].names...)
+
+	key := func(m prow, names []string) string {
+		var b strings.Builder
+		for _, n := range names {
+			a := m[n]
+			b.WriteByte(byte(a.K))
+			b.WriteString(a.String())
+			b.WriteByte('\x1f')
+		}
+		return b.String()
+	}
+
+	for _, fr := range d.fragments[1:] {
+		var sharedNames, newNames []string
+		for _, n := range fr.names {
+			if seen.Has(n) {
+				sharedNames = append(sharedNames, n)
+			} else {
+				newNames = append(newNames, n)
+			}
+		}
+		build := map[string][]prow{}
+		fr.store.Scan(func(f tuple.Flat) bool {
+			m := make(prow, len(fr.names))
+			for i, n := range fr.names {
+				m[n] = f[i]
+			}
+			k := key(m, sharedNames)
+			build[k] = append(build[k], m)
+			return true
+		})
+		var next []prow
+		for _, l := range cur {
+			for _, rmap := range build[key(l, sharedNames)] {
+				merged := make(prow, len(l)+len(newNames))
+				for k, v := range l {
+					merged[k] = v
+				}
+				for _, n := range newNames {
+					merged[n] = rmap[n]
+				}
+				next = append(next, merged)
+			}
+		}
+		cur = next
+		rows += len(cur)
+		for _, n := range newNames {
+			seen.Add(n)
+		}
+	}
+	for _, m := range cur {
+		fl := make(tuple.Flat, d.sch.Degree())
+		complete := true
+		for i := 0; i < d.sch.Degree(); i++ {
+			a, ok := m[d.sch.Attr(i).Name]
+			if !ok {
+				complete = false
+				break
+			}
+			fl[i] = a
+		}
+		if complete {
+			out.Add(tuple.FromFlat(fl))
+		}
+	}
+	return out, rows
+}

@@ -1,0 +1,142 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/dep"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+func TestStore1NFBasics(t *testing.T) {
+	s := New1NF(schema.MustOf("A", "B"))
+	f := tuple.FlatOfStrings("a", "b")
+	if !s.Insert(f) || s.Insert(f) {
+		t.Error("insert semantics")
+	}
+	if !s.Has(f) || s.Len() != 1 {
+		t.Error("Has/Len")
+	}
+	count := 0
+	s.Scan(func(tuple.Flat) bool { count++; return true })
+	if count != 1 {
+		t.Error("Scan")
+	}
+	if !s.Delete(f) || s.Delete(f) {
+		t.Error("delete semantics")
+	}
+	if s.Relation().Len() != 0 {
+		t.Error("Relation after delete")
+	}
+	if s.Schema().Degree() != 2 {
+		t.Error("Schema")
+	}
+}
+
+func TestDecomposed4NFFragments(t *testing.T) {
+	s := schema.MustOf("Student", "Course", "Club")
+	mvds := []dep.MVD{dep.NewMVD([]string{"Student"}, []string{"Course"})}
+	d, err := NewDecomposed4NF(s, nil, mvds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFragments() != 2 {
+		t.Fatalf("fragments = %v", d.FragmentAttrs())
+	}
+}
+
+func TestInsertReassembleRecoversOriginal(t *testing.T) {
+	e := workload.GenEnrollment(3, workload.EnrollmentParams{
+		Students: 15, CoursePool: 8, ClubPool: 4, SemesterPool: 3,
+		CoursesPerStudent: 3, ClubsPerStudent: 2,
+	})
+	mvds := []dep.MVD{dep.NewMVD([]string{"Student"}, []string{"Course"})}
+	d, err := NewDecomposed4NF(e.R1.Schema(), nil, mvds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range e.R1.Expand() {
+		d.Insert(f)
+	}
+	re, rows := d.ReassembleCounted()
+	if !re.EquivalentTo(e.R1) {
+		t.Fatalf("reassembled relation differs: %d vs %d flats",
+			re.ExpansionSize(), e.R1.ExpansionSize())
+	}
+	if rows < re.ExpansionSize() {
+		t.Errorf("join row count %d < output size %d", rows, re.ExpansionSize())
+	}
+	if d.FragmentRows() >= e.R1.ExpansionSize() {
+		t.Logf("fragments not smaller: %d vs %d (possible with tiny pools)",
+			d.FragmentRows(), e.R1.ExpansionSize())
+	}
+}
+
+func TestDeleteAnomalyAndChecked(t *testing.T) {
+	// R1* = s1 x {c1,c2} x {b1}: deleting (s1,c1,b1) naively from the
+	// fragments removes (s1,b1) from SB even though (s1,c2,b1) still
+	// needs it — the classic anomaly. DeleteChecked must keep it.
+	s := schema.MustOf("Student", "Course", "Club")
+	mvds := []dep.MVD{dep.NewMVD([]string{"Student"}, []string{"Course"})}
+	rows := []tuple.Flat{
+		tuple.FlatOfStrings("s1", "c1", "b1"),
+		tuple.FlatOfStrings("s1", "c2", "b1"),
+	}
+
+	naive, _ := NewDecomposed4NF(s, nil, mvds)
+	for _, f := range rows {
+		naive.Insert(f)
+	}
+	naive.Delete(rows[0])
+	if got := naive.Reassemble().ExpansionSize(); got == 1 {
+		t.Error("expected the naive delete to exhibit the anomaly, but it behaved")
+	}
+
+	checked, _ := NewDecomposed4NF(s, nil, mvds)
+	for _, f := range rows {
+		checked.Insert(f)
+	}
+	visited := checked.DeleteChecked(rows[0])
+	if visited == 0 {
+		t.Error("DeleteChecked reported no work")
+	}
+	re := checked.Reassemble()
+	if re.ExpansionSize() != 1 {
+		t.Fatalf("after checked delete: %d flats\n%v", re.ExpansionSize(), re)
+	}
+	if _, ok := re.ContainsFlat(rows[1]); !ok {
+		t.Error("surviving tuple lost")
+	}
+}
+
+func TestDecomposed4NFNoMVD(t *testing.T) {
+	// without violating dependencies the schema stays whole: 1 fragment
+	s := schema.MustOf("A", "B")
+	d, err := NewDecomposed4NF(s, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFragments() != 1 {
+		t.Fatalf("fragments = %d", d.NumFragments())
+	}
+	f := tuple.FlatOfStrings("x", "y")
+	d.Insert(f)
+	re := d.Reassemble()
+	if re.ExpansionSize() != 1 {
+		t.Error("single-fragment roundtrip failed")
+	}
+	d.Delete(f)
+	if d.Reassemble().ExpansionSize() != 0 {
+		t.Error("delete failed")
+	}
+}
+
+func TestReassembleEmpty(t *testing.T) {
+	s := schema.MustOf("A", "B", "C")
+	d, _ := NewDecomposed4NF(s, nil, []dep.MVD{dep.NewMVD([]string{"A"}, []string{"B"})})
+	re, rows := d.ReassembleCounted()
+	if re.Len() != 0 || rows != 0 {
+		t.Error("empty reassemble")
+	}
+}

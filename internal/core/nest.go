@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/vset"
+)
+
+// Nest implements the nest operation ν_Ei (Definition 4): successive
+// compositions over attribute i applied as many times as possible.
+// Theorem 2 guarantees the result is independent of the order in which
+// tuple pairs are composed, so Nest groups tuples by set-equality of
+// the remaining components (hash grouping) and unions the i-th
+// components inside each group — an O(m) realization of the O(m²)
+// pairwise definition (NestPairwise provides the literal one).
+//
+// It returns the nested relation and the number of compositions
+// performed (group size − 1 summed over groups), the cost unit of the
+// paper's complexity analysis.
+func (r *Relation) Nest(i int) (*Relation, int) {
+	if i < 0 || i >= r.sch.Degree() {
+		panic(fmt.Sprintf("core: Nest attribute %d out of range", i))
+	}
+	type group struct {
+		first tuple.Tuple
+		set   vset.Set
+		size  int
+	}
+	order := make([]string, 0, len(r.tuples))
+	groups := make(map[string]*group, len(r.tuples))
+	for _, t := range r.tuples {
+		k := t.KeyExcept(i)
+		g, ok := groups[k]
+		if !ok {
+			groups[k] = &group{first: t, set: t.Set(i), size: 1}
+			order = append(order, k)
+			continue
+		}
+		g.set = g.set.Union(t.Set(i))
+		g.size++
+	}
+	out := NewRelation(r.sch)
+	comps := 0
+	for _, k := range order {
+		g := groups[k]
+		out.Add(g.first.WithSet(i, g.set))
+		comps += g.size - 1
+	}
+	return out, comps
+}
+
+// NestPairwise is the literal Definition-4 nest: repeatedly scan for a
+// composable pair over attribute i and compose it, until no pair
+// remains. pairOrder selects which pair to compose next given the
+// current tuple list; nil means first-found. It exists to validate
+// Theorem 2 (the result must equal Nest regardless of order) and as the
+// ablation baseline for the hash-grouping optimization.
+func (r *Relation) NestPairwise(i int, pairOrder func(ts []tuple.Tuple) (int, int, bool)) (*Relation, int) {
+	ts := r.Tuples()
+	comps := 0
+	pick := pairOrder
+	if pick == nil {
+		pick = func(ts []tuple.Tuple) (int, int, bool) {
+			for a := 0; a < len(ts); a++ {
+				for b := a + 1; b < len(ts); b++ {
+					if ts[a].AgreeExcept(ts[b], i) {
+						return a, b, true
+					}
+				}
+			}
+			return 0, 0, false
+		}
+	}
+	for {
+		a, b, ok := pick(ts)
+		if !ok {
+			break
+		}
+		merged, ok := tuple.Compose(ts[a], ts[b], i)
+		if !ok {
+			panic("core: pairOrder returned non-composable pair")
+		}
+		comps++
+		// replace a with merged, delete b
+		ts[a] = merged
+		ts = append(ts[:b], ts[b+1:]...)
+	}
+	return MustFromTuples(r.sch, ts), comps
+}
+
+// Canonical computes the canonical form V_P(R) (Definition 5): nest
+// over p[0] first, then p[1], and so on. The paper's Example 2 fixes
+// this reading: V_ABC(R3) nests A first and yields the printed R5.
+// It returns the canonical relation and the total composition count.
+func (r *Relation) Canonical(p schema.Permutation) (*Relation, int) {
+	if !p.Valid(r.sch) {
+		panic(fmt.Sprintf("core: invalid permutation %v for schema %v", p, r.sch))
+	}
+	cur := r
+	total := 0
+	for _, i := range p {
+		var c int
+		cur, c = cur.Nest(i)
+		total += c
+	}
+	return cur, total
+}
+
+// CanonicalFromFlats is the common pipeline: expand to R* first, then
+// build V_P(R*). Starting from R* makes the result depend only on the
+// information content (Theorem 2), not on r's current grouping.
+func (r *Relation) CanonicalFromFlats(p schema.Permutation) (*Relation, int) {
+	return r.ExpandRelation().Canonical(p)
+}
+
+// Unnest fully unnests attribute i: every tuple with an m-element i-th
+// component is replaced by m tuples with singleton components — the
+// exhaustive application of decomposition u on that attribute
+// (Jaeschke–Schek's μ operator). It is the inverse of Nest only on
+// relations where no information was grouped on other attributes.
+func (r *Relation) Unnest(i int) *Relation {
+	if i < 0 || i >= r.sch.Degree() {
+		panic(fmt.Sprintf("core: Unnest attribute %d out of range", i))
+	}
+	out := NewRelation(r.sch)
+	for _, t := range r.tuples {
+		for _, a := range t.Set(i).Atoms() {
+			out.Add(t.WithSet(i, vset.Single(a)))
+		}
+	}
+	return out
+}
+
+// ComposablePair reports whether any composition applies to the
+// relation, returning one applicable (tuple index, tuple index,
+// attribute) triple.
+func (r *Relation) ComposablePair() (a, b, attr int, ok bool) {
+	// Bucket tuples by KeyExcept for each attribute; a bucket with two
+	// members is a composable pair. This keeps IsIrreducible O(n·m)
+	// instead of O(n·m²).
+	for i := 0; i < r.sch.Degree(); i++ {
+		buckets := make(map[string]int, len(r.tuples))
+		for j, t := range r.tuples {
+			k := t.KeyExcept(i)
+			if prev, dup := buckets[k]; dup {
+				return prev, j, i, true
+			}
+			buckets[k] = j
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// IsIrreducible reports whether no composition applies (Definition 3).
+func (r *Relation) IsIrreducible() bool {
+	_, _, _, ok := r.ComposablePair()
+	return !ok
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/value"
+	"repro/internal/vset"
+)
+
+// example1Relation returns the paper's Example-1 1NF relation over A,B.
+func example1Relation() *Relation {
+	s := schema.MustOf("A", "B")
+	return MustFromFlats(s, flats(
+		[]string{"a1", "b1"},
+		[]string{"a2", "b1"},
+		[]string{"a2", "b2"},
+		[]string{"a3", "b2"},
+	))
+}
+
+// example2Relation returns the paper's Example-2 1NF relation over
+// A,B,C (reconstructed from the printed irreducible form R4, whose
+// expansion the OCR-garbled tuple list must equal).
+func example2Relation() *Relation {
+	s := schema.MustOf("A", "B", "C")
+	return MustFromFlats(s, flats(
+		[]string{"a1", "b1", "c2"},
+		[]string{"a1", "b2", "c2"},
+		[]string{"a1", "b2", "c1"},
+		[]string{"a2", "b1", "c1"},
+		[]string{"a2", "b1", "c2"},
+		[]string{"a2", "b2", "c1"},
+	))
+}
+
+func TestNestExample1(t *testing.T) {
+	// νA on Example 1 must give R1 = {[A(a1,a2) B(b1)], [A(a2,a3) B(b2)]}.
+	r := example1Relation()
+	r1, comps := r.Nest(0)
+	if comps != 2 {
+		t.Errorf("compositions = %d, want 2", comps)
+	}
+	want := MustFromTuples(r.Schema(), []tuple.Tuple{
+		TupleOfSets([]string{"a1", "a2"}, []string{"b1"}),
+		TupleOfSets([]string{"a2", "a3"}, []string{"b2"}),
+	})
+	if !r1.Equal(want) {
+		t.Errorf("νA =\n%v\nwant\n%v", r1, want)
+	}
+	if !r1.EquivalentTo(r) {
+		t.Error("nest changed information content")
+	}
+	if !r1.IsIrreducible() {
+		t.Error("R1 should be irreducible")
+	}
+}
+
+func TestNestPreservesEquivalenceAndIsIdempotent(t *testing.T) {
+	r := example2Relation()
+	for i := 0; i < 3; i++ {
+		n1, _ := r.Nest(i)
+		if !n1.EquivalentTo(r) {
+			t.Errorf("Nest(%d) not lossless", i)
+		}
+		n2, c2 := n1.Nest(i)
+		if c2 != 0 || !n2.Equal(n1) {
+			t.Errorf("Nest(%d) not idempotent", i)
+		}
+	}
+}
+
+func TestNestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	example1Relation().Nest(7)
+}
+
+func TestUnnestInvertsNestOnFlat(t *testing.T) {
+	r := example1Relation()
+	n, _ := r.Nest(0)
+	back := n.Unnest(0)
+	if !back.Equal(r) {
+		t.Errorf("Unnest(Nest(R)) != R:\n%v", back)
+	}
+}
+
+func TestUnnestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	example1Relation().Unnest(-1)
+}
+
+func TestCanonicalExample2(t *testing.T) {
+	// The paper: applying V_ABC to R3 yields R5 with the four printed
+	// tuples; by symmetry every canonical form has 4 tuples, while the
+	// irreducible R4 has only 3.
+	r3 := example2Relation()
+	p := schema.MustPermOf(r3.Schema(), "A", "B", "C")
+	r5, _ := r3.Canonical(p)
+	want := MustFromTuples(r3.Schema(), []tuple.Tuple{
+		TupleOfSets([]string{"a1", "a2"}, []string{"b1"}, []string{"c2"}),
+		TupleOfSets([]string{"a1", "a2"}, []string{"b2"}, []string{"c1"}),
+		TupleOfSets([]string{"a1"}, []string{"b2"}, []string{"c2"}),
+		TupleOfSets([]string{"a2"}, []string{"b1"}, []string{"c1"}),
+	})
+	if !r5.Equal(want) {
+		t.Errorf("V_ABC(R3) =\n%v\nwant\n%v", r5, want)
+	}
+	// every canonical form has exactly 4 tuples
+	for _, perm := range schema.AllPermutations(3) {
+		c, _ := r3.Canonical(perm)
+		if c.Len() != 4 {
+			t.Errorf("canonical %v has %d tuples, want 4", perm, c.Len())
+		}
+		if !c.IsIrreducible() {
+			t.Errorf("canonical %v not irreducible", perm)
+		}
+		if !c.EquivalentTo(r3) {
+			t.Errorf("canonical %v lost information", perm)
+		}
+	}
+	// the paper's R4: an irreducible form with only 3 tuples
+	r4 := MustFromTuples(r3.Schema(), []tuple.Tuple{
+		TupleOfSets([]string{"a1"}, []string{"b1", "b2"}, []string{"c2"}),
+		TupleOfSets([]string{"a2"}, []string{"b1"}, []string{"c1", "c2"}),
+		TupleOfSets([]string{"a1", "a2"}, []string{"b2"}, []string{"c1"}),
+	})
+	if !r4.IsIrreducible() {
+		t.Error("R4 should be irreducible")
+	}
+	if !r4.EquivalentTo(r3) {
+		t.Error("R4 must be information-equivalent to R3")
+	}
+	if _, isCanon := r4.IsCanonical(); isCanon {
+		t.Error("R4 must not be canonical for any permutation")
+	}
+}
+
+func TestCanonicalInvalidPermPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	example1Relation().Canonical(schema.Permutation{0, 0})
+}
+
+func TestTheorem2NestPairwiseOrderIndependence(t *testing.T) {
+	// Theorem 2: the nest result is independent of the order of pair
+	// composition. Run the literal pairwise nest with random pair
+	// selection and compare against the hash-grouped Nest.
+	r := example2Relation()
+	for attr := 0; attr < 3; attr++ {
+		wantR, wantC := r.Nest(attr)
+		for seed := int64(0); seed < 10; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			got, gotC := r.NestPairwise(attr, func(ts []tuple.Tuple) (int, int, bool) {
+				type pr struct{ a, b int }
+				var prs []pr
+				for a := 0; a < len(ts); a++ {
+					for b := a + 1; b < len(ts); b++ {
+						if ts[a].AgreeExcept(ts[b], attr) {
+							prs = append(prs, pr{a, b})
+						}
+					}
+				}
+				if len(prs) == 0 {
+					return 0, 0, false
+				}
+				p := prs[rng.Intn(len(prs))]
+				return p.a, p.b, true
+			})
+			if !got.Equal(wantR) {
+				t.Fatalf("attr %d seed %d: pairwise nest differs", attr, seed)
+			}
+			if gotC != wantC {
+				t.Fatalf("attr %d seed %d: composition counts differ (%d vs %d)", attr, seed, gotC, wantC)
+			}
+		}
+	}
+}
+
+func TestNestPairwiseDefaultOrder(t *testing.T) {
+	r := example1Relation()
+	got, comps := r.NestPairwise(0, nil)
+	want, wantC := r.Nest(0)
+	if !got.Equal(want) || comps != wantC {
+		t.Errorf("default pairwise differs: %v (%d comps)", got, comps)
+	}
+}
+
+func TestComposablePairAndIrreducible(t *testing.T) {
+	r := example1Relation()
+	if r.IsIrreducible() {
+		t.Error("flat Example-1 relation must be reducible")
+	}
+	a, b, attr, ok := r.ComposablePair()
+	if !ok {
+		t.Fatal("no composable pair found")
+	}
+	if _, ok := tuple.Compose(r.Tuple(a), r.Tuple(b), attr); !ok {
+		t.Error("reported pair not composable")
+	}
+	n, _ := r.Nest(0)
+	n2, _ := n.Nest(1)
+	if !n2.IsIrreducible() {
+		t.Error("fully nested Example 1 should be irreducible")
+	}
+}
+
+func TestIrreducibleGreedyReachesExample1Forms(t *testing.T) {
+	// Example 1: both R1 (2 tuples) and R2 (3 tuples) are reachable
+	// irreducible forms. Random greedy runs should find both.
+	r := example1Relation()
+	sizes := map[int]bool{}
+	for seed := int64(0); seed < 60; seed++ {
+		ir, comps := r.IrreducibleGreedy(rand.New(rand.NewSource(seed)))
+		if !ir.IsIrreducible() {
+			t.Fatal("greedy result reducible")
+		}
+		if !ir.EquivalentTo(r) {
+			t.Fatal("greedy lost information")
+		}
+		if comps != r.Len()-ir.Len() {
+			t.Fatalf("composition count %d inconsistent with size delta", comps)
+		}
+		sizes[ir.Len()] = true
+	}
+	if !sizes[2] || !sizes[3] {
+		t.Errorf("expected both 2- and 3-tuple irreducible forms, got %v", sizes)
+	}
+	// deterministic variant
+	det, _ := r.IrreducibleGreedy(nil)
+	if !det.IsIrreducible() {
+		t.Error("deterministic greedy result reducible")
+	}
+}
+
+func TestAllIrreducibleFormsExample1(t *testing.T) {
+	r := example1Relation()
+	forms, exhaustive := r.AllIrreducibleForms(0, 0)
+	if !exhaustive {
+		t.Fatal("tiny search not exhaustive")
+	}
+	// R1 (νA result), R2 (νB middle merge), and νB full nest
+	// {[A(a1) B(b1)], [A(a2) B(b1,b2)], [A(a3) B(b2)]} — let's verify the
+	// two the paper names are among them.
+	r1 := MustFromTuples(r.Schema(), []tuple.Tuple{
+		TupleOfSets([]string{"a1", "a2"}, []string{"b1"}),
+		TupleOfSets([]string{"a2", "a3"}, []string{"b2"}),
+	})
+	r2 := MustFromTuples(r.Schema(), []tuple.Tuple{
+		TupleOfSets([]string{"a1"}, []string{"b1"}),
+		TupleOfSets([]string{"a2"}, []string{"b1", "b2"}),
+		TupleOfSets([]string{"a3"}, []string{"b2"}),
+	})
+	var gotR1, gotR2 bool
+	for _, f := range forms {
+		if f.Equal(r1) {
+			gotR1 = true
+		}
+		if f.Equal(r2) {
+			gotR2 = true
+		}
+		if !f.IsIrreducible() || !f.EquivalentTo(r) {
+			t.Error("enumerated form invalid")
+		}
+	}
+	if !gotR1 || !gotR2 {
+		t.Errorf("paper's R1/R2 not both enumerated (R1=%v R2=%v, %d forms)", gotR1, gotR2, len(forms))
+	}
+}
+
+func TestMinimumIrreducibleExample2(t *testing.T) {
+	r3 := example2Relation()
+	res := r3.MinimumIrreducible(0)
+	if !res.Exhaustive {
+		t.Fatal("Example-2 search should be exhaustive")
+	}
+	if res.MinTuples != 3 {
+		t.Errorf("minimum irreducible size = %d, want 3", res.MinTuples)
+	}
+	if !res.Best.IsIrreducible() || !res.Best.EquivalentTo(r3) {
+		t.Error("best form invalid")
+	}
+	if res.StatesVisited <= 0 {
+		t.Error("no states visited?")
+	}
+}
+
+func TestMinimumIrreducibleCap(t *testing.T) {
+	r3 := example2Relation()
+	res := r3.MinimumIrreducible(2) // absurdly small cap
+	if res.Exhaustive {
+		t.Error("capped search claimed exhaustive")
+	}
+	if res.Best == nil {
+		t.Error("capped search lost best")
+	}
+}
+
+// randomFlatRelation builds a random 1NF relation with the given value
+// universe per attribute.
+func randomFlatRelation(rng *rand.Rand, s *schema.Schema, rows, universe int) *Relation {
+	r := NewRelation(s)
+	for i := 0; i < rows; i++ {
+		f := make(tuple.Flat, s.Degree())
+		for j := range f {
+			f[j] = value.NewInt(int64(rng.Intn(universe)))
+		}
+		r.Add(tuple.FromFlat(f))
+	}
+	return r
+}
+
+// Property (Theorem 1 + Theorem 2): for random relations and random
+// permutations, V_P(R) is irreducible, equivalent to R, and equal when
+// computed from any equivalent regrouping of R.
+func TestCanonicalProperties(t *testing.T) {
+	s := schema.MustOf("A", "B", "C")
+	f := func(seed int64, pi int) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomFlatRelation(rng, s, 3+rng.Intn(10), 4)
+		perms := schema.AllPermutations(3)
+		p := perms[abs(pi)%len(perms)]
+		c1, _ := r.Canonical(p)
+		if !c1.IsIrreducible() || !c1.EquivalentTo(r) {
+			return false
+		}
+		// regroup r by a random greedy irreducible, then canonicalize
+		// from flats: must give the identical relation.
+		ir, _ := r.IrreducibleGreedy(rng)
+		c2, _ := ir.CanonicalFromFlats(p)
+		return c1.Equal(c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unnest-all recovers R* for any canonical form.
+func TestUnnestAllRecoversFlat(t *testing.T) {
+	s := schema.MustOf("A", "B", "C")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomFlatRelation(rng, s, 2+rng.Intn(12), 3)
+		c, _ := r.Canonical(schema.IdentityPerm(3))
+		u := c.Unnest(0).Unnest(1).Unnest(2)
+		return u.Equal(r.ExpandRelation())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nests preserve the disjoint-expansion invariant.
+func TestNestKeepsDisjoint(t *testing.T) {
+	s := schema.MustOf("A", "B", "C")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomFlatRelation(rng, s, 2+rng.Intn(15), 3)
+		c, _ := r.Canonical(schema.MustPermOf(s, "B", "C", "A"))
+		_, _, ok := c.CheckDisjoint()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// vset import is used by helper below to exercise WithSet paths in
+// relation-level code.
+var _ = vset.OfStrings

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/tuple"
+)
+
+func flats(rows ...[]string) []tuple.Flat {
+	out := make([]tuple.Flat, len(rows))
+	for i, r := range rows {
+		out[i] = tuple.FlatOfStrings(r...)
+	}
+	return out
+}
+
+func TestFromFlatsDedup(t *testing.T) {
+	s := schema.MustOf("A", "B")
+	r := MustFromFlats(s, flats([]string{"a", "b"}, []string{"a", "b"}, []string{"a", "c"}))
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (dedup)", r.Len())
+	}
+	if !r.IsFlat() {
+		t.Error("FromFlats result not flat")
+	}
+}
+
+func TestFromFlatsDegreeMismatch(t *testing.T) {
+	s := schema.MustOf("A", "B")
+	if _, err := FromFlats(s, flats([]string{"a"})); err == nil {
+		t.Error("degree mismatch accepted")
+	}
+	if _, err := FromTuples(s, []tuple.Tuple{TupleOfSets([]string{"a"})}); err == nil {
+		t.Error("tuple degree mismatch accepted")
+	}
+}
+
+func TestAddRemoveHas(t *testing.T) {
+	s := schema.MustOf("A", "B")
+	r := NewRelation(s)
+	t1 := TupleOfSets([]string{"a1", "a2"}, []string{"b1"})
+	t2 := TupleOfSets([]string{"a3"}, []string{"b2"})
+	if !r.Add(t1) || !r.Add(t2) {
+		t.Fatal("Add returned false")
+	}
+	if r.Add(t1) {
+		t.Error("duplicate Add returned true")
+	}
+	if r.Len() != 2 || !r.Has(t1) {
+		t.Error("Has/Len broken")
+	}
+	if !r.Remove(t1) {
+		t.Error("Remove returned false")
+	}
+	if r.Has(t1) || r.Len() != 1 {
+		t.Error("Remove did not remove")
+	}
+	if r.Remove(t1) {
+		t.Error("double Remove returned true")
+	}
+	// index consistency after removal
+	if !r.Has(t2) {
+		t.Error("index corrupted by Remove")
+	}
+}
+
+func TestRemoveMiddleKeepsIndex(t *testing.T) {
+	s := schema.MustOf("A")
+	r := NewRelation(s)
+	ts := []tuple.Tuple{
+		TupleOfSets([]string{"a"}),
+		TupleOfSets([]string{"b"}),
+		TupleOfSets([]string{"c"}),
+	}
+	for _, x := range ts {
+		r.Add(x)
+	}
+	r.Remove(ts[1])
+	if !r.Has(ts[0]) || !r.Has(ts[2]) || r.Has(ts[1]) {
+		t.Error("index wrong after middle removal")
+	}
+	if r.Tuple(0).Key() != ts[0].Key() || r.Tuple(1).Key() != ts[2].Key() {
+		t.Error("order wrong after middle removal")
+	}
+}
+
+func TestExpandTheorem1(t *testing.T) {
+	// Theorem 1: an NFR has one and only one R*. Two different NFRs of
+	// the same 1NF relation must expand to the identical flat set.
+	s := schema.MustOf("A", "B")
+	flat := flats(
+		[]string{"a1", "b1"}, []string{"a2", "b1"},
+		[]string{"a2", "b2"}, []string{"a3", "b2"},
+	)
+	r1nf := MustFromFlats(s, flat)
+	// grouping 1: {a1,a2|b1}, {a2,a3|b2}
+	g1 := MustFromTuples(s, []tuple.Tuple{
+		TupleOfSets([]string{"a1", "a2"}, []string{"b1"}),
+		TupleOfSets([]string{"a2", "a3"}, []string{"b2"}),
+	})
+	// grouping 2: {a1|b1}, {a2|b1,b2}, {a3|b2}
+	g2 := MustFromTuples(s, []tuple.Tuple{
+		TupleOfSets([]string{"a1"}, []string{"b1"}),
+		TupleOfSets([]string{"a2"}, []string{"b1", "b2"}),
+		TupleOfSets([]string{"a3"}, []string{"b2"}),
+	})
+	if !g1.EquivalentTo(r1nf) || !g2.EquivalentTo(r1nf) || !g1.EquivalentTo(g2) {
+		t.Fatal("equivalent NFRs not recognized")
+	}
+	e1, e2 := g1.Expand(), g2.Expand()
+	if len(e1) != 4 || len(e2) != 4 {
+		t.Fatalf("expansion sizes: %d, %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if !e1[i].Equal(e2[i]) {
+			t.Errorf("expansions differ at %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if g1.ExpansionSize() != 4 {
+		t.Errorf("ExpansionSize = %d", g1.ExpansionSize())
+	}
+}
+
+func TestEquivalentToNegative(t *testing.T) {
+	s := schema.MustOf("A", "B")
+	r1 := MustFromFlats(s, flats([]string{"a", "b"}))
+	r2 := MustFromFlats(s, flats([]string{"a", "c"}))
+	if r1.EquivalentTo(r2) {
+		t.Error("different relations equivalent")
+	}
+	r3 := MustFromFlats(schema.MustOf("A", "C"), flats([]string{"a", "b"}))
+	if r1.EquivalentTo(r3) {
+		t.Error("different schemas equivalent")
+	}
+	// same size, different content
+	r4 := MustFromFlats(s, flats([]string{"a", "b"}, []string{"x", "y"}))
+	r5 := MustFromFlats(s, flats([]string{"a", "b"}, []string{"x", "z"}))
+	if r4.EquivalentTo(r5) {
+		t.Error("same-size different relations equivalent")
+	}
+}
+
+func TestContainsFlat(t *testing.T) {
+	s := schema.MustOf("A", "B")
+	r := MustFromTuples(s, []tuple.Tuple{
+		TupleOfSets([]string{"a1", "a2"}, []string{"b1"}),
+	})
+	cover, ok := r.ContainsFlat(tuple.FlatOfStrings("a2", "b1"))
+	if !ok {
+		t.Fatal("ContainsFlat missed covered tuple")
+	}
+	if !cover.Equal(r.Tuple(0)) {
+		t.Error("wrong covering tuple")
+	}
+	if _, ok := r.ContainsFlat(tuple.FlatOfStrings("a9", "b1")); ok {
+		t.Error("ContainsFlat false positive")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := schema.MustOf("A")
+	r := MustFromFlats(s, flats([]string{"x"}))
+	c := r.Clone()
+	c.Add(TupleOfSets([]string{"y"}))
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestCheckDisjoint(t *testing.T) {
+	s := schema.MustOf("A", "B")
+	good := MustFromTuples(s, []tuple.Tuple{
+		TupleOfSets([]string{"a1"}, []string{"b1", "b2"}),
+		TupleOfSets([]string{"a2"}, []string{"b1"}),
+	})
+	if _, _, ok := good.CheckDisjoint(); !ok {
+		t.Error("disjoint relation flagged")
+	}
+	bad := MustFromTuples(s, []tuple.Tuple{
+		TupleOfSets([]string{"a1", "a2"}, []string{"b1"}),
+		TupleOfSets([]string{"a2"}, []string{"b1", "b2"}),
+	})
+	if i, j, ok := bad.CheckDisjoint(); ok {
+		t.Error("overlap not detected")
+	} else if i != 0 || j != 1 {
+		t.Errorf("overlap pair = %d,%d", i, j)
+	}
+}
+
+func TestKeyOrderIndependent(t *testing.T) {
+	s := schema.MustOf("A")
+	r1 := NewRelation(s)
+	r1.Add(TupleOfSets([]string{"x"}))
+	r1.Add(TupleOfSets([]string{"y"}))
+	r2 := NewRelation(s)
+	r2.Add(TupleOfSets([]string{"y"}))
+	r2.Add(TupleOfSets([]string{"x"}))
+	if r1.Key() != r2.Key() {
+		t.Error("Key depends on insertion order")
+	}
+	if !r1.Equal(r2) {
+		t.Error("Equal depends on insertion order")
+	}
+}
+
+func TestStringAndSort(t *testing.T) {
+	s := schema.MustOf("A", "B")
+	r := NewRelation(s)
+	r.Add(TupleOfSets([]string{"z"}, []string{"b"}))
+	r.Add(TupleOfSets([]string{"a"}, []string{"b"}))
+	r.SortTuples()
+	out := r.String()
+	lines := strings.Split(out, "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "[A(a)") {
+		t.Errorf("String after sort = %q", out)
+	}
+	if !r.Has(TupleOfSets([]string{"z"}, []string{"b"})) {
+		t.Error("index broken after SortTuples")
+	}
+}

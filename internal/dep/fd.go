@@ -1,0 +1,237 @@
+// Package dep implements the relational dependency theory the paper
+// leans on: functional dependencies (FDs), multivalued dependencies
+// (MVDs, Fagin 1977 — the paper's [2]), attribute-set closures,
+// candidate keys, Bernstein's 3NF synthesis (the paper's [13], assumed
+// available in Section 3.4), and normal-form tests.
+package dep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/tuple"
+)
+
+// FD is a functional dependency Lhs -> Rhs.
+type FD struct {
+	Lhs schema.AttrSet
+	Rhs schema.AttrSet
+}
+
+// NewFD builds an FD from attribute names.
+func NewFD(lhs []string, rhs []string) FD {
+	return FD{Lhs: schema.NewAttrSet(lhs...), Rhs: schema.NewAttrSet(rhs...)}
+}
+
+// String renders the FD as A,B -> C.
+func (f FD) String() string {
+	return strings.Join(f.Lhs.Sorted(), ",") + " -> " + strings.Join(f.Rhs.Sorted(), ",")
+}
+
+// Trivial reports whether Rhs ⊆ Lhs.
+func (f FD) Trivial() bool { return f.Rhs.SubsetOf(f.Lhs) }
+
+// Equal reports whether two FDs have the same sides.
+func (f FD) Equal(g FD) bool { return f.Lhs.Equal(g.Lhs) && f.Rhs.Equal(g.Rhs) }
+
+// Closure computes the attribute closure X+ of attrs under the FDs
+// (the standard fixpoint algorithm).
+func Closure(attrs schema.AttrSet, fds []FD) schema.AttrSet {
+	out := attrs.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			if f.Lhs.SubsetOf(out) && !f.Rhs.SubsetOf(out) {
+				out = out.Union(f.Rhs)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// Implies reports whether the FD set logically implies f (via closure).
+func Implies(fds []FD, f FD) bool {
+	return f.Rhs.SubsetOf(Closure(f.Lhs, fds))
+}
+
+// EquivalentCovers reports whether two FD sets imply each other.
+func EquivalentCovers(a, b []FD) bool {
+	for _, f := range a {
+		if !Implies(b, f) {
+			return false
+		}
+	}
+	for _, f := range b {
+		if !Implies(a, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSuperkey reports whether attrs functionally determines all of
+// universe under fds.
+func IsSuperkey(attrs schema.AttrSet, universe schema.AttrSet, fds []FD) bool {
+	return universe.SubsetOf(Closure(attrs, fds))
+}
+
+// CandidateKeys enumerates all minimal keys of the universe under fds.
+// Exponential in the number of attributes; intended for the small
+// schemas of this reproduction (it refuses universes larger than 20
+// attributes).
+func CandidateKeys(universe schema.AttrSet, fds []FD) ([]schema.AttrSet, error) {
+	names := universe.Sorted()
+	n := len(names)
+	if n > 20 {
+		return nil, fmt.Errorf("dep: CandidateKeys limited to 20 attributes, got %d", n)
+	}
+	var keys []schema.AttrSet
+	// enumerate subsets by increasing popcount so minimality is a
+	// subset check against already-found keys
+	bySize := make([][]uint32, n+1)
+	for mask := uint32(0); mask < 1<<n; mask++ {
+		bySize[popcount(mask)] = append(bySize[popcount(mask)], mask)
+	}
+	toSet := func(mask uint32) schema.AttrSet {
+		s := schema.NewAttrSet()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s.Add(names[i])
+			}
+		}
+		return s
+	}
+	for size := 0; size <= n; size++ {
+		for _, mask := range bySize[size] {
+			s := toSet(mask)
+			minimal := true
+			for _, k := range keys {
+				if k.SubsetOf(s) {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			if IsSuperkey(s, universe, fds) {
+				keys = append(keys, s)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys, nil
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// MinimalCover computes a canonical (minimal) cover of fds: singleton
+// right sides, no extraneous left-side attributes, no redundant FDs.
+func MinimalCover(fds []FD) []FD {
+	// 1. split right sides
+	var work []FD
+	for _, f := range fds {
+		for _, a := range f.Rhs.Sorted() {
+			if f.Lhs.Has(a) {
+				continue // drop trivial parts
+			}
+			work = append(work, FD{Lhs: f.Lhs.Clone(), Rhs: schema.NewAttrSet(a)})
+		}
+	}
+	// 2. remove extraneous LHS attributes
+	for i := range work {
+		for {
+			reduced := false
+			for _, a := range work[i].Lhs.Sorted() {
+				if work[i].Lhs.Len() == 1 {
+					break
+				}
+				smaller := work[i].Lhs.Minus(schema.NewAttrSet(a))
+				if work[i].Rhs.SubsetOf(Closure(smaller, work)) {
+					work[i] = FD{Lhs: smaller, Rhs: work[i].Rhs}
+					reduced = true
+					break
+				}
+			}
+			if !reduced {
+				break
+			}
+		}
+	}
+	// 3. remove redundant FDs
+	out := make([]FD, 0, len(work))
+	for i := range work {
+		rest := make([]FD, 0, len(work)-1)
+		rest = append(rest, out...)
+		rest = append(rest, work[i+1:]...)
+		if !Implies(rest, work[i]) {
+			out = append(out, work[i])
+		}
+	}
+	// 4. dedup identical FDs
+	seen := map[string]bool{}
+	final := out[:0]
+	for _, f := range out {
+		k := f.String()
+		if !seen[k] {
+			seen[k] = true
+			final = append(final, f)
+		}
+	}
+	sort.Slice(final, func(i, j int) bool { return final[i].String() < final[j].String() })
+	return final
+}
+
+// SatisfiesFD checks the FD against the flat tuples of a relation: no
+// two tuples agreeing on Lhs may disagree on Rhs.
+func SatisfiesFD(s *schema.Schema, flats []tuple.Flat, f FD) bool {
+	lidx := indices(s, f.Lhs)
+	ridx := indices(s, f.Rhs)
+	seen := make(map[string]string, len(flats))
+	for _, fl := range flats {
+		lk := keyAt(fl, lidx)
+		rk := keyAt(fl, ridx)
+		if prev, ok := seen[lk]; ok {
+			if prev != rk {
+				return false
+			}
+			continue
+		}
+		seen[lk] = rk
+	}
+	return true
+}
+
+func indices(s *schema.Schema, as schema.AttrSet) []int {
+	names := as.Sorted()
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		i := s.Index(n)
+		if i < 0 {
+			panic(fmt.Sprintf("dep: unknown attribute %q", n))
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+func keyAt(f tuple.Flat, idx []int) string {
+	var b strings.Builder
+	for k, i := range idx {
+		if k > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteByte(byte(f[i].K))
+		b.WriteString(f[i].String())
+	}
+	return b.String()
+}

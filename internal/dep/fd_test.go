@@ -1,0 +1,177 @@
+package dep
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/tuple"
+)
+
+func fd(lhs, rhs string) FD {
+	return NewFD(split(lhs), split(rhs))
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(out, cur)
+}
+
+func TestFDBasics(t *testing.T) {
+	f := fd("A,B", "C")
+	if f.String() != "A,B -> C" {
+		t.Errorf("String = %q", f.String())
+	}
+	if f.Trivial() {
+		t.Error("non-trivial FD reported trivial")
+	}
+	if !fd("A,B", "A").Trivial() {
+		t.Error("trivial FD not detected")
+	}
+	if !f.Equal(fd("B,A", "C")) {
+		t.Error("Equal should ignore order")
+	}
+	if f.Equal(fd("A", "C")) {
+		t.Error("Equal false positive")
+	}
+}
+
+func TestClosure(t *testing.T) {
+	fds := []FD{fd("A", "B"), fd("B", "C"), fd("C,D", "E")}
+	got := Closure(schema.NewAttrSet("A"), fds)
+	if !got.Equal(schema.NewAttrSet("A", "B", "C")) {
+		t.Errorf("A+ = %v", got)
+	}
+	got = Closure(schema.NewAttrSet("A", "D"), fds)
+	if !got.Equal(schema.NewAttrSet("A", "B", "C", "D", "E")) {
+		t.Errorf("AD+ = %v", got)
+	}
+}
+
+func TestImpliesAndCovers(t *testing.T) {
+	fds := []FD{fd("A", "B"), fd("B", "C")}
+	if !Implies(fds, fd("A", "C")) {
+		t.Error("transitivity not derived")
+	}
+	if Implies(fds, fd("C", "A")) {
+		t.Error("reverse implied")
+	}
+	if !EquivalentCovers(fds, []FD{fd("A", "B,C"), fd("B", "C")}) {
+		t.Error("equivalent covers not detected")
+	}
+	if EquivalentCovers(fds, []FD{fd("A", "B")}) {
+		t.Error("non-equivalent covers reported equivalent")
+	}
+}
+
+func TestCandidateKeys(t *testing.T) {
+	u := schema.NewAttrSet("A", "B", "C")
+	// A -> B, B -> C: key {A}
+	keys, err := CandidateKeys(u, []FD{fd("A", "B"), fd("B", "C")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || !keys[0].Equal(schema.NewAttrSet("A")) {
+		t.Errorf("keys = %v", keys)
+	}
+	// cyclic: A->B, B->A with C free: keys {A,C} and {B,C}
+	keys, err = CandidateKeys(u, []FD{fd("A", "B"), fd("B", "A")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	// no FDs: whole universe
+	keys, _ = CandidateKeys(u, nil)
+	if len(keys) != 1 || !keys[0].Equal(u) {
+		t.Errorf("keys = %v", keys)
+	}
+	// attribute blowup guard
+	big := schema.NewAttrSet()
+	for i := 0; i < 21; i++ {
+		big.Add(string(rune('A' + i)))
+	}
+	if _, err := CandidateKeys(big, nil); err == nil {
+		t.Error("21-attribute universe accepted")
+	}
+}
+
+func TestIsSuperkey(t *testing.T) {
+	u := schema.NewAttrSet("A", "B", "C")
+	fds := []FD{fd("A", "B,C")}
+	if !IsSuperkey(schema.NewAttrSet("A"), u, fds) {
+		t.Error("A should be superkey")
+	}
+	if IsSuperkey(schema.NewAttrSet("B"), u, fds) {
+		t.Error("B should not be superkey")
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	// classic: A->BC, B->C, AB->C reduces to A->B, B->C
+	fds := []FD{fd("A", "B,C"), fd("B", "C"), fd("A,B", "C")}
+	mc := MinimalCover(fds)
+	want := []FD{fd("A", "B"), fd("B", "C")}
+	if !EquivalentCovers(mc, fds) {
+		t.Error("cover not equivalent to original")
+	}
+	if len(mc) != len(want) {
+		t.Fatalf("cover = %v", mc)
+	}
+	for i := range want {
+		if !mc[i].Equal(want[i]) {
+			t.Errorf("cover[%d] = %v, want %v", i, mc[i], want[i])
+		}
+	}
+	// extraneous LHS attribute: AB->C with A->C becomes A->C
+	mc2 := MinimalCover([]FD{fd("A,B", "C"), fd("A", "C")})
+	if len(mc2) != 1 || !mc2[0].Equal(fd("A", "C")) {
+		t.Errorf("cover2 = %v", mc2)
+	}
+	// trivial-only input
+	if got := MinimalCover([]FD{fd("A", "A")}); len(got) != 0 {
+		t.Errorf("trivial cover = %v", got)
+	}
+}
+
+func TestSatisfiesFD(t *testing.T) {
+	s := schema.MustOf("A", "B", "C")
+	rows := []tuple.Flat{
+		tuple.FlatOfStrings("a1", "b1", "c1"),
+		tuple.FlatOfStrings("a1", "b1", "c2"),
+		tuple.FlatOfStrings("a2", "b2", "c1"),
+	}
+	if !SatisfiesFD(s, rows, fd("A", "B")) {
+		t.Error("A->B should hold")
+	}
+	if SatisfiesFD(s, rows, fd("A", "C")) {
+		t.Error("A->C should fail (a1 has c1 and c2)")
+	}
+	if !SatisfiesFD(s, rows, fd("A,C", "B")) {
+		t.Error("AC->B should hold")
+	}
+	if !SatisfiesFD(s, nil, fd("A", "B")) {
+		t.Error("empty relation satisfies everything")
+	}
+}
+
+func TestSatisfiesFDUnknownAttrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SatisfiesFD(schema.MustOf("A"), nil, fd("Z", "A"))
+}

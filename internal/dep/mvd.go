@@ -1,0 +1,194 @@
+package dep
+
+import (
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/tuple"
+)
+
+// MVD is a multivalued dependency Lhs ->-> Rhs (Fagin 1977, the
+// paper's [2]). By the complementation rule Lhs ->-> U − Lhs − Rhs
+// holds whenever Lhs ->-> Rhs does; Complement materializes it. The
+// paper writes the pair as F ->-> E1 | E2.
+type MVD struct {
+	Lhs schema.AttrSet
+	Rhs schema.AttrSet
+}
+
+// NewMVD builds an MVD from attribute names.
+func NewMVD(lhs []string, rhs []string) MVD {
+	return MVD{Lhs: schema.NewAttrSet(lhs...), Rhs: schema.NewAttrSet(rhs...)}
+}
+
+// String renders the MVD as A ->-> B,C.
+func (m MVD) String() string {
+	return strings.Join(m.Lhs.Sorted(), ",") + " ->-> " + strings.Join(m.Rhs.Sorted(), ",")
+}
+
+// Complement returns the complementary MVD within the universe:
+// Lhs ->-> U − Lhs − Rhs.
+func (m MVD) Complement(universe schema.AttrSet) MVD {
+	return MVD{Lhs: m.Lhs.Clone(), Rhs: universe.Minus(m.Lhs).Minus(m.Rhs)}
+}
+
+// TrivialIn reports whether the MVD is trivial in the universe: Rhs ⊆
+// Lhs or Lhs ∪ Rhs = U.
+func (m MVD) TrivialIn(universe schema.AttrSet) bool {
+	if m.Rhs.SubsetOf(m.Lhs) {
+		return true
+	}
+	return m.Lhs.Union(m.Rhs).Equal(universe)
+}
+
+// SatisfiesMVD checks Lhs ->-> Rhs against flat tuples: for every pair
+// of tuples t, u agreeing on Lhs there must exist a tuple v with
+// v[Lhs]=t[Lhs], v[Rhs]=t[Rhs], v[rest]=u[rest]. Implemented by
+// grouping on Lhs and verifying each group is the cartesian product of
+// its Rhs-projection and rest-projection.
+func SatisfiesMVD(s *schema.Schema, flats []tuple.Flat, m MVD) bool {
+	universe := schema.NewAttrSet(s.Names()...)
+	rest := universe.Minus(m.Lhs).Minus(m.Rhs)
+	lidx := indices(s, m.Lhs)
+	ridx := indices(s, m.Rhs)
+	eidx := indices(s, rest)
+
+	type group struct {
+		rvals map[string]bool
+		evals map[string]bool
+		pairs map[string]bool
+	}
+	groups := make(map[string]*group)
+	for _, fl := range flats {
+		lk := keyAt(fl, lidx)
+		g, ok := groups[lk]
+		if !ok {
+			g = &group{rvals: map[string]bool{}, evals: map[string]bool{}, pairs: map[string]bool{}}
+			groups[lk] = g
+		}
+		rk, ek := keyAt(fl, ridx), keyAt(fl, eidx)
+		g.rvals[rk] = true
+		g.evals[ek] = true
+		g.pairs[rk+"\x1c"+ek] = true
+	}
+	for _, g := range groups {
+		if len(g.pairs) != len(g.rvals)*len(g.evals) {
+			return false
+		}
+	}
+	return true
+}
+
+// FDsAsMVDs lifts FDs to MVDs (every FD X->Y implies the MVD X->->Y).
+func FDsAsMVDs(fds []FD) []MVD {
+	out := make([]MVD, len(fds))
+	for i, f := range fds {
+		out[i] = MVD{Lhs: f.Lhs.Clone(), Rhs: f.Rhs.Clone()}
+	}
+	return out
+}
+
+// Is4NF reports whether the universe with the given FDs and MVDs is in
+// fourth normal form: every non-trivial MVD's left side is a superkey.
+// (FDs are included as MVDs per Fagin.) This is the test that the
+// paper argues NFRs can "throw away": an NFR keeps the MVD's grouping
+// inside one relation instead of decomposing.
+func Is4NF(universe schema.AttrSet, fds []FD, mvds []MVD) bool {
+	all := append(FDsAsMVDs(fds), mvds...)
+	for _, m := range all {
+		if m.TrivialIn(universe) {
+			continue
+		}
+		if !IsSuperkey(m.Lhs, universe, fds) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBCNF reports whether the universe with the given FDs is in
+// Boyce-Codd normal form: every non-trivial FD's left side is a
+// superkey.
+func IsBCNF(universe schema.AttrSet, fds []FD) bool {
+	for _, f := range fds {
+		if f.Trivial() {
+			continue
+		}
+		if !IsSuperkey(f.Lhs, universe, fds) {
+			return false
+		}
+	}
+	return true
+}
+
+// Is3NF reports whether the universe with the given FDs is in third
+// normal form: for every non-trivial FD X->A, X is a superkey or A is
+// prime (member of some candidate key).
+func Is3NF(universe schema.AttrSet, fds []FD) (bool, error) {
+	keys, err := CandidateKeys(universe, fds)
+	if err != nil {
+		return false, err
+	}
+	prime := schema.NewAttrSet()
+	for _, k := range keys {
+		prime = prime.Union(k)
+	}
+	for _, f := range MinimalCover(fds) {
+		if f.Trivial() {
+			continue
+		}
+		if IsSuperkey(f.Lhs, universe, fds) {
+			continue
+		}
+		ok := true
+		for _, a := range f.Rhs.Sorted() {
+			if !prime.Has(a) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Decompose4NF splits the universe into 4NF sub-schemas using the
+// classical algorithm: pick a violating non-trivial MVD X->->Y, split
+// into X∪Y and X∪(U−Y), recurse. It returns the attribute sets of the
+// resulting relations. FDs/MVDs are projected naively (dependencies
+// whose attributes all fall inside a fragment are kept), which is the
+// standard practical approximation.
+func Decompose4NF(universe schema.AttrSet, fds []FD, mvds []MVD) []schema.AttrSet {
+	all := append(FDsAsMVDs(fds), mvds...)
+	for _, m := range all {
+		inU := m.Lhs.SubsetOf(universe) && m.Rhs.Intersect(universe).Len() > 0
+		if !inU {
+			continue
+		}
+		rhs := m.Rhs.Intersect(universe).Minus(m.Lhs)
+		mm := MVD{Lhs: m.Lhs, Rhs: rhs}
+		if mm.TrivialIn(universe) {
+			continue
+		}
+		sub := projectFDs(universe, fds)
+		if IsSuperkey(mm.Lhs, universe, sub) {
+			continue
+		}
+		left := mm.Lhs.Union(rhs)
+		right := universe.Minus(rhs)
+		return append(Decompose4NF(left, fds, mvds), Decompose4NF(right, fds, mvds)...)
+	}
+	return []schema.AttrSet{universe.Clone()}
+}
+
+func projectFDs(universe schema.AttrSet, fds []FD) []FD {
+	var out []FD
+	for _, f := range fds {
+		if f.Lhs.SubsetOf(universe) && f.Rhs.SubsetOf(universe) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package dep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/tuple"
+)
+
+func mvd(lhs, rhs string) MVD {
+	return NewMVD(split(lhs), split(rhs))
+}
+
+func TestMVDBasics(t *testing.T) {
+	m := mvd("A", "B,C")
+	if m.String() != "A ->-> B,C" {
+		t.Errorf("String = %q", m.String())
+	}
+	u := schema.NewAttrSet("A", "B", "C", "D")
+	c := m.Complement(u)
+	if !c.Rhs.Equal(schema.NewAttrSet("D")) {
+		t.Errorf("Complement = %v", c)
+	}
+	if m.TrivialIn(u) {
+		t.Error("non-trivial MVD reported trivial")
+	}
+	if !mvd("A", "A").TrivialIn(u) {
+		t.Error("Rhs ⊆ Lhs should be trivial")
+	}
+	if !mvd("A", "B,C,D").TrivialIn(u) {
+		t.Error("Lhs ∪ Rhs = U should be trivial")
+	}
+}
+
+func TestSatisfiesMVDPaperScenario(t *testing.T) {
+	// Fig. 1 R1 as 1NF: Student ->-> Course | Club holds.
+	s := schema.MustOf("Student", "Course", "Club")
+	var rows []tuple.Flat
+	for _, c := range []string{"c1", "c2", "c3"} {
+		rows = append(rows, tuple.FlatOfStrings("s1", c, "b1"))
+	}
+	for _, c := range []string{"c1", "c2", "c3"} {
+		rows = append(rows, tuple.FlatOfStrings("s2", c, "b2"))
+	}
+	m := mvd("Student", "Course")
+	if !SatisfiesMVD(s, rows, m) {
+		t.Error("Student ->-> Course should hold on R1*")
+	}
+	// R2 scenario: Student ->-> Course fails once semesters mix.
+	s2 := schema.MustOf("Student", "Course", "Semester")
+	rows2 := []tuple.Flat{
+		tuple.FlatOfStrings("s2", "c1", "t1"),
+		tuple.FlatOfStrings("s2", "c2", "t1"),
+		tuple.FlatOfStrings("s2", "c3", "t2"),
+	}
+	if SatisfiesMVD(s2, rows2, mvd("Student", "Course")) {
+		t.Error("Student ->-> Course must fail on R2* (course c3 only in t2)")
+	}
+}
+
+func TestSatisfiesMVDCartesianGroup(t *testing.T) {
+	s := schema.MustOf("A", "B", "C")
+	// group a1: B x C = {b1,b2} x {c1,c2} complete product — holds
+	rows := []tuple.Flat{
+		tuple.FlatOfStrings("a1", "b1", "c1"),
+		tuple.FlatOfStrings("a1", "b1", "c2"),
+		tuple.FlatOfStrings("a1", "b2", "c1"),
+		tuple.FlatOfStrings("a1", "b2", "c2"),
+	}
+	if !SatisfiesMVD(s, rows, mvd("A", "B")) {
+		t.Error("complete product should satisfy MVD")
+	}
+	if !SatisfiesMVD(s, rows[:1], mvd("A", "B")) {
+		t.Error("single tuple satisfies MVD")
+	}
+	if SatisfiesMVD(s, rows[:3], mvd("A", "B")) {
+		t.Error("incomplete product should violate MVD")
+	}
+}
+
+func TestFDsAsMVDs(t *testing.T) {
+	ms := FDsAsMVDs([]FD{fd("A", "B")})
+	if len(ms) != 1 || ms[0].String() != "A ->-> B" {
+		t.Errorf("FDsAsMVDs = %v", ms)
+	}
+}
+
+func TestIs4NF(t *testing.T) {
+	u := schema.NewAttrSet("A", "B", "C")
+	// MVD A->->B with A not a superkey: violates 4NF
+	if Is4NF(u, nil, []MVD{mvd("A", "B")}) {
+		t.Error("non-key MVD should violate 4NF")
+	}
+	// same MVD but A is a key: 4NF
+	if !Is4NF(u, []FD{fd("A", "B,C")}, []MVD{mvd("A", "B")}) {
+		t.Error("key MVD should be 4NF")
+	}
+	// trivial MVD ignored
+	if !Is4NF(u, nil, []MVD{mvd("A", "B,C")}) {
+		t.Error("trivial MVD should not violate 4NF")
+	}
+	if !Is4NF(u, nil, nil) {
+		t.Error("no dependencies is 4NF")
+	}
+}
+
+func TestIsBCNFAndIs3NF(t *testing.T) {
+	u := schema.NewAttrSet("A", "B", "C")
+	// A->B with key A..: A->B makes A determine B only; key is {A,C}
+	fds := []FD{fd("A", "B")}
+	if IsBCNF(u, fds) {
+		t.Error("A->B with key AC violates BCNF")
+	}
+	ok, err := Is3NF(u, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("A->B with key AC violates 3NF (B not prime)")
+	}
+	// classic 3NF-but-not-BCNF: U = {S,J,T}, FDs: SJ->T, T->J
+	u2 := schema.NewAttrSet("S", "J", "T")
+	fds2 := []FD{fd("S,J", "T"), fd("T", "J")}
+	if IsBCNF(u2, fds2) {
+		t.Error("SJT should violate BCNF")
+	}
+	ok2, err := Is3NF(u2, fds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Error("SJT should be 3NF (J is prime)")
+	}
+	if !IsBCNF(u, []FD{fd("A", "B,C")}) {
+		t.Error("key FD should be BCNF")
+	}
+}
+
+func TestDecompose4NF(t *testing.T) {
+	u := schema.NewAttrSet("Student", "Course", "Club")
+	// Student ->-> Course (and by complement ->-> Club), Student not a key.
+	frags := Decompose4NF(u, nil, []MVD{NewMVD([]string{"Student"}, []string{"Course"})})
+	if len(frags) != 2 {
+		t.Fatalf("fragments = %v", frags)
+	}
+	found := map[string]bool{}
+	for _, f := range frags {
+		found[f.String()] = true
+	}
+	if !found["{Course,Student}"] || !found["{Club,Student}"] {
+		t.Errorf("fragments = %v", frags)
+	}
+	// already 4NF: no split
+	frags2 := Decompose4NF(u, []FD{NewFD([]string{"Student"}, []string{"Course", "Club"})},
+		[]MVD{NewMVD([]string{"Student"}, []string{"Course"})})
+	if len(frags2) != 1 {
+		t.Errorf("4NF schema split: %v", frags2)
+	}
+}
+
+// Property: 4NF decomposition is lossless — joining the projections of
+// random MVD-satisfying relations recovers the original.
+func TestDecompose4NFLossless(t *testing.T) {
+	s := schema.MustOf("A", "B", "C")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// build an MVD-satisfying relation: per A value, product of
+		// random B and C sets.
+		var rows []tuple.Flat
+		seen := map[string]bool{}
+		for a := 0; a < 1+rng.Intn(3); a++ {
+			nb, nc := 1+rng.Intn(3), 1+rng.Intn(3)
+			for b := 0; b < nb; b++ {
+				for c := 0; c < nc; c++ {
+					fl := tuple.FlatOfStrings(
+						string(rune('a'+a)), string(rune('p'+b+3*a)), string(rune('x'+c+3*a)))
+					if !seen[fl.Key()] {
+						seen[fl.Key()] = true
+						rows = append(rows, fl)
+					}
+				}
+			}
+		}
+		m := mvd("A", "B")
+		if !SatisfiesMVD(s, rows, m) {
+			return false
+		}
+		// project to AB and AC, then join on A, compare to rows
+		type pair struct{ a, v string }
+		ab := map[pair]bool{}
+		ac := map[pair]bool{}
+		for _, r := range rows {
+			ab[pair{r[0].Str(), r[1].Str()}] = true
+			ac[pair{r[0].Str(), r[2].Str()}] = true
+		}
+		joined := map[string]bool{}
+		for p1 := range ab {
+			for p2 := range ac {
+				if p1.a == p2.a {
+					joined[tuple.FlatOfStrings(p1.a, p1.v, p2.v).Key()] = true
+				}
+			}
+		}
+		if len(joined) != len(rows) {
+			return false
+		}
+		for _, r := range rows {
+			if !joined[r.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

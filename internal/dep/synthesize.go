@@ -1,0 +1,111 @@
+package dep
+
+import (
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// Synthesized is one relation schema produced by 3NF synthesis.
+type Synthesized struct {
+	Attrs schema.AttrSet
+	// Key is the synthesized key of the fragment (the LHS of the FD
+	// group that produced it, or a candidate key fragment added to
+	// guarantee losslessness).
+	Key schema.AttrSet
+	// FDs are the cover FDs embedded in this fragment.
+	FDs []FD
+}
+
+// Synthesize3NF implements Bernstein's third-normal-form synthesis
+// (the paper's reference [13]): compute a minimal cover, group FDs by
+// left side, emit one relation per group, add a key relation if no
+// fragment contains a candidate key, and drop fragments subsumed by
+// others. Section 3.4 of the paper assumes "all the relations are in
+// 3NF, which are mechanically obtained [13]" — this is that mechanism.
+func Synthesize3NF(universe schema.AttrSet, fds []FD) ([]Synthesized, error) {
+	cover := MinimalCover(fds)
+
+	// group by left side
+	groups := map[string][]FD{}
+	var order []string
+	for _, f := range cover {
+		k := f.Lhs.String()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], f)
+	}
+	sort.Strings(order)
+
+	var out []Synthesized
+	for _, k := range order {
+		fs := groups[k]
+		attrs := fs[0].Lhs.Clone()
+		for _, f := range fs {
+			attrs = attrs.Union(f.Rhs)
+		}
+		out = append(out, Synthesized{Attrs: attrs, Key: fs[0].Lhs.Clone(), FDs: fs})
+	}
+
+	// attributes mentioned in no FD still belong to the schema: attach
+	// them to a universal-key fragment
+	mentioned := schema.NewAttrSet()
+	for _, f := range fds {
+		mentioned = mentioned.Union(f.Lhs).Union(f.Rhs)
+	}
+	loose := universe.Minus(mentioned)
+
+	// ensure some fragment contains a candidate key of the universe
+	keys, err := CandidateKeys(universe, fds)
+	if err != nil {
+		return nil, err
+	}
+	hasKey := false
+	if len(keys) > 0 && loose.Len() == 0 {
+		for _, frag := range out {
+			for _, key := range keys {
+				if key.SubsetOf(frag.Attrs) {
+					hasKey = true
+					break
+				}
+			}
+			if hasKey {
+				break
+			}
+		}
+	}
+	if !hasKey {
+		var key schema.AttrSet
+		if len(keys) > 0 {
+			key = keys[0].Clone()
+		} else {
+			key = universe.Clone()
+		}
+		key = key.Union(loose)
+		out = append(out, Synthesized{Attrs: key.Clone(), Key: key})
+	}
+
+	// drop fragments whose attributes are a subset of another's,
+	// migrating their embedded FDs to the subsuming fragment so the
+	// synthesis stays dependency-preserving
+	drop := make([]bool, len(out))
+	for i := range out {
+		for j := range out {
+			if i == j || drop[i] || drop[j] {
+				continue
+			}
+			if out[i].Attrs.SubsetOf(out[j].Attrs) && (!out[j].Attrs.SubsetOf(out[i].Attrs) || j < i) {
+				out[j].FDs = append(out[j].FDs, out[i].FDs...)
+				drop[i] = true
+			}
+		}
+	}
+	var final []Synthesized
+	for i, f := range out {
+		if !drop[i] {
+			final = append(final, f)
+		}
+	}
+	return final, nil
+}

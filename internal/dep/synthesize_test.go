@@ -1,0 +1,150 @@
+package dep
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestSynthesize3NFBasic(t *testing.T) {
+	// A->B, B->C over {A,B,C}: fragments {A,B} key A and {B,C} key B;
+	// {A,B} contains candidate key A, so no extra key fragment.
+	u := schema.NewAttrSet("A", "B", "C")
+	frags, err := Synthesize3NF(u, []FD{fd("A", "B"), fd("B", "C")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 2 {
+		t.Fatalf("fragments = %+v", frags)
+	}
+	got := map[string]string{}
+	for _, f := range frags {
+		got[f.Attrs.String()] = f.Key.String()
+	}
+	if got["{A,B}"] != "{A}" || got["{B,C}"] != "{B}" {
+		t.Errorf("fragments = %v", got)
+	}
+}
+
+func TestSynthesize3NFAddsKeyFragment(t *testing.T) {
+	// A->B over {A,B,C}: candidate key {A,C}; no fragment contains it,
+	// so synthesis must add a key fragment.
+	u := schema.NewAttrSet("A", "B", "C")
+	frags, err := Synthesize3NF(u, []FD{fd("A", "B")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasKeyFrag bool
+	keys, _ := CandidateKeys(u, []FD{fd("A", "B")})
+	for _, f := range frags {
+		for _, k := range keys {
+			if k.SubsetOf(f.Attrs) {
+				hasKeyFrag = true
+			}
+		}
+	}
+	if !hasKeyFrag {
+		t.Errorf("no fragment contains a candidate key: %+v", frags)
+	}
+	// all attributes covered
+	all := schema.NewAttrSet()
+	for _, f := range frags {
+		all = all.Union(f.Attrs)
+	}
+	if !all.Equal(u) {
+		t.Errorf("attributes lost: %v", all)
+	}
+}
+
+func TestSynthesize3NFNoFDs(t *testing.T) {
+	u := schema.NewAttrSet("A", "B")
+	frags, err := Synthesize3NF(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || !frags[0].Attrs.Equal(u) {
+		t.Errorf("fragments = %+v", frags)
+	}
+}
+
+func TestSynthesize3NFSubsumption(t *testing.T) {
+	// A->B and A,B->C: cover reduces to A->B, A->C (or AB->C minimal);
+	// fragments must not duplicate subsets.
+	u := schema.NewAttrSet("A", "B", "C")
+	frags, err := Synthesize3NF(u, []FD{fd("A", "B"), fd("A", "C"), fd("A", "B,C")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || !frags[0].Attrs.Equal(u) {
+		t.Errorf("fragments = %+v", frags)
+	}
+}
+
+// Property: every synthesized fragment is in 3NF with respect to its
+// embedded FDs, fragments cover the universe, and dependencies are
+// preserved (the union of embedded FDs is a cover of the input).
+func TestSynthesize3NFProperties(t *testing.T) {
+	names := []string{"A", "B", "C", "D", "E"}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		u := schema.NewAttrSet(names...)
+		var fds []FD
+		nf := 1 + rng.Intn(4)
+		for i := 0; i < nf; i++ {
+			l := schema.NewAttrSet(names[rng.Intn(5)])
+			if rng.Intn(2) == 0 {
+				l.Add(names[rng.Intn(5)])
+			}
+			r := schema.NewAttrSet(names[rng.Intn(5)])
+			f := FD{Lhs: l, Rhs: r.Minus(l)}
+			if f.Rhs.Len() == 0 {
+				continue
+			}
+			fds = append(fds, f)
+		}
+		frags, err := Synthesize3NF(u, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// coverage
+		all := schema.NewAttrSet()
+		var embedded []FD
+		for _, f := range frags {
+			all = all.Union(f.Attrs)
+			embedded = append(embedded, f.FDs...)
+			ok, err := Is3NF(f.Attrs, projectFDs(f.Attrs, MinimalCover(fds)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: fragment %v not 3NF (fds %v)", trial, f.Attrs, fds)
+			}
+		}
+		if !all.Equal(u) {
+			t.Fatalf("trial %d: universe not covered: %v", trial, all)
+		}
+		// dependency preservation
+		for _, f := range fds {
+			if !Implies(embedded, f) {
+				t.Fatalf("trial %d: dependency %v lost (embedded %v)", trial, f, embedded)
+			}
+		}
+		// losslessness proxy: some fragment contains a candidate key
+		keys, err := CandidateKeys(u, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, fr := range frags {
+			for _, k := range keys {
+				if k.SubsetOf(fr.Attrs) {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: no fragment contains a candidate key (fds %v, frags %+v)", trial, fds, frags)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package engine is the database layer: a catalog of named NFRs, each
+// declared with a schema, optional FDs/MVDs, and a nest order, kept
+// permanently in canonical form V_P by the Section-4 update algorithms.
+//
+// The nest order defaults to SuggestOrder, which encodes Section 3.4's
+// guidance: nest the dependent (right-side) attributes first so the
+// canonical form ends up fixed on the determinant (left-side)
+// attributes — the NFR analogue of a key.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/update"
+)
+
+// RelationDef declares a relation: its schema, dependencies, and the
+// nest order of its canonical form.
+type RelationDef struct {
+	Name   string
+	Schema *schema.Schema
+	// Order is the nest order (Order[0] nested first). When nil,
+	// SuggestOrder picks one from the dependencies.
+	Order schema.Permutation
+	FDs   []dep.FD
+	MVDs  []dep.MVD
+}
+
+// SuggestOrder derives a nest order from the declared dependencies:
+// attributes that appear only on right sides are nested first, left
+// side (determinant) attributes last, preserving schema order within
+// each class. With no dependencies it returns the identity.
+func SuggestOrder(s *schema.Schema, fds []dep.FD, mvds []dep.MVD) schema.Permutation {
+	lhs := schema.NewAttrSet()
+	for _, f := range fds {
+		lhs = lhs.Union(f.Lhs)
+	}
+	for _, m := range mvds {
+		lhs = lhs.Union(m.Lhs)
+	}
+	var first, last []int
+	for i := 0; i < s.Degree(); i++ {
+		if lhs.Has(s.Attr(i).Name) {
+			last = append(last, i)
+		} else {
+			first = append(first, i)
+		}
+	}
+	return schema.Permutation(append(first, last...))
+}
+
+// Rel is one live relation: its definition plus the canonical-form
+// maintainer.
+type Rel struct {
+	def RelationDef
+	m   *update.Maintainer
+}
+
+// Def returns the relation's definition.
+func (r *Rel) Def() RelationDef { return r.def }
+
+// Relation returns the current canonical NFR (not a copy; treat as
+// read-only).
+func (r *Rel) Relation() *core.Relation { return r.m.Relation() }
+
+// Stats returns the maintainer's accumulated operation counts.
+func (r *Rel) Stats() update.Stats { return r.m.Stats() }
+
+// ResetStats zeroes the operation counters.
+func (r *Rel) ResetStats() { r.m.ResetStats() }
+
+// Database is a catalog of live relations. Methods are safe for
+// concurrent use; each relation serializes its own updates.
+type Database struct {
+	mu   sync.RWMutex
+	rels map[string]*Rel
+}
+
+// New creates an empty database.
+func New() *Database {
+	return &Database{rels: make(map[string]*Rel)}
+}
+
+// Create registers a new empty relation.
+func (db *Database) Create(def RelationDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("engine: relation name empty")
+	}
+	if def.Schema == nil || def.Schema.Degree() == 0 {
+		return fmt.Errorf("engine: relation %q needs a non-empty schema", def.Name)
+	}
+	for _, f := range def.FDs {
+		for _, a := range append(f.Lhs.Sorted(), f.Rhs.Sorted()...) {
+			if !def.Schema.Has(a) {
+				return fmt.Errorf("engine: FD %v references unknown attribute %q", f, a)
+			}
+		}
+	}
+	for _, m := range def.MVDs {
+		for _, a := range append(m.Lhs.Sorted(), m.Rhs.Sorted()...) {
+			if !def.Schema.Has(a) {
+				return fmt.Errorf("engine: MVD %v references unknown attribute %q", m, a)
+			}
+		}
+	}
+	if def.Order == nil {
+		def.Order = SuggestOrder(def.Schema, def.FDs, def.MVDs)
+	}
+	if !def.Order.Valid(def.Schema) {
+		return fmt.Errorf("engine: invalid nest order %v for %q", def.Order, def.Name)
+	}
+	m, err := update.NewMaintainerIndexed(def.Schema, def.Order)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.rels[def.Name]; dup {
+		return fmt.Errorf("engine: relation %q already exists", def.Name)
+	}
+	db.rels[def.Name] = &Rel{def: def, m: m}
+	return nil
+}
+
+// Drop removes a relation.
+func (db *Database) Drop(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.rels[name]; !ok {
+		return fmt.Errorf("engine: unknown relation %q", name)
+	}
+	delete(db.rels, name)
+	return nil
+}
+
+// Rel looks up a live relation.
+func (db *Database) Rel(name string) (*Rel, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// Names returns the catalog's relation names, sorted.
+func (db *Database) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert adds a flat tuple to the named relation, maintaining the
+// canonical form. It reports whether the relation changed.
+func (db *Database) Insert(name string, f tuple.Flat) (bool, error) {
+	r, err := db.Rel(name)
+	if err != nil {
+		return false, err
+	}
+	if err := db.typeCheck(r, f); err != nil {
+		return false, err
+	}
+	return r.m.Insert(f)
+}
+
+// Delete removes a flat tuple from the named relation.
+func (db *Database) Delete(name string, f tuple.Flat) (bool, error) {
+	r, err := db.Rel(name)
+	if err != nil {
+		return false, err
+	}
+	return r.m.Delete(f)
+}
+
+// InsertMany bulk-inserts flat tuples, returning how many changed the
+// relation.
+func (db *Database) InsertMany(name string, fs []tuple.Flat) (int, error) {
+	n := 0
+	for _, f := range fs {
+		ch, err := db.Insert(name, f)
+		if err != nil {
+			return n, err
+		}
+		if ch {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (db *Database) typeCheck(r *Rel, f tuple.Flat) error {
+	s := r.def.Schema
+	if len(f) != s.Degree() {
+		return fmt.Errorf("engine: tuple degree %d != schema degree %d", len(f), s.Degree())
+	}
+	for i, a := range f {
+		want := s.Attr(i).Kind
+		if want != 0 && a.K != want {
+			return fmt.Errorf("engine: attribute %s expects %v, got %v", s.Attr(i).Name, want, a.K)
+		}
+	}
+	return nil
+}
+
+// Violation describes a dependency violated by the current data.
+type Violation struct {
+	Relation string
+	Dep      string // String() of the FD or MVD
+}
+
+// ValidateDeps checks every declared FD and MVD of the named relation
+// against its current expansion R*.
+func (db *Database) ValidateDeps(name string) ([]Violation, error) {
+	r, err := db.Rel(name)
+	if err != nil {
+		return nil, err
+	}
+	flats := r.m.Relation().Expand()
+	var out []Violation
+	for _, f := range r.def.FDs {
+		if !dep.SatisfiesFD(r.def.Schema, flats, f) {
+			out = append(out, Violation{Relation: name, Dep: f.String()})
+		}
+	}
+	for _, m := range r.def.MVDs {
+		if !dep.SatisfiesMVD(r.def.Schema, flats, m) {
+			out = append(out, Violation{Relation: name, Dep: m.String()})
+		}
+	}
+	return out, nil
+}
+
+// RelStats summarizes a relation's physical and logical size — the
+// quantities behind the paper's tuple-count-reduction argument.
+type RelStats struct {
+	Name        string
+	NFRTuples   int
+	FlatTuples  int
+	Compression float64 // FlatTuples / NFRTuples (≥ 1)
+	FixedOn     []string
+	Ops         update.Stats
+}
+
+// Stats reports size and maintenance statistics for the named relation.
+func (db *Database) Stats(name string) (RelStats, error) {
+	r, err := db.Rel(name)
+	if err != nil {
+		return RelStats{}, err
+	}
+	rel := r.m.Relation()
+	st := RelStats{
+		Name:       name,
+		NFRTuples:  rel.Len(),
+		FlatTuples: rel.ExpansionSize(),
+		FixedOn:    rel.FixedDomains(),
+		Ops:        r.m.Stats(),
+	}
+	if st.NFRTuples > 0 {
+		st.Compression = float64(st.FlatTuples) / float64(st.NFRTuples)
+	}
+	return st, nil
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dep"
+	"repro/internal/encoding"
+	"repro/internal/schema"
+	"repro/internal/update"
+)
+
+// Save persists the database to a directory: a MANIFEST file listing
+// each relation's definition and one binary .nfr file per relation.
+func (db *Database) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	w := bufio.NewWriter(mf)
+	for _, name := range db.Names() {
+		r, err := db.Rel(name)
+		if err != nil {
+			return err
+		}
+		def := r.Def()
+		fmt.Fprintf(w, "relation %s\n", name)
+		fmt.Fprintf(w, "order %s\n", strings.Join(def.Order.Names(def.Schema), ","))
+		for _, f := range def.FDs {
+			fmt.Fprintf(w, "fd %s : %s\n",
+				strings.Join(f.Lhs.Sorted(), ","), strings.Join(f.Rhs.Sorted(), ","))
+		}
+		for _, m := range def.MVDs {
+			fmt.Fprintf(w, "mvd %s : %s\n",
+				strings.Join(m.Lhs.Sorted(), ","), strings.Join(m.Rhs.Sorted(), ","))
+		}
+		fmt.Fprintln(w, "end")
+		rf, err := os.Create(filepath.Join(dir, name+".nfr"))
+		if err != nil {
+			return err
+		}
+		if err := encoding.WriteRelation(rf, r.Relation()); err != nil {
+			rf.Close()
+			return err
+		}
+		if err := rf.Close(); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Load restores a database saved by Save.
+func Load(dir string) (*Database, error) {
+	mf, err := os.Open(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	db := New()
+	sc := bufio.NewScanner(mf)
+	var cur *RelationDef
+	var orderNames []string
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		rf, err := os.Open(filepath.Join(dir, cur.Name+".nfr"))
+		if err != nil {
+			return err
+		}
+		rel, err := encoding.ReadRelation(rf)
+		rf.Close()
+		if err != nil {
+			return err
+		}
+		cur.Schema = rel.Schema()
+		if len(orderNames) > 0 {
+			p, err := schema.PermOf(cur.Schema, orderNames...)
+			if err != nil {
+				return err
+			}
+			cur.Order = p
+		}
+		if err := db.Create(*cur); err != nil {
+			return err
+		}
+		r, err := db.Rel(cur.Name)
+		if err != nil {
+			return err
+		}
+		m, err := update.FromRelationIndexed(rel, cur.Order)
+		if err != nil {
+			return err
+		}
+		r.m = m
+		cur = nil
+		orderNames = nil
+		return nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "relation":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("engine: bad manifest line %q", line)
+			}
+			cur = &RelationDef{Name: fields[1]}
+		case "order":
+			if cur == nil || len(fields) != 2 {
+				return nil, fmt.Errorf("engine: bad manifest line %q", line)
+			}
+			orderNames = strings.Split(fields[1], ",")
+		case "fd", "mvd":
+			if cur == nil || len(fields) != 4 || fields[2] != ":" {
+				return nil, fmt.Errorf("engine: bad manifest line %q", line)
+			}
+			lhs := strings.Split(fields[1], ",")
+			rhs := strings.Split(fields[3], ",")
+			if fields[0] == "fd" {
+				cur.FDs = append(cur.FDs, dep.NewFD(lhs, rhs))
+			} else {
+				cur.MVDs = append(cur.MVDs, dep.NewMVD(lhs, rhs))
+			}
+		case "end":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("engine: bad manifest directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("engine: manifest truncated (missing end)")
+	}
+	return db, nil
+}

@@ -1,0 +1,308 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/value"
+	"repro/internal/vset"
+)
+
+// Result is the outcome of executing one statement: either a relation
+// (query statements) or a status message (DDL/DML statements).
+type Result struct {
+	Relation *core.Relation
+	Message  string
+}
+
+// String renders the result for a console.
+func (r Result) String() string {
+	if r.Relation != nil {
+		return RenderTable(r.Relation)
+	}
+	return r.Message
+}
+
+// Session executes statements against a database.
+type Session struct {
+	DB *engine.Database
+}
+
+// NewSession creates a session over a fresh database.
+func NewSession() *Session { return &Session{DB: engine.New()} }
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(stmtText string) (Result, error) {
+	st, err := Parse(stmtText)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.ExecStmt(st)
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(st Stmt) (Result, error) {
+	switch st := st.(type) {
+	case CreateStmt:
+		return s.execCreate(st)
+	case DropStmt:
+		if err := s.DB.Drop(st.Name); err != nil {
+			return Result{}, err
+		}
+		return Result{Message: fmt.Sprintf("dropped %s", st.Name)}, nil
+	case InsertStmt:
+		n := 0
+		for _, row := range st.Rows {
+			ch, err := s.DB.Insert(st.Name, tuple.Flat(row))
+			if err != nil {
+				return Result{}, err
+			}
+			if ch {
+				n++
+			}
+		}
+		return Result{Message: fmt.Sprintf("inserted %d tuple(s) into %s", n, st.Name)}, nil
+	case DeleteStmt:
+		n := 0
+		for _, row := range st.Rows {
+			ch, err := s.DB.Delete(st.Name, tuple.Flat(row))
+			if err != nil {
+				return Result{}, err
+			}
+			if ch {
+				n++
+			}
+		}
+		return Result{Message: fmt.Sprintf("deleted %d tuple(s) from %s", n, st.Name)}, nil
+	case SelectStmt:
+		return s.execSelect(st)
+	case NestStmt:
+		rel, err := s.relation(st.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		out, err := algebra.Nest(rel, st.Attr)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Relation: out}, nil
+	case UnnestStmt:
+		rel, err := s.relation(st.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		out, err := algebra.Unnest(rel, st.Attr)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Relation: out}, nil
+	case JoinStmt:
+		l, err := s.relation(st.Left)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := s.relation(st.Right)
+		if err != nil {
+			return Result{}, err
+		}
+		// join result schema: left ++ right-only
+		shared := 0
+		for _, n := range r.Schema().Names() {
+			if l.Schema().Has(n) {
+				shared++
+			}
+		}
+		deg := l.Schema().Degree() + r.Schema().Degree() - shared
+		out, err := algebra.NaturalJoin(l, r, schema.IdentityPerm(deg))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Relation: out}, nil
+	case ShowStmt:
+		rel, err := s.relation(st.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Relation: rel}, nil
+	case StatsStmt:
+		rs, err := s.DB.Stats(st.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		msg := fmt.Sprintf(
+			"%s: %d NFR tuple(s) covering %d flat tuple(s) (compression %.2fx); fixed on %v; ops: %d compositions, %d decompositions, %d scans",
+			rs.Name, rs.NFRTuples, rs.FlatTuples, rs.Compression, rs.FixedOn,
+			rs.Ops.Compositions, rs.Ops.Decompositions, rs.Ops.CandidateScans)
+		return Result{Message: msg}, nil
+	case ValidateStmt:
+		vs, err := s.DB.ValidateDeps(st.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(vs) == 0 {
+			return Result{Message: fmt.Sprintf("%s: all declared dependencies hold", st.Name)}, nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s: %d violation(s):", st.Name, len(vs))
+		for _, v := range vs {
+			fmt.Fprintf(&b, "\n  %s", v.Dep)
+		}
+		return Result{Message: b.String()}, nil
+	default:
+		return Result{}, fmt.Errorf("query: unhandled statement %T", st)
+	}
+}
+
+func (s *Session) relation(name string) (*core.Relation, error) {
+	r, err := s.DB.Rel(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Relation(), nil
+}
+
+func (s *Session) execCreate(st CreateStmt) (Result, error) {
+	attrs := make([]schema.Attribute, len(st.Attrs))
+	for i, a := range st.Attrs {
+		attrs[i] = schema.Attribute{Name: a.Name, Kind: a.Kind}
+	}
+	sch, err := schema.New(attrs...)
+	if err != nil {
+		return Result{}, err
+	}
+	def := engine.RelationDef{Name: st.Name, Schema: sch}
+	if st.Order != nil {
+		p, err := schema.PermOf(sch, st.Order...)
+		if err != nil {
+			return Result{}, err
+		}
+		def.Order = p
+	}
+	for _, f := range st.FDs {
+		def.FDs = append(def.FDs, dep.NewFD(f[0], f[1]))
+	}
+	for _, m := range st.MVDs {
+		def.MVDs = append(def.MVDs, dep.NewMVD(m[0], m[1]))
+	}
+	if err := s.DB.Create(def); err != nil {
+		return Result{}, err
+	}
+	rdef, _ := s.DB.Rel(st.Name)
+	return Result{Message: fmt.Sprintf("created %s%v with nest order %v",
+		st.Name, sch, rdef.Def().Order.Names(sch))}, nil
+}
+
+func (s *Session) execSelect(st SelectStmt) (Result, error) {
+	rel, err := s.relation(st.Name)
+	if err != nil {
+		return Result{}, err
+	}
+	pred := st.Where
+	if pred == nil {
+		pred = algebra.True()
+	}
+	// Validate the predicate eagerly (attribute resolution) so errors
+	// surface even on empty relations: evaluate once against a probe
+	// tuple of nulls.
+	probe := make([]vset.Set, rel.Schema().Degree())
+	for i := range probe {
+		probe[i] = vset.Single(value.NullAtom())
+	}
+	if _, err := pred.Eval(rel.Schema(), tuple.MustNew(probe...)); err != nil {
+		return Result{}, err
+	}
+	r, err := s.DB.Rel(st.Name)
+	if err != nil {
+		return Result{}, err
+	}
+	order := r.Def().Order
+
+	var filtered *core.Relation
+	if st.Flat {
+		filtered, err = algebra.SelectFlat(rel, pred, order)
+	} else {
+		filtered, err = algebra.Select(rel, pred)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if st.Cols == nil {
+		return Result{Relation: filtered}, nil
+	}
+	if st.Flat {
+		out, err := algebra.ProjectFlat(filtered, schema.IdentityPerm(len(st.Cols)), st.Cols...)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Relation: out}, nil
+	}
+	out, err := algebra.Project(filtered, st.Cols...)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Relation: out}, nil
+}
+
+// RenderTable prints a relation as an aligned text table, one NFR
+// tuple per row, set members comma-separated — the display format of
+// the paper's figures.
+func RenderTable(r *core.Relation) string {
+	s := r.Schema()
+	n := s.Degree()
+	widths := make([]int, n)
+	for i := 0; i < n; i++ {
+		widths[i] = len(s.Attr(i).Name)
+	}
+	rows := make([][]string, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		t := r.Tuple(i)
+		row := make([]string, n)
+		for j := 0; j < n; j++ {
+			row[j] = t.Set(j).String()
+			if len(row[j]) > widths[j] {
+				widths[j] = len(row[j])
+			}
+		}
+		rows[i] = row
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for j, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[j], c)
+		}
+		b.WriteByte('\n')
+	}
+	sep := func() {
+		b.WriteString("+")
+		for j := 0; j < n; j++ {
+			b.WriteString(strings.Repeat("-", widths[j]+2))
+			b.WriteString("+")
+		}
+		b.WriteByte('\n')
+	}
+	sep()
+	writeRow(s.Names())
+	sep()
+	for _, row := range rows {
+		writeRow(row)
+	}
+	sep()
+	fmt.Fprintf(&b, "%d tuple(s), %d flat tuple(s)", r.Len(), r.ExpansionSize())
+	return b.String()
+}
+
+// Atoms is a helper to build literal rows for tests and examples.
+func Atoms(lits ...string) []value.Atom {
+	out := make([]value.Atom, len(lits))
+	for i, l := range lits {
+		out[i] = value.MustParse(l)
+	}
+	return out
+}

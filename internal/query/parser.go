@@ -1,0 +1,566 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/value"
+)
+
+// Stmt is a parsed statement.
+type Stmt interface{ stmt() }
+
+// CreateStmt declares a relation.
+type CreateStmt struct {
+	Name  string
+	Attrs []AttrDef
+	Order []string // nest order attribute names (may be nil)
+	FDs   [][2][]string
+	MVDs  [][2][]string
+}
+
+// AttrDef is one attribute declaration.
+type AttrDef struct {
+	Name string
+	Kind value.Kind // value.Null when untyped
+}
+
+// DropStmt drops a relation.
+type DropStmt struct{ Name string }
+
+// InsertStmt inserts flat tuples.
+type InsertStmt struct {
+	Name string
+	Rows [][]value.Atom
+}
+
+// DeleteStmt deletes flat tuples.
+type DeleteStmt struct {
+	Name string
+	Rows [][]value.Atom
+}
+
+// SelectStmt projects/filters a relation.
+type SelectStmt struct {
+	Name  string
+	Cols  []string // nil = *
+	Where algebra.Pred
+	Flat  bool // SELECT FLAT ... : flat-level semantics
+}
+
+// NestStmt applies ν on one attribute.
+type NestStmt struct{ Name, Attr string }
+
+// UnnestStmt applies μ on one attribute.
+type UnnestStmt struct{ Name, Attr string }
+
+// JoinStmt natural-joins two relations.
+type JoinStmt struct{ Left, Right string }
+
+// ShowStmt prints a relation.
+type ShowStmt struct{ Name string }
+
+// StatsStmt reports size/maintenance statistics.
+type StatsStmt struct{ Name string }
+
+// ValidateStmt checks declared dependencies.
+type ValidateStmt struct{ Name string }
+
+func (CreateStmt) stmt()   {}
+func (DropStmt) stmt()     {}
+func (InsertStmt) stmt()   {}
+func (DeleteStmt) stmt()   {}
+func (SelectStmt) stmt()   {}
+func (NestStmt) stmt()     {}
+func (UnnestStmt) stmt()   {}
+func (JoinStmt) stmt()     {}
+func (ShowStmt) stmt()     {}
+func (StatsStmt) stmt()    {}
+func (ValidateStmt) stmt() {}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one statement.
+func Parse(in string) (Stmt, error) {
+	toks, err := lex(in)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("query: trailing input at %d: %q", p.peek().pos, p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *parser) peek() token  { return p.toks[p.i] }
+func (p *parser) next() token  { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool  { return p.peek().kind == tokEOF }
+func (p *parser) save() int    { return p.i }
+func (p *parser) restore(s int) { p.i = s }
+
+// matchKw consumes a case-insensitive keyword.
+func (p *parser) matchKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.matchKw(kw) {
+		return fmt.Errorf("query: expected %q at %d, got %q", kw, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) matchSym(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.matchSym(s) {
+		return fmt.Errorf("query: expected %q at %d, got %q", s, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("query: expected identifier at %d, got %q", t.pos, t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.matchKw("create"):
+		return p.parseCreate()
+	case p.matchKw("drop"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return DropStmt{Name: name}, nil
+	case p.matchKw("insert"):
+		if err := p.expectKw("into"); err != nil {
+			return nil, err
+		}
+		name, rows, err := p.parseNameValues()
+		if err != nil {
+			return nil, err
+		}
+		return InsertStmt{Name: name, Rows: rows}, nil
+	case p.matchKw("delete"):
+		if err := p.expectKw("from"); err != nil {
+			return nil, err
+		}
+		name, rows, err := p.parseNameValues()
+		if err != nil {
+			return nil, err
+		}
+		return DeleteStmt{Name: name, Rows: rows}, nil
+	case p.matchKw("select"):
+		return p.parseSelect()
+	case p.matchKw("nest"):
+		return p.parseNestLike(true)
+	case p.matchKw("unnest"):
+		return p.parseNestLike(false)
+	case p.matchKw("join"):
+		l, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(","); err != nil {
+			return nil, err
+		}
+		r, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return JoinStmt{Left: l, Right: r}, nil
+	case p.matchKw("show"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return ShowStmt{Name: name}, nil
+	case p.matchKw("stats"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return StatsStmt{Name: name}, nil
+	case p.matchKw("validate"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return ValidateStmt{Name: name}, nil
+	default:
+		return nil, fmt.Errorf("query: unknown statement start %q at %d", p.peek().text, p.peek().pos)
+	}
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	st := CreateStmt{Name: name}
+	for {
+		an, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ad := AttrDef{Name: an}
+		if p.matchSym(":") {
+			kn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			k, ok := value.ParseKind(kn)
+			if !ok {
+				return nil, fmt.Errorf("query: unknown kind %q", kn)
+			}
+			ad.Kind = k
+		}
+		st.Attrs = append(st.Attrs, ad)
+		if p.matchSym(",") {
+			continue
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	for {
+		switch {
+		case p.matchKw("order"):
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			for {
+				an, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				st.Order = append(st.Order, an)
+				if p.matchSym(",") {
+					continue
+				}
+				if err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+		case p.matchKw("fd"):
+			lhs, rhs, err := p.parseDep("->")
+			if err != nil {
+				return nil, err
+			}
+			st.FDs = append(st.FDs, [2][]string{lhs, rhs})
+		case p.matchKw("mvd"):
+			lhs, rhs, err := p.parseDep("->->")
+			if err != nil {
+				return nil, err
+			}
+			st.MVDs = append(st.MVDs, [2][]string{lhs, rhs})
+		default:
+			return st, nil
+		}
+	}
+}
+
+func (p *parser) parseDep(arrow string) (lhs, rhs []string, err error) {
+	for {
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, nil, err
+		}
+		lhs = append(lhs, a)
+		if p.matchSym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(arrow); err != nil {
+		return nil, nil, err
+	}
+	for {
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, nil, err
+		}
+		rhs = append(rhs, a)
+		if p.matchSym(",") {
+			continue
+		}
+		break
+	}
+	return lhs, rhs, nil
+}
+
+func (p *parser) parseNameValues() (string, [][]value.Atom, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := p.expectKw("values"); err != nil {
+		return "", nil, err
+	}
+	var rows [][]value.Atom
+	for {
+		if err := p.expectSym("("); err != nil {
+			return "", nil, err
+		}
+		var row []value.Atom
+		for {
+			a, err := p.parseLiteral()
+			if err != nil {
+				return "", nil, err
+			}
+			row = append(row, a)
+			if p.matchSym(",") {
+				continue
+			}
+			if err := p.expectSym(")"); err != nil {
+				return "", nil, err
+			}
+			break
+		}
+		rows = append(rows, row)
+		if p.matchSym(",") {
+			continue
+		}
+		break
+	}
+	return name, rows, nil
+}
+
+func (p *parser) parseLiteral() (value.Atom, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.i++
+		return value.NewString(t.text), nil
+	case tokNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return value.Atom{}, fmt.Errorf("query: bad float %q", t.text)
+			}
+			return value.NewFloat(f), nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return value.Atom{}, fmt.Errorf("query: bad int %q", t.text)
+		}
+		return value.NewInt(v), nil
+	case tokIdent:
+		p.i++
+		switch strings.ToLower(t.text) {
+		case "true":
+			return value.NewBool(true), nil
+		case "false":
+			return value.NewBool(false), nil
+		case "null":
+			return value.NullAtom(), nil
+		}
+		// bare identifiers are string atoms (the paper's s1, c1, ...)
+		return value.NewString(t.text), nil
+	default:
+		return value.Atom{}, fmt.Errorf("query: expected literal at %d, got %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	st := SelectStmt{}
+	if p.matchKw("flat") {
+		st.Flat = true
+	}
+	if p.matchSym("*") {
+		st.Cols = nil
+	} else {
+		for {
+			c, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c)
+			if p.matchSym(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if p.matchKw("where") {
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = pred
+	}
+	return st, nil
+}
+
+func (p *parser) parseNestLike(nest bool) (Stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	attr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if nest {
+		return NestStmt{Name: name, Attr: attr}, nil
+	}
+	return UnnestStmt{Name: name, Attr: attr}, nil
+}
+
+// Predicate grammar: or := and (OR and)* ; and := unary (AND unary)* ;
+// unary := NOT unary | '(' or ')' | atom-pred.
+func (p *parser) parseOr() (algebra.Pred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKw("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = algebra.Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (algebra.Pred, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKw("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = algebra.And(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (algebra.Pred, error) {
+	if p.matchKw("not") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Not(inner), nil
+	}
+	if p.matchSym("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseAtomPred()
+}
+
+var cmpOps = map[string]algebra.CmpOp{
+	"=": algebra.EQ, "<>": algebra.NE,
+	"<": algebra.LT, "<=": algebra.LE,
+	">": algebra.GT, ">=": algebra.GE,
+}
+
+func (p *parser) parseAtomPred() (algebra.Pred, error) {
+	// CARD(attr) op int
+	if save := p.save(); p.matchKw("card") {
+		if p.matchSym("(") {
+			attr, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			opTok := p.next()
+			op, ok := cmpOps[opTok.text]
+			if !ok {
+				return nil, fmt.Errorf("query: expected comparison at %d", opTok.pos)
+			}
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			if lit.K != value.Int {
+				return nil, fmt.Errorf("query: CARD comparison needs an int")
+			}
+			return algebra.Card(attr, op, int(lit.Int())), nil
+		}
+		p.restore(save)
+	}
+	attr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.matchKw("contains") {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Contains(attr, lit), nil
+	}
+	all := p.matchKw("all")
+	opTok := p.next()
+	op, ok := cmpOps[opTok.text]
+	if !ok {
+		return nil, fmt.Errorf("query: expected comparison operator at %d, got %q", opTok.pos, opTok.text)
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	if all {
+		return algebra.CmpAll(attr, op, lit), nil
+	}
+	return algebra.Cmp(attr, op, lit), nil
+}

@@ -1,0 +1,373 @@
+// Package schema describes relation schemas for NFRs: named, typed
+// attributes, attribute sets, and permutations of attributes.
+//
+// Permutations matter because the paper's canonical form V_P(R)
+// (Definition 5) is parameterized by a permutation P of the attribute
+// universe: nest over P(E1), then P(E2), and so on.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Attribute is one column of a relation schema. Kind is advisory: the
+// model permits heterogeneous atoms, but engines use Kind to type-check
+// inserts when it is not value.Null.
+type Attribute struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is an ordered list of distinct attribute names. Schemas are
+// immutable after construction.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// New builds a schema from attribute definitions. Attribute names must
+// be non-empty and distinct.
+func New(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{attrs: make([]Attribute, len(attrs)), index: make(map[string]int, len(attrs))}
+	copy(s.attrs, attrs)
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("schema: duplicate attribute %q", a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; for literals in tests/examples.
+func MustNew(attrs ...Attribute) *Schema {
+	s, err := New(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Of builds an untyped schema from attribute names.
+func Of(names ...string) (*Schema, error) {
+	attrs := make([]Attribute, len(names))
+	for i, n := range names {
+		attrs[i] = Attribute{Name: n}
+	}
+	return New(attrs...)
+}
+
+// MustOf is Of but panics on error.
+func MustOf(names ...string) *Schema {
+	s, err := Of(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Degree returns the number of attributes (the paper's n).
+func (s *Schema) Degree() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Names returns the attribute names in schema order (fresh slice).
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named attribute.
+func (s *Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// Equal reports whether two schemas have the same attributes, order and
+// kinds.
+func (s *Schema) Equal(t *Schema) bool {
+	if s.Degree() != t.Degree() {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != t.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameAttrSet reports whether two schemas cover the same attribute
+// names, irrespective of order and kinds.
+func (s *Schema) SameAttrSet(t *Schema) bool {
+	if s.Degree() != t.Degree() {
+		return false
+	}
+	for name := range s.index {
+		if !t.Has(name) {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new schema with only the named attributes, in the
+// given order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	attrs := make([]Attribute, 0, len(names))
+	for _, n := range names {
+		i := s.Index(n)
+		if i < 0 {
+			return nil, fmt.Errorf("schema: unknown attribute %q", n)
+		}
+		attrs = append(attrs, s.attrs[i])
+	}
+	return New(attrs...)
+}
+
+// Rename returns a schema with attribute old renamed to new.
+func (s *Schema) Rename(old, new string) (*Schema, error) {
+	i := s.Index(old)
+	if i < 0 {
+		return nil, fmt.Errorf("schema: unknown attribute %q", old)
+	}
+	attrs := make([]Attribute, len(s.attrs))
+	copy(attrs, s.attrs)
+	attrs[i].Name = new
+	return New(attrs...)
+}
+
+// Concat returns the schema s ++ t; attribute names must stay distinct.
+func (s *Schema) Concat(t *Schema) (*Schema, error) {
+	attrs := make([]Attribute, 0, len(s.attrs)+len(t.attrs))
+	attrs = append(attrs, s.attrs...)
+	attrs = append(attrs, t.attrs...)
+	return New(attrs...)
+}
+
+// String renders the schema as R[A B C].
+func (s *Schema) String() string {
+	return "[" + strings.Join(s.Names(), " ") + "]"
+}
+
+// AttrSet is an unordered set of attribute names, used for FD/MVD sides
+// and fixedness domains.
+type AttrSet map[string]bool
+
+// NewAttrSet builds an attribute set from names.
+func NewAttrSet(names ...string) AttrSet {
+	s := make(AttrSet, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// Has reports membership.
+func (s AttrSet) Has(name string) bool { return s[name] }
+
+// Add inserts a name and returns s for chaining.
+func (s AttrSet) Add(name string) AttrSet { s[name] = true; return s }
+
+// Len returns the cardinality.
+func (s AttrSet) Len() int { return len(s) }
+
+// Clone returns an independent copy.
+func (s AttrSet) Clone() AttrSet {
+	out := make(AttrSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// Union returns s ∪ t as a new set.
+func (s AttrSet) Union(t AttrSet) AttrSet {
+	out := s.Clone()
+	for k := range t {
+		out[k] = true
+	}
+	return out
+}
+
+// Minus returns s \ t as a new set.
+func (s AttrSet) Minus(t AttrSet) AttrSet {
+	out := make(AttrSet)
+	for k := range s {
+		if !t[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s AttrSet) Intersect(t AttrSet) AttrSet {
+	out := make(AttrSet)
+	for k := range s {
+		if t[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// SubsetOf reports whether s ⊆ t.
+func (s AttrSet) SubsetOf(t AttrSet) bool {
+	for k := range s {
+		if !t[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s AttrSet) Equal(t AttrSet) bool {
+	return len(s) == len(t) && s.SubsetOf(t)
+}
+
+// Sorted returns the names in ascending order.
+func (s AttrSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set as {A,B}.
+func (s AttrSet) String() string {
+	return "{" + strings.Join(s.Sorted(), ",") + "}"
+}
+
+// Permutation is an ordering of all attributes of a schema, written as
+// a list of attribute indexes. P[0] is the first attribute nested by
+// V_P.
+type Permutation []int
+
+// IdentityPerm returns the identity permutation of degree n.
+func IdentityPerm(n int) Permutation {
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// PermOf builds a permutation of s from attribute names. Every
+// attribute of s must appear exactly once.
+func PermOf(s *Schema, names ...string) (Permutation, error) {
+	if len(names) != s.Degree() {
+		return nil, fmt.Errorf("schema: permutation has %d names, schema degree %d", len(names), s.Degree())
+	}
+	p := make(Permutation, len(names))
+	seen := make(map[int]bool, len(names))
+	for i, n := range names {
+		j := s.Index(n)
+		if j < 0 {
+			return nil, fmt.Errorf("schema: unknown attribute %q in permutation", n)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("schema: duplicate attribute %q in permutation", n)
+		}
+		seen[j] = true
+		p[i] = j
+	}
+	return p, nil
+}
+
+// MustPermOf is PermOf but panics on error.
+func MustPermOf(s *Schema, names ...string) Permutation {
+	p, err := PermOf(s, names...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Valid reports whether p is a permutation of 0..n-1 for the schema's
+// degree n.
+func (p Permutation) Valid(s *Schema) bool {
+	if len(p) != s.Degree() {
+		return false
+	}
+	seen := make([]bool, len(p))
+	for _, i := range p {
+		if i < 0 || i >= len(p) || seen[i] {
+			return false
+		}
+		seen[i] = true
+	}
+	return true
+}
+
+// Names renders the permutation as attribute names of s.
+func (p Permutation) Names(s *Schema) []string {
+	out := make([]string, len(p))
+	for i, j := range p {
+		out[i] = s.Attr(j).Name
+	}
+	return out
+}
+
+// String renders the permutation as index list ⟨2 0 1⟩.
+func (p Permutation) String() string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "⟨" + strings.Join(parts, " ") + "⟩"
+}
+
+// AllPermutations enumerates every permutation of degree n in
+// lexicographic order. It is used by experiments that sweep all n!
+// canonical forms; n must be small (≤ 8 keeps it affordable).
+func AllPermutations(n int) []Permutation {
+	if n == 0 {
+		return []Permutation{{}}
+	}
+	var out []Permutation
+	p := IdentityPerm(n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cp := make(Permutation, n)
+			copy(cp, p)
+			out = append(out, cp)
+			return
+		}
+		for i := k; i < n; i++ {
+			p[k], p[i] = p[i], p[k]
+			rec(k + 1)
+			p[k], p[i] = p[i], p[k]
+		}
+	}
+	rec(0)
+	sort.Slice(out, func(a, b int) bool {
+		for i := range out[a] {
+			if out[a][i] != out[b][i] {
+				return out[a][i] < out[b][i]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,228 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Attribute{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := Of("A", "A"); err == nil {
+		t.Error("duplicate accepted")
+	}
+	s, err := Of("A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Degree() != 3 {
+		t.Errorf("Degree = %d", s.Degree())
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MustNew": func() { MustNew(Attribute{}) },
+		"MustOf":  func() { MustOf("A", "A") },
+		"MustPermOf": func() {
+			MustPermOf(MustOf("A", "B"), "A", "A")
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIndexHasNames(t *testing.T) {
+	s := MustOf("Student", "Course", "Club")
+	if s.Index("Course") != 1 {
+		t.Errorf("Index(Course) = %d", s.Index("Course"))
+	}
+	if s.Index("Nope") != -1 {
+		t.Error("Index for missing should be -1")
+	}
+	if !s.Has("Club") || s.Has("X") {
+		t.Error("Has broken")
+	}
+	names := s.Names()
+	names[0] = "Mutated"
+	if s.Attr(0).Name != "Student" {
+		t.Error("Names leaked internal slice")
+	}
+}
+
+func TestEqualAndSameAttrSet(t *testing.T) {
+	a := MustOf("A", "B")
+	b := MustOf("A", "B")
+	c := MustOf("B", "A")
+	d := MustOf("A", "C")
+	if !a.Equal(b) {
+		t.Error("equal schemas")
+	}
+	if a.Equal(c) {
+		t.Error("order must matter for Equal")
+	}
+	if !a.SameAttrSet(c) {
+		t.Error("SameAttrSet ignores order")
+	}
+	if a.SameAttrSet(d) {
+		t.Error("different attrs same set")
+	}
+	typed := MustNew(Attribute{Name: "A", Kind: value.Int}, Attribute{Name: "B"})
+	if a.Equal(typed) {
+		t.Error("kinds must matter for Equal")
+	}
+}
+
+func TestProjectRenameConcat(t *testing.T) {
+	s := MustOf("A", "B", "C")
+	p, err := s.Project("C", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degree() != 2 || p.Attr(0).Name != "C" || p.Attr(1).Name != "A" {
+		t.Errorf("Project = %v", p)
+	}
+	if _, err := s.Project("Z"); err == nil {
+		t.Error("Project unknown attr accepted")
+	}
+
+	r, err := s.Rename("B", "B2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("B2") || r.Has("B") || r.Index("B2") != 1 {
+		t.Errorf("Rename = %v", r)
+	}
+	if _, err := s.Rename("Z", "Y"); err == nil {
+		t.Error("Rename unknown attr accepted")
+	}
+	if s.Has("B2") {
+		t.Error("Rename mutated source")
+	}
+
+	c, err := MustOf("A").Concat(MustOf("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Degree() != 2 {
+		t.Error("Concat degree")
+	}
+	if _, err := s.Concat(MustOf("A")); err == nil {
+		t.Error("Concat with clash accepted")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	if got := MustOf("A", "B").String(); got != "[A B]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAttrSetOps(t *testing.T) {
+	a := NewAttrSet("A", "B")
+	b := NewAttrSet("B", "C")
+	if !a.Union(b).Equal(NewAttrSet("A", "B", "C")) {
+		t.Error("Union")
+	}
+	if !a.Minus(b).Equal(NewAttrSet("A")) {
+		t.Error("Minus")
+	}
+	if !a.Intersect(b).Equal(NewAttrSet("B")) {
+		t.Error("Intersect")
+	}
+	if !NewAttrSet("A").SubsetOf(a) || b.SubsetOf(a) {
+		t.Error("SubsetOf")
+	}
+	if a.String() != "{A,B}" {
+		t.Errorf("String = %q", a.String())
+	}
+	cl := a.Clone().Add("Z")
+	if a.Has("Z") {
+		t.Error("Clone not independent")
+	}
+	if !cl.Has("Z") || cl.Len() != 3 {
+		t.Error("Add/Len")
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	s := MustOf("A", "B", "C")
+	id := IdentityPerm(3)
+	if !id.Valid(s) {
+		t.Error("identity invalid")
+	}
+	p := MustPermOf(s, "C", "A", "B")
+	if !p.Valid(s) {
+		t.Error("perm invalid")
+	}
+	want := []string{"C", "A", "B"}
+	for i, n := range p.Names(s) {
+		if n != want[i] {
+			t.Errorf("Names[%d] = %s", i, n)
+		}
+	}
+	if _, err := PermOf(s, "A", "B"); err == nil {
+		t.Error("short perm accepted")
+	}
+	if _, err := PermOf(s, "A", "B", "Z"); err == nil {
+		t.Error("unknown attr accepted")
+	}
+	bad := Permutation{0, 0, 1}
+	if bad.Valid(s) {
+		t.Error("duplicate index perm valid")
+	}
+	short := Permutation{0, 1}
+	if short.Valid(s) {
+		t.Error("short perm valid")
+	}
+	oob := Permutation{0, 1, 5}
+	if oob.Valid(s) {
+		t.Error("out-of-bounds perm valid")
+	}
+	if p.String() != "⟨2 0 1⟩" {
+		t.Errorf("perm String = %q", p.String())
+	}
+}
+
+func TestAllPermutations(t *testing.T) {
+	fact := []int{1, 1, 2, 6, 24, 120}
+	for n := 0; n <= 5; n++ {
+		ps := AllPermutations(n)
+		if len(ps) != fact[n] {
+			t.Fatalf("AllPermutations(%d) count = %d, want %d", n, len(ps), fact[n])
+		}
+		seen := map[string]bool{}
+		s := MustOf([]string{"A", "B", "C", "D", "E"}[:max(n, 0)]...)
+		for _, p := range ps {
+			if n > 0 && !p.Valid(s) {
+				t.Fatalf("invalid permutation %v", p)
+			}
+			key := p.String()
+			if seen[key] {
+				t.Fatalf("duplicate permutation %v", p)
+			}
+			seen[key] = true
+		}
+	}
+	// lexicographic order spot check for n=3
+	ps := AllPermutations(3)
+	if ps[0].String() != "⟨0 1 2⟩" || ps[5].String() != "⟨2 1 0⟩" {
+		t.Errorf("order: first %v last %v", ps[0], ps[5])
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Frame is a buffered page plus bookkeeping.
+type Frame struct {
+	pid   uint32
+	page  Page
+	dirty bool
+	pins  int
+	elem  *list.Element // position in LRU list when unpinned
+}
+
+// Page returns the buffered page for in-place reads and writes. The
+// caller must hold a pin and call Unpin(dirty=true) after modifying.
+func (fr *Frame) Page() *Page { return &fr.page }
+
+// PID returns the frame's page id.
+func (fr *Frame) PID() uint32 { return fr.pid }
+
+// BufferPool caches pages with LRU eviction. Pinned frames are never
+// evicted; dirty frames are written back on eviction and on Flush.
+type BufferPool struct {
+	mu       sync.Mutex
+	pager    *Pager
+	capacity int
+	frames   map[uint32]*Frame
+	lru      *list.List // of *Frame, front = most recently unpinned
+
+	// stats
+	hits, misses, evictions int
+}
+
+// NewBufferPool creates a pool of the given capacity (≥ 1).
+func NewBufferPool(pager *Pager, capacity int) (*BufferPool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("storage: buffer pool capacity %d < 1", capacity)
+	}
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   make(map[uint32]*Frame, capacity),
+		lru:      list.New(),
+	}, nil
+}
+
+// Stats returns (hits, misses, evictions).
+func (bp *BufferPool) Stats() (hits, misses, evictions int) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses, bp.evictions
+}
+
+// Get pins the page into the pool, loading it if absent.
+func (bp *BufferPool) Get(pid uint32) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[pid]; ok {
+		bp.hits++
+		if fr.pins == 0 && fr.elem != nil {
+			bp.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		fr.pins++
+		return fr, nil
+	}
+	bp.misses++
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &Frame{pid: pid, pins: 1}
+	if err := bp.pager.Read(pid, &fr.page); err != nil {
+		return nil, err
+	}
+	bp.frames[pid] = fr
+	return fr, nil
+}
+
+// NewPage allocates a fresh page and returns it pinned.
+func (bp *BufferPool) NewPage() (*Frame, error) {
+	pid, err := bp.pager.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &Frame{pid: pid, pins: 1}
+	fr.page.Init()
+	fr.dirty = true
+	bp.frames[pid] = fr
+	return fr, nil
+}
+
+// Unpin releases one pin; dirty marks the frame as modified.
+func (bp *BufferPool) Unpin(fr *Frame, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr.pins <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", fr.pid)
+	}
+	if dirty {
+		fr.dirty = true
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = bp.lru.PushFront(fr)
+	}
+	return nil
+}
+
+func (bp *BufferPool) evictLocked() error {
+	back := bp.lru.Back()
+	if back == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (all %d frames pinned)", bp.capacity)
+	}
+	fr := back.Value.(*Frame)
+	bp.lru.Remove(back)
+	fr.elem = nil
+	if fr.dirty {
+		if err := bp.pager.Write(fr.pid, &fr.page); err != nil {
+			return err
+		}
+	}
+	delete(bp.frames, fr.pid)
+	bp.evictions++
+	return nil
+}
+
+// Flush writes every dirty frame back to the pager and syncs.
+func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	for _, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.pager.Write(fr.pid, &fr.page); err != nil {
+				bp.mu.Unlock()
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	bp.mu.Unlock()
+	return bp.pager.Sync()
+}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// HashIndex maps byte-string keys to record ids. It is an in-memory
+// secondary index rebuilt from the heap on open (the classic
+// rebuild-on-start design; the heap is the durable structure). Buckets
+// split by doubling when the load factor passes 4, a simplified
+// extendible-hashing scheme.
+type HashIndex struct {
+	buckets [][]entry
+	mask    uint64
+	size    int
+}
+
+type entry struct {
+	hash uint64
+	key  string
+	rid  RID
+}
+
+// NewHashIndex creates an empty index.
+func NewHashIndex() *HashIndex {
+	return &HashIndex{buckets: make([][]entry, 8), mask: 7}
+}
+
+func hashKey(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return h.Sum64()
+}
+
+// Put inserts a key → rid mapping (duplicates allowed: one key may map
+// to several records).
+func (ix *HashIndex) Put(key []byte, rid RID) {
+	h := hashKey(key)
+	b := h & ix.mask
+	ix.buckets[b] = append(ix.buckets[b], entry{hash: h, key: string(key), rid: rid})
+	ix.size++
+	if ix.size > 4*len(ix.buckets) {
+		ix.grow()
+	}
+}
+
+func (ix *HashIndex) grow() {
+	nb := make([][]entry, len(ix.buckets)*2)
+	mask := uint64(len(nb) - 1)
+	for _, bucket := range ix.buckets {
+		for _, e := range bucket {
+			i := e.hash & mask
+			nb[i] = append(nb[i], e)
+		}
+	}
+	ix.buckets = nb
+	ix.mask = mask
+}
+
+// Get returns every rid stored under key.
+func (ix *HashIndex) Get(key []byte) []RID {
+	h := hashKey(key)
+	var out []RID
+	for _, e := range ix.buckets[h&ix.mask] {
+		if e.hash == h && e.key == string(key) {
+			out = append(out, e.rid)
+		}
+	}
+	return out
+}
+
+// Delete removes one key → rid mapping; it reports whether a mapping
+// was removed.
+func (ix *HashIndex) Delete(key []byte, rid RID) bool {
+	h := hashKey(key)
+	b := h & ix.mask
+	bucket := ix.buckets[b]
+	for i, e := range bucket {
+		if e.hash == h && e.key == string(key) && e.rid == rid {
+			bucket[i] = bucket[len(bucket)-1]
+			ix.buckets[b] = bucket[:len(bucket)-1]
+			ix.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of stored mappings.
+func (ix *HashIndex) Len() int { return ix.size }
+
+// Uint32Key encodes a uint32 as an index key (helper for integer
+// surrogate keys).
+func Uint32Key(v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return b[:]
+}

@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"fmt"
+)
+
+// RID identifies a record: page id + slot.
+type RID struct {
+	Page uint32
+	Slot uint16
+}
+
+// String renders the rid as page:slot.
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// HeapFile is an unordered file of variable-length records stored in a
+// chain of slotted pages managed through a buffer pool.
+type HeapFile struct {
+	bp    *BufferPool
+	first uint32 // first page of the chain
+	last  uint32 // last page (insertion target)
+}
+
+// CreateHeap starts a new heap file with one empty page.
+func CreateHeap(bp *BufferPool) (*HeapFile, error) {
+	fr, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	pid := fr.PID()
+	if err := bp.Unpin(fr, true); err != nil {
+		return nil, err
+	}
+	return &HeapFile{bp: bp, first: pid, last: pid}, nil
+}
+
+// OpenHeap attaches to an existing heap chain starting at first.
+func OpenHeap(bp *BufferPool, first uint32) (*HeapFile, error) {
+	h := &HeapFile{bp: bp, first: first, last: first}
+	// walk to the end of the chain
+	pid := first
+	for {
+		fr, err := bp.Get(pid)
+		if err != nil {
+			return nil, err
+		}
+		next := fr.Page().Next()
+		if err := bp.Unpin(fr, false); err != nil {
+			return nil, err
+		}
+		if next == 0 {
+			h.last = pid
+			return h, nil
+		}
+		pid = next
+	}
+}
+
+// FirstPage returns the id of the chain's first page (persist this to
+// reopen the heap).
+func (h *HeapFile) FirstPage() uint32 { return h.first }
+
+// Insert stores a record, growing the chain as needed.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	fr, err := h.bp.Get(h.last)
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := fr.Page().Insert(rec)
+	if err == ErrPageFull {
+		// compact once, retry, then chain a new page
+		fr.Page().Compact()
+		slot, err = fr.Page().Insert(rec)
+		if err == ErrPageFull {
+			nf, nerr := h.bp.NewPage()
+			if nerr != nil {
+				h.bp.Unpin(fr, true)
+				return RID{}, nerr
+			}
+			fr.Page().SetNext(nf.PID())
+			if uerr := h.bp.Unpin(fr, true); uerr != nil {
+				h.bp.Unpin(nf, false)
+				return RID{}, uerr
+			}
+			h.last = nf.PID()
+			slot, err = nf.Page().Insert(rec)
+			if err != nil {
+				h.bp.Unpin(nf, false)
+				return RID{}, err
+			}
+			rid := RID{Page: nf.PID(), Slot: uint16(slot)}
+			return rid, h.bp.Unpin(nf, true)
+		}
+	}
+	if err != nil {
+		h.bp.Unpin(fr, false)
+		return RID{}, err
+	}
+	rid := RID{Page: h.last, Slot: uint16(slot)}
+	return rid, h.bp.Unpin(fr, true)
+}
+
+// Get returns a copy of the record at rid.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	fr, err := h.bp.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := fr.Page().Get(int(rid.Slot))
+	if err != nil {
+		h.bp.Unpin(fr, false)
+		return nil, err
+	}
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	return cp, h.bp.Unpin(fr, false)
+}
+
+// Delete tombstones the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	fr, err := h.bp.Get(rid.Page)
+	if err != nil {
+		return err
+	}
+	derr := fr.Page().Delete(int(rid.Slot))
+	uerr := h.bp.Unpin(fr, derr == nil)
+	if derr != nil {
+		return derr
+	}
+	return uerr
+}
+
+// Scan calls fn for every live record in the heap in chain order,
+// stopping early when fn returns false. The record slice is only valid
+// during the call.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
+	pid := h.first
+	for pid != 0 {
+		fr, err := h.bp.Get(pid)
+		if err != nil {
+			return err
+		}
+		stop := false
+		fr.Page().LiveRecords(func(slot int, rec []byte) bool {
+			if !fn(RID{Page: pid, Slot: uint16(slot)}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		next := fr.Page().Next()
+		if err := h.bp.Unpin(fr, false); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+		pid = next
+	}
+	return nil
+}
+
+// Stats summarizes heap occupancy.
+type HeapStats struct {
+	Pages       int
+	LiveRecords int
+	LiveBytes   int
+	FreeBytes   int
+}
+
+// Stats walks the chain and reports occupancy.
+func (h *HeapFile) Stats() (HeapStats, error) {
+	var st HeapStats
+	pid := h.first
+	for pid != 0 {
+		fr, err := h.bp.Get(pid)
+		if err != nil {
+			return st, err
+		}
+		st.Pages++
+		st.FreeBytes += fr.Page().FreeSpace()
+		fr.Page().LiveRecords(func(_ int, rec []byte) bool {
+			st.LiveRecords++
+			st.LiveBytes += len(rec)
+			return true
+		})
+		next := fr.Page().Next()
+		if err := h.bp.Unpin(fr, false); err != nil {
+			return st, err
+		}
+		pid = next
+	}
+	return st, nil
+}

@@ -1,0 +1,177 @@
+// Package storage implements the paper's "realization view": a
+// file-backed storage engine that stores NFR tuples physically, so the
+// tuple-count reduction of nesting translates into fewer, smaller
+// records on disk. It provides slotted pages, a pager, an LRU buffer
+// pool, heap files of variable-length records, and a hash index.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page in bytes.
+const PageSize = 4096
+
+// Page layout:
+//
+//	[0:2)  numSlots  uint16
+//	[2:4)  freeStart uint16 — first free byte after record data
+//	[4:8)  next      uint32 — next page id in a heap chain (0 = none)
+//	records grow up from byte 8; the slot directory grows down from
+//	PageSize, 4 bytes per slot: offset uint16, length uint16.
+//	A slot with offset 0 is a tombstone (records never start at 0).
+const (
+	pageHeaderSize = 8
+	slotSize       = 4
+)
+
+// ErrPageFull is returned when a record does not fit in a page.
+var ErrPageFull = errors.New("storage: page full")
+
+// ErrBadSlot is returned for out-of-range or deleted slots.
+var ErrBadSlot = errors.New("storage: bad slot")
+
+// Page is one fixed-size slotted page.
+type Page [PageSize]byte
+
+// InitPage resets p to an empty slotted page.
+func (p *Page) Init() {
+	for i := range p {
+		p[i] = 0
+	}
+	p.setFreeStart(pageHeaderSize)
+}
+
+func (p *Page) numSlots() int     { return int(binary.LittleEndian.Uint16(p[0:2])) }
+func (p *Page) setNumSlots(n int) { binary.LittleEndian.PutUint16(p[0:2], uint16(n)) }
+
+func (p *Page) freeStart() int     { return int(binary.LittleEndian.Uint16(p[2:4])) }
+func (p *Page) setFreeStart(n int) { binary.LittleEndian.PutUint16(p[2:4], uint16(n)) }
+
+// Next returns the chained next page id (0 = end of chain).
+func (p *Page) Next() uint32 { return binary.LittleEndian.Uint32(p[4:8]) }
+
+// SetNext sets the chained next page id.
+func (p *Page) SetNext(pid uint32) { binary.LittleEndian.PutUint32(p[4:8], pid) }
+
+func (p *Page) slotAt(i int) (off, ln int) {
+	base := PageSize - (i+1)*slotSize
+	return int(binary.LittleEndian.Uint16(p[base : base+2])),
+		int(binary.LittleEndian.Uint16(p[base+2 : base+4]))
+}
+
+func (p *Page) setSlot(i, off, ln int) {
+	base := PageSize - (i+1)*slotSize
+	binary.LittleEndian.PutUint16(p[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p[base+2:base+4], uint16(ln))
+}
+
+// FreeSpace returns the bytes available for a new record including its
+// slot entry.
+func (p *Page) FreeSpace() int {
+	return PageSize - p.numSlots()*slotSize - p.freeStart()
+}
+
+// NumSlots returns the number of slot entries (including tombstones).
+func (p *Page) NumSlots() int { return p.numSlots() }
+
+// Insert stores the record and returns its slot number. Tombstoned
+// slots are reused when the record fits in a fresh region.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) == 0 {
+		return 0, fmt.Errorf("storage: empty record")
+	}
+	if len(rec) > PageSize-pageHeaderSize-slotSize {
+		return 0, fmt.Errorf("storage: record of %d bytes can never fit a page", len(rec))
+	}
+	// find a tombstone to reuse
+	slot := -1
+	for i := 0; i < p.numSlots(); i++ {
+		if off, _ := p.slotAt(i); off == 0 {
+			slot = i
+			break
+		}
+	}
+	need := len(rec)
+	if slot == -1 {
+		need += slotSize
+	}
+	if p.FreeSpace() < need {
+		return 0, ErrPageFull
+	}
+	off := p.freeStart()
+	copy(p[off:], rec)
+	p.setFreeStart(off + len(rec))
+	if slot == -1 {
+		slot = p.numSlots()
+		p.setNumSlots(slot + 1)
+	}
+	p.setSlot(slot, off, len(rec))
+	return slot, nil
+}
+
+// Get returns the record bytes in slot i (a view into the page; copy
+// before retaining).
+func (p *Page) Get(i int) ([]byte, error) {
+	if i < 0 || i >= p.numSlots() {
+		return nil, ErrBadSlot
+	}
+	off, ln := p.slotAt(i)
+	if off == 0 {
+		return nil, ErrBadSlot
+	}
+	return p[off : off+ln], nil
+}
+
+// Delete tombstones slot i. The record space is reclaimed by Compact.
+func (p *Page) Delete(i int) error {
+	if i < 0 || i >= p.numSlots() {
+		return ErrBadSlot
+	}
+	if off, _ := p.slotAt(i); off == 0 {
+		return ErrBadSlot
+	}
+	p.setSlot(i, 0, 0)
+	return nil
+}
+
+// Compact rewrites live records contiguously, reclaiming space from
+// tombstones while preserving slot numbers.
+func (p *Page) Compact() {
+	type rec struct {
+		slot int
+		data []byte
+	}
+	var live []rec
+	for i := 0; i < p.numSlots(); i++ {
+		off, ln := p.slotAt(i)
+		if off == 0 {
+			continue
+		}
+		cp := make([]byte, ln)
+		copy(cp, p[off:off+ln])
+		live = append(live, rec{i, cp})
+	}
+	off := pageHeaderSize
+	for _, r := range live {
+		copy(p[off:], r.data)
+		p.setSlot(r.slot, off, len(r.data))
+		off += len(r.data)
+	}
+	p.setFreeStart(off)
+}
+
+// LiveRecords calls fn for every live slot, stopping early on false.
+func (p *Page) LiveRecords(fn func(slot int, rec []byte) bool) {
+	for i := 0; i < p.numSlots(); i++ {
+		off, ln := p.slotAt(i)
+		if off == 0 {
+			continue
+		}
+		if !fn(i, p[off:off+ln]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Pager reads and writes fixed-size pages of a single file. Page ids
+// start at 1 (0 is reserved as the nil page id used to terminate
+// chains). Pager is safe for concurrent use.
+type Pager struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages uint32 // number of allocated pages
+}
+
+// OpenPager opens (or creates) the page file at path.
+func OpenPager(path string) (*Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open pager: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: file size %d not a multiple of page size", st.Size())
+	}
+	return &Pager{f: f, pages: uint32(st.Size() / PageSize)}, nil
+}
+
+// NumPages returns the number of allocated pages.
+func (pg *Pager) NumPages() uint32 {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	return pg.pages
+}
+
+// Allocate appends a fresh, zero-initialized page and returns its id.
+func (pg *Pager) Allocate() (uint32, error) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	var p Page
+	p.Init()
+	pid := pg.pages + 1
+	if _, err := pg.f.WriteAt(p[:], int64(pid-1)*PageSize); err != nil {
+		return 0, fmt.Errorf("storage: allocate page %d: %w", pid, err)
+	}
+	pg.pages = pid
+	return pid, nil
+}
+
+// Read fills p with the contents of page pid.
+func (pg *Pager) Read(pid uint32, p *Page) error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if pid == 0 || pid > pg.pages {
+		return fmt.Errorf("storage: read of unallocated page %d", pid)
+	}
+	_, err := pg.f.ReadAt(p[:], int64(pid-1)*PageSize)
+	return err
+}
+
+// Write stores p as page pid.
+func (pg *Pager) Write(pid uint32, p *Page) error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if pid == 0 || pid > pg.pages {
+		return fmt.Errorf("storage: write of unallocated page %d", pid)
+	}
+	_, err := pg.f.WriteAt(p[:], int64(pid-1)*PageSize)
+	return err
+}
+
+// Sync flushes the file to stable storage.
+func (pg *Pager) Sync() error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	return pg.f.Sync()
+}
+
+// Close closes the underlying file.
+func (pg *Pager) Close() error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	return pg.f.Close()
+}

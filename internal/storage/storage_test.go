@@ -1,0 +1,454 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func newPool(t *testing.T, capacity int) (*Pager, *BufferPool) {
+	t.Helper()
+	pg, err := OpenPager(filepath.Join(t.TempDir(), "test.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pg.Close() })
+	bp, err := NewBufferPool(pg, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg, bp
+}
+
+func TestPageInsertGetDelete(t *testing.T) {
+	var p Page
+	p.Init()
+	s1, err := p.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Insert([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Error("same slot twice")
+	}
+	got, err := p.Get(s1)
+	if err != nil || string(got) != "hello" {
+		t.Errorf("Get(s1) = %q, %v", got, err)
+	}
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(s1); err != ErrBadSlot {
+		t.Error("deleted slot readable")
+	}
+	if err := p.Delete(s1); err != ErrBadSlot {
+		t.Error("double delete accepted")
+	}
+	got, err = p.Get(s2)
+	if err != nil || string(got) != "world!" {
+		t.Error("surviving record corrupted")
+	}
+	// slot reuse
+	s3, err := p.Insert([]byte("again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s1 {
+		t.Errorf("tombstone not reused: %d vs %d", s3, s1)
+	}
+}
+
+func TestPageEdgeCases(t *testing.T) {
+	var p Page
+	p.Init()
+	if _, err := p.Insert(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+	if _, err := p.Insert(make([]byte, PageSize)); err == nil {
+		t.Error("oversized record accepted")
+	}
+	if _, err := p.Get(-1); err != ErrBadSlot {
+		t.Error("negative slot accepted")
+	}
+	if _, err := p.Get(0); err != ErrBadSlot {
+		t.Error("unallocated slot accepted")
+	}
+	if err := p.Delete(5); err != ErrBadSlot {
+		t.Error("bad delete accepted")
+	}
+}
+
+func TestPageFullAndCompact(t *testing.T) {
+	var p Page
+	p.Init()
+	rec := make([]byte, 100)
+	var slots []int
+	for {
+		s, err := p.Insert(rec)
+		if err == ErrPageFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 30 {
+		t.Fatalf("only %d records fit", len(slots))
+	}
+	// delete every other record, compact, then more must fit
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Compact()
+	if _, err := p.Insert(rec); err != nil {
+		t.Errorf("insert after compact: %v", err)
+	}
+	// survivors intact
+	for i := 1; i < len(slots); i += 2 {
+		if _, err := p.Get(slots[i]); err != nil {
+			t.Errorf("slot %d lost after compact", slots[i])
+		}
+	}
+}
+
+func TestPageNextChain(t *testing.T) {
+	var p Page
+	p.Init()
+	if p.Next() != 0 {
+		t.Error("fresh page has next")
+	}
+	p.SetNext(42)
+	if p.Next() != 42 {
+		t.Error("SetNext failed")
+	}
+}
+
+func TestPagerAllocateReadWrite(t *testing.T) {
+	pg, _ := newPool(t, 4)
+	pid, err := pg.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid != 1 {
+		t.Errorf("first pid = %d", pid)
+	}
+	var p Page
+	p.Init()
+	p.Insert([]byte("persisted"))
+	if err := pg.Write(pid, &p); err != nil {
+		t.Fatal(err)
+	}
+	var q Page
+	if err := pg.Read(pid, &q); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := q.Get(0)
+	if err != nil || string(rec) != "persisted" {
+		t.Error("page did not round-trip through file")
+	}
+	if err := pg.Read(99, &q); err == nil {
+		t.Error("read of unallocated page accepted")
+	}
+	if err := pg.Write(0, &p); err == nil {
+		t.Error("write of page 0 accepted")
+	}
+	if pg.NumPages() != 1 {
+		t.Errorf("NumPages = %d", pg.NumPages())
+	}
+}
+
+func TestPagerReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "re.db")
+	pg, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, _ := pg.Allocate()
+	var p Page
+	p.Init()
+	p.Insert([]byte("durable"))
+	pg.Write(pid, &p)
+	pg.Sync()
+	pg.Close()
+
+	pg2, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg2.Close()
+	if pg2.NumPages() != 1 {
+		t.Fatalf("NumPages after reopen = %d", pg2.NumPages())
+	}
+	var q Page
+	if err := pg2.Read(pid, &q); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := q.Get(0)
+	if err != nil || string(rec) != "durable" {
+		t.Error("data lost across reopen")
+	}
+}
+
+func TestBufferPoolPinEvict(t *testing.T) {
+	pg, bp := newPool(t, 2)
+	var pids []uint32
+	for i := 0; i < 4; i++ {
+		fr, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Page().Insert([]byte{byte(i + 1)})
+		pids = append(pids, fr.PID())
+		if err := bp.Unpin(fr, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// all four pages readable despite capacity 2 (evictions wrote back)
+	for i, pid := range pids {
+		fr, err := bp.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := fr.Page().Get(0)
+		if err != nil || rec[0] != byte(i+1) {
+			t.Errorf("page %d content lost", pid)
+		}
+		bp.Unpin(fr, false)
+	}
+	_, misses, evictions := bp.Stats()
+	if evictions == 0 || misses == 0 {
+		t.Error("expected evictions and misses")
+	}
+	_ = pg
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	_, bp := newPool(t, 1)
+	fr, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.NewPage(); err == nil {
+		t.Error("expected exhaustion error")
+	}
+	if err := bp.Unpin(fr, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Unpin(fr, false); err == nil {
+		t.Error("double unpin accepted")
+	}
+	if _, err := bp.NewPage(); err != nil {
+		t.Errorf("after unpin NewPage failed: %v", err)
+	}
+}
+
+func TestBufferPoolValidation(t *testing.T) {
+	pg, _ := newPool(t, 1)
+	if _, err := NewBufferPool(pg, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestHeapInsertGetDeleteScan(t *testing.T) {
+	_, bp := newPool(t, 8)
+	h, err := CreateHeap(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 300; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d-%s", i, string(bytes.Repeat([]byte{'x'}, i%60))))
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	// spans multiple pages
+	st, err := h.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pages < 2 {
+		t.Errorf("expected multi-page heap, got %d pages", st.Pages)
+	}
+	if st.LiveRecords != 300 {
+		t.Errorf("LiveRecords = %d", st.LiveRecords)
+	}
+	// point reads
+	for i, rid := range rids {
+		rec, err := h.Get(rid)
+		if err != nil {
+			t.Fatalf("Get(%v): %v", rid, err)
+		}
+		if !bytes.HasPrefix(rec, []byte(fmt.Sprintf("record-%04d", i))) {
+			t.Fatalf("wrong record at %v: %q", rid, rec)
+		}
+	}
+	// delete a third
+	for i := 0; i < len(rids); i += 3 {
+		if err := h.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := h.Scan(func(rid RID, rec []byte) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 200 {
+		t.Errorf("scan found %d records, want 200", count)
+	}
+	// early stop
+	count = 0
+	h.Scan(func(RID, []byte) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early stop scanned %d", count)
+	}
+}
+
+func TestHeapReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "heap.db")
+	pg, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, _ := NewBufferPool(pg, 4)
+	h, err := CreateHeap(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := h.FirstPage()
+	for i := 0; i < 500; i++ {
+		if _, err := h.Insert([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pg.Close()
+
+	pg2, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg2.Close()
+	bp2, _ := NewBufferPool(pg2, 4)
+	h2, err := OpenHeap(bp2, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := h2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LiveRecords != 500 {
+		t.Errorf("reopened heap has %d records", st.LiveRecords)
+	}
+	// insertion continues at the end of the chain
+	if _, err := h2.Insert([]byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	ix := NewHashIndex()
+	// many keys to force growth
+	for i := 0; i < 200; i++ {
+		ix.Put([]byte(fmt.Sprintf("key%d", i)), RID{Page: uint32(i), Slot: 0})
+	}
+	if ix.Len() != 200 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	for i := 0; i < 200; i++ {
+		rids := ix.Get([]byte(fmt.Sprintf("key%d", i)))
+		if len(rids) != 1 || rids[0].Page != uint32(i) {
+			t.Fatalf("Get key%d = %v", i, rids)
+		}
+	}
+	if got := ix.Get([]byte("absent")); got != nil {
+		t.Errorf("absent key = %v", got)
+	}
+	// duplicates under one key
+	ix.Put([]byte("dup"), RID{Page: 1000})
+	ix.Put([]byte("dup"), RID{Page: 1001})
+	if got := ix.Get([]byte("dup")); len(got) != 2 {
+		t.Errorf("dup = %v", got)
+	}
+	if !ix.Delete([]byte("dup"), RID{Page: 1000}) {
+		t.Error("delete failed")
+	}
+	if ix.Delete([]byte("dup"), RID{Page: 9999}) {
+		t.Error("phantom delete succeeded")
+	}
+	if got := ix.Get([]byte("dup")); len(got) != 1 || got[0].Page != 1001 {
+		t.Errorf("after delete: %v", got)
+	}
+}
+
+func TestUint32Key(t *testing.T) {
+	if string(Uint32Key(1)) == string(Uint32Key(2)) {
+		t.Error("key collision")
+	}
+}
+
+// Property-style stress: random inserts/deletes tracked against a map,
+// verified by scan, across a small buffer pool (forcing evictions).
+func TestHeapRandomizedAgainstModel(t *testing.T) {
+	_, bp := newPool(t, 3)
+	h, err := CreateHeap(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	model := map[RID]string{}
+	var live []RID
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(3) != 0 || len(live) == 0 {
+			rec := fmt.Sprintf("v%d-%d", step, rng.Intn(1000))
+			rid, err := h.Insert([]byte(rec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[rid] = rec
+			live = append(live, rid)
+		} else {
+			i := rng.Intn(len(live))
+			rid := live[i]
+			if err := h.Delete(rid); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, rid)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	got := map[RID]string{}
+	if err := h.Scan(func(rid RID, rec []byte) bool {
+		got[rid] = string(rec)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(model) {
+		t.Fatalf("scan %d records, model %d", len(got), len(model))
+	}
+	for rid, want := range model {
+		if got[rid] != want {
+			t.Fatalf("rid %v: %q != %q", rid, got[rid], want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package update
+
+import (
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// atomIndex is a posting-list index over one attribute: atom → the
+// stored tuples whose component on that attribute contains the atom.
+//
+// Soundness of the candidate pruning (why two attributes suffice):
+// a candidate of t at nest position k < n−1 must *contain* t's values
+// on every later position, in particular on the last-nested attribute
+// order[n−1]; a candidate at position k = n−1 must *equal* t on every
+// earlier position, in particular on the first-nested attribute
+// order[0] (n ≥ 2). Either way the candidate appears in the posting
+// list of some atom of t on order[0] or order[n−1], so the union of
+// those two lists is a superset of all candidates. searcht (covering
+// tuple of a flat f) is covered too: the covering tuple contains f's
+// atom on every attribute.
+type atomIndex struct {
+	attr int
+	m    map[string]map[string]tuple.Tuple // atom key → tuple key → tuple
+}
+
+func newAtomIndex(attr int) *atomIndex {
+	return &atomIndex{attr: attr, m: make(map[string]map[string]tuple.Tuple)}
+}
+
+func atomKey(a value.Atom) string { return string(a.K) + a.String() }
+
+func (ix *atomIndex) add(t tuple.Tuple) {
+	tk := t.Key()
+	for _, a := range t.Set(ix.attr).Atoms() {
+		k := atomKey(a)
+		bucket, ok := ix.m[k]
+		if !ok {
+			bucket = make(map[string]tuple.Tuple)
+			ix.m[k] = bucket
+		}
+		bucket[tk] = t
+	}
+}
+
+func (ix *atomIndex) remove(t tuple.Tuple) {
+	tk := t.Key()
+	for _, a := range t.Set(ix.attr).Atoms() {
+		k := atomKey(a)
+		if bucket, ok := ix.m[k]; ok {
+			delete(bucket, tk)
+			if len(bucket) == 0 {
+				delete(ix.m, k)
+			}
+		}
+	}
+}
+
+// lookup returns the tuples whose ix.attr component contains a.
+func (ix *atomIndex) lookup(a value.Atom) map[string]tuple.Tuple {
+	return ix.m[atomKey(a)]
+}

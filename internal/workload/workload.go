@@ -1,0 +1,214 @@
+// Package workload generates the synthetic data sets used by the
+// experiment harness. The paper reports no data sets; these generators
+// are shaped by its motivating scenarios (Section 2): an enrollment
+// database with an entity relation R1[Student, Course, Club] governed
+// by the MVD Student ->-> Course | Club, and a relationship relation
+// R2[Student, Course, Semester] with no MVD. All generators are
+// deterministic in the seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// Enrollment holds the Section-2 scenario data in flat (1NF) form.
+type Enrollment struct {
+	// R1 over [Student, Course, Club]: per student, the cartesian
+	// product of their courses and clubs (so Student ->-> Course | Club
+	// holds by construction).
+	R1 *core.Relation
+	// R2 over [Student, Course, Semester]: each student's courses are
+	// scattered across semesters with no product structure.
+	R2 *core.Relation
+}
+
+// EnrollmentParams sizes the enrollment generator.
+type EnrollmentParams struct {
+	Students          int
+	CoursePool        int
+	ClubPool          int
+	SemesterPool      int
+	CoursesPerStudent int // mean; actual 1..2*mean
+	ClubsPerStudent   int // mean; actual 1..2*mean
+}
+
+// DefaultEnrollment returns the parameter set used by the experiment
+// tables unless overridden.
+func DefaultEnrollment() EnrollmentParams {
+	return EnrollmentParams{
+		Students:          100,
+		CoursePool:        30,
+		ClubPool:          8,
+		SemesterPool:      6,
+		CoursesPerStudent: 4,
+		ClubsPerStudent:   2,
+	}
+}
+
+// GenEnrollment builds the enrollment scenario.
+func GenEnrollment(seed int64, p EnrollmentParams) Enrollment {
+	rng := rand.New(rand.NewSource(seed))
+	s1 := schema.MustOf("Student", "Course", "Club")
+	s2 := schema.MustOf("Student", "Course", "Semester")
+	r1 := core.NewRelation(s1)
+	r2 := core.NewRelation(s2)
+	for st := 0; st < p.Students; st++ {
+		student := fmt.Sprintf("s%03d", st)
+		nc := 1 + rng.Intn(2*p.CoursesPerStudent)
+		nb := 1 + rng.Intn(2*p.ClubsPerStudent)
+		courses := samplePool(rng, "c", p.CoursePool, nc)
+		clubs := samplePool(rng, "b", p.ClubPool, nb)
+		for _, c := range courses {
+			for _, b := range clubs {
+				r1.Add(tuple.FromFlat(tuple.FlatOfStrings(student, c, b)))
+			}
+			sem := fmt.Sprintf("t%d", rng.Intn(p.SemesterPool))
+			r2.Add(tuple.FromFlat(tuple.FlatOfStrings(student, c, sem)))
+		}
+	}
+	return Enrollment{R1: r1, R2: r2}
+}
+
+func samplePool(rng *rand.Rand, prefix string, pool, n int) []string {
+	if n > pool {
+		n = pool
+	}
+	perm := rng.Perm(pool)[:n]
+	out := make([]string, n)
+	for i, v := range perm {
+		out[i] = fmt.Sprintf("%s%02d", prefix, v)
+	}
+	return out
+}
+
+// PlantedParams sizes PlantedMVD/PlantedFD relations.
+type PlantedParams struct {
+	Groups    int // number of distinct determinant values
+	RhsPool   int // value pool per dependent attribute
+	MeanBlock int // mean values per dependent attribute per group
+	Extra     int // extra free attributes (uniform noise)
+	ExtraPool int
+}
+
+// GenPlantedMVD builds a 1NF relation over [F, E1, E2, X1..Xk] where
+// F ->-> E1 | E2,X1..Xk holds by construction: per F value the E1 and
+// (E2, X..) blocks form a cartesian product.
+func GenPlantedMVD(seed int64, p PlantedParams) *core.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"F", "E1", "E2"}
+	for i := 0; i < p.Extra; i++ {
+		names = append(names, fmt.Sprintf("X%d", i+1))
+	}
+	s := schema.MustOf(names...)
+	r := core.NewRelation(s)
+	for g := 0; g < p.Groups; g++ {
+		f := value.NewString(fmt.Sprintf("f%04d", g))
+		n1 := 1 + rng.Intn(2*p.MeanBlock)
+		n2 := 1 + rng.Intn(2*p.MeanBlock)
+		e1s := samplePool(rng, "u", p.RhsPool, n1)
+		type rest struct {
+			e2 string
+			xs []string
+		}
+		rests := make([]rest, n2)
+		for i := range rests {
+			xs := make([]string, p.Extra)
+			for j := range xs {
+				xs[j] = fmt.Sprintf("x%02d", rng.Intn(max(p.ExtraPool, 1)))
+			}
+			rests[i] = rest{e2: fmt.Sprintf("v%02d", rng.Intn(p.RhsPool)), xs: xs}
+		}
+		for _, e1 := range e1s {
+			for _, re := range rests {
+				fl := make(tuple.Flat, 0, s.Degree())
+				fl = append(fl, f, value.NewString(e1), value.NewString(re.e2))
+				for _, x := range re.xs {
+					fl = append(fl, value.NewString(x))
+				}
+				r.Add(tuple.FromFlat(fl))
+			}
+		}
+	}
+	return r
+}
+
+// GenPlantedFD builds a 1NF relation over [F, E1..Em] where the FD
+// F -> E1..Em holds (F is a key): one row per F value, dependents drawn
+// from small pools so nesting on F groups rows that share dependents.
+func GenPlantedFD(seed int64, groups, deps, pool int) *core.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"F"}
+	for i := 0; i < deps; i++ {
+		names = append(names, fmt.Sprintf("E%d", i+1))
+	}
+	s := schema.MustOf(names...)
+	r := core.NewRelation(s)
+	for g := 0; g < groups; g++ {
+		fl := make(tuple.Flat, 0, s.Degree())
+		fl = append(fl, value.NewString(fmt.Sprintf("f%05d", g)))
+		for i := 0; i < deps; i++ {
+			fl = append(fl, value.NewString(fmt.Sprintf("e%02d", rng.Intn(pool))))
+		}
+		r.Add(tuple.FromFlat(fl))
+	}
+	return r
+}
+
+// GenUniform builds a uniform random 1NF relation: rows over degree
+// attributes with the given per-attribute value universe.
+func GenUniform(seed int64, rows, degree, universe int) *core.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, degree)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%d", i+1)
+	}
+	s := schema.MustOf(names...)
+	r := core.NewRelation(s)
+	for i := 0; i < rows; i++ {
+		fl := make(tuple.Flat, degree)
+		for j := range fl {
+			fl[j] = value.NewInt(int64(rng.Intn(universe)))
+		}
+		r.Add(tuple.FromFlat(fl))
+	}
+	return r
+}
+
+// GenZipf builds a skewed 1NF relation where attribute values follow
+// an approximate zipf distribution (rank-1/rank weights) — the shape
+// under which grouping pays off most unevenly.
+func GenZipf(seed int64, rows, degree, universe int) *core.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(universe-1))
+	names := make([]string, degree)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%d", i+1)
+	}
+	s := schema.MustOf(names...)
+	r := core.NewRelation(s)
+	for i := 0; i < rows; i++ {
+		fl := make(tuple.Flat, degree)
+		for j := range fl {
+			fl[j] = value.NewInt(int64(zipf.Uint64()))
+		}
+		r.Add(tuple.FromFlat(fl))
+	}
+	return r
+}
+
+// Flats is a convenience extracting the flat tuples of a relation in
+// deterministic order.
+func Flats(r *core.Relation) []tuple.Flat { return r.Expand() }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/dep"
+	"repro/internal/schema"
+)
+
+func TestGenEnrollmentShape(t *testing.T) {
+	p := DefaultEnrollment()
+	e := GenEnrollment(1, p)
+	if e.R1.Len() == 0 || e.R2.Len() == 0 {
+		t.Fatal("empty workload")
+	}
+	if !e.R1.IsFlat() || !e.R2.IsFlat() {
+		t.Error("workloads must be 1NF")
+	}
+	// MVD Student ->-> Course holds on R1 by construction
+	m := dep.NewMVD([]string{"Student"}, []string{"Course"})
+	if !dep.SatisfiesMVD(e.R1.Schema(), e.R1.Expand(), m) {
+		t.Error("planted MVD does not hold on R1")
+	}
+	// deterministic in the seed
+	e2 := GenEnrollment(1, p)
+	if !e.R1.Equal(e2.R1) || !e.R2.Equal(e2.R2) {
+		t.Error("generator not deterministic")
+	}
+	e3 := GenEnrollment(2, p)
+	if e.R1.Equal(e3.R1) {
+		t.Error("different seeds gave identical data")
+	}
+}
+
+func TestGenPlantedMVD(t *testing.T) {
+	p := PlantedParams{Groups: 20, RhsPool: 10, MeanBlock: 3, Extra: 1, ExtraPool: 4}
+	r := GenPlantedMVD(3, p)
+	if r.Schema().Degree() != 4 {
+		t.Fatalf("degree = %d", r.Schema().Degree())
+	}
+	m := dep.NewMVD([]string{"F"}, []string{"E1"})
+	if !dep.SatisfiesMVD(r.Schema(), r.Expand(), m) {
+		t.Error("planted MVD violated")
+	}
+	// nesting on E1 after grouping by F should compress
+	canon, _ := r.Canonical(schema.MustPermOf(r.Schema(), "E1", "E2", "X1", "F"))
+	if canon.Len() >= r.Len() {
+		t.Errorf("no compression: %d -> %d", r.Len(), canon.Len())
+	}
+}
+
+func TestGenPlantedFD(t *testing.T) {
+	r := GenPlantedFD(4, 200, 2, 5)
+	f := dep.NewFD([]string{"F"}, []string{"E1", "E2"})
+	if !dep.SatisfiesFD(r.Schema(), r.Expand(), f) {
+		t.Error("planted FD violated")
+	}
+	if r.Len() != 200 {
+		t.Errorf("rows = %d (one per key)", r.Len())
+	}
+	// canonical nesting F last is fixed on F (Theorem 3, key FD)
+	canon, _ := r.Canonical(schema.MustPermOf(r.Schema(), "E1", "E2", "F"))
+	if !canon.FixedOn(schema.NewAttrSet("F")) {
+		t.Error("canonical form not fixed on key")
+	}
+	if canon.Len() >= r.Len() {
+		t.Errorf("no compression from grouping keys: %d -> %d", r.Len(), canon.Len())
+	}
+}
+
+func TestGenUniformAndZipf(t *testing.T) {
+	u := GenUniform(7, 500, 3, 10)
+	if u.Schema().Degree() != 3 || u.Len() == 0 || u.Len() > 500 {
+		t.Errorf("uniform: %d tuples", u.Len())
+	}
+	z := GenZipf(7, 500, 3, 10)
+	if z.Len() == 0 {
+		t.Error("zipf empty")
+	}
+	// zipf must be more skewed: fewer distinct rows than uniform
+	if z.Len() >= u.Len() {
+		t.Logf("zipf %d vs uniform %d (soft expectation)", z.Len(), u.Len())
+	}
+	if len(Flats(u)) != u.Len() {
+		t.Error("Flats mismatch")
+	}
+}

@@ -1,0 +1,192 @@
+// Package nfr is the public API of the non-first-normal-form (NFR)
+// relational database library, a from-scratch reproduction of
+// Arisawa, Moriya & Miura, "Operations and the Properties on
+// Non-First-Normal-Form Relational Databases" (VLDB 1983).
+//
+// The library has three layers:
+//
+//   - the model: atoms, value sets, NFR tuples, and relations with the
+//     paper's operations — composition/decomposition (Defs. 1–2), nest
+//     and canonical forms V_P (Defs. 4–5), irreducible forms (Def. 3),
+//     fixedness (Def. 7) and cardinality classes (Def. 6);
+//   - the engine: a catalog of relations kept permanently canonical by
+//     the Section-4 incremental insert/delete algorithms, with declared
+//     FDs/MVDs, an NF² query language, and binary persistence;
+//   - the substrate: dependency theory (closures, keys, Bernstein 3NF
+//     synthesis, 4NF), a nested relational algebra, and a paged storage
+//     engine realizing the paper's "realization view".
+//
+// Quick start:
+//
+//	db := nfr.NewDatabase()
+//	db.Create(nfr.RelationDef{
+//	    Name:   "enrollment",
+//	    Schema: nfr.MustSchema("Student", "Course", "Club"),
+//	    MVDs:   []nfr.MVD{nfr.NewMVD([]string{"Student"}, []string{"Course"})},
+//	})
+//	db.Insert("enrollment", nfr.Row("s1", "c1", "b1"))
+//
+// See examples/ for runnable programs and internal/experiments for the
+// paper-reproduction harness.
+package nfr
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/value"
+	"repro/internal/vset"
+)
+
+// Model types.
+type (
+	// Atom is one atomic domain element.
+	Atom = value.Atom
+	// Set is a canonical set of atoms — one NFR tuple component.
+	Set = vset.Set
+	// Tuple is one NFR tuple (a set per attribute).
+	Tuple = tuple.Tuple
+	// Flat is a 1NF tuple (one atom per attribute).
+	Flat = tuple.Flat
+	// Schema is an ordered list of typed attributes.
+	Schema = schema.Schema
+	// Attribute is one schema column.
+	Attribute = schema.Attribute
+	// AttrSet is an unordered attribute-name set.
+	AttrSet = schema.AttrSet
+	// Permutation is a nest order over a schema's attributes.
+	Permutation = schema.Permutation
+	// Relation is an NFR: a duplicate-free set of NFR tuples.
+	Relation = core.Relation
+	// Cardinality is the Definition-6 class of an attribute.
+	Cardinality = core.Cardinality
+)
+
+// Dependency types.
+type (
+	// FD is a functional dependency.
+	FD = dep.FD
+	// MVD is a multivalued dependency.
+	MVD = dep.MVD
+)
+
+// Engine types.
+type (
+	// Database is a catalog of canonical-form relations.
+	Database = engine.Database
+	// RelationDef declares a relation for Database.Create.
+	RelationDef = engine.RelationDef
+	// RelStats summarizes a live relation.
+	RelStats = engine.RelStats
+	// Session executes NF² query-language statements.
+	Session = query.Session
+	// Result is a query-language statement outcome.
+	Result = query.Result
+	// Pred is a tuple predicate for algebra selections.
+	Pred = algebra.Pred
+)
+
+// Cardinality classes (Definition 6).
+const (
+	OneOne = core.OneOne
+	NOne   = core.NOne
+	OneN   = core.OneN
+	MN     = core.MN
+)
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return engine.New() }
+
+// LoadDatabase restores a database saved with Database.Save.
+func LoadDatabase(dir string) (*Database, error) { return engine.Load(dir) }
+
+// NewSession creates a query-language session over a fresh database.
+func NewSession() *Session { return query.NewSession() }
+
+// MustSchema builds an untyped schema from attribute names; it panics
+// on duplicates.
+func MustSchema(names ...string) *Schema { return schema.MustOf(names...) }
+
+// NewFD builds a functional dependency from attribute names.
+func NewFD(lhs, rhs []string) FD { return dep.NewFD(lhs, rhs) }
+
+// NewMVD builds a multivalued dependency from attribute names.
+func NewMVD(lhs, rhs []string) MVD { return dep.NewMVD(lhs, rhs) }
+
+// Row builds a flat tuple from literals parsed with the value syntax
+// (bare identifiers are strings; numbers, true/false, quoted strings
+// as usual).
+func Row(lits ...string) Flat {
+	out := make(Flat, len(lits))
+	for i, l := range lits {
+		out[i] = value.MustParse(l)
+	}
+	return out
+}
+
+// StringRow builds a flat tuple of string atoms without literal
+// parsing.
+func StringRow(ss ...string) Flat { return tuple.FlatOfStrings(ss...) }
+
+// FromFlats builds a 1NF relation from flat tuples.
+func FromFlats(s *Schema, flats []Flat) (*Relation, error) {
+	return core.FromFlats(s, flats)
+}
+
+// PermOf builds a nest order from attribute names.
+func PermOf(s *Schema, names ...string) (Permutation, error) {
+	return schema.PermOf(s, names...)
+}
+
+// SuggestOrder derives a nest order from dependencies (Section 3.4:
+// dependents first, determinants last).
+func SuggestOrder(s *Schema, fds []FD, mvds []MVD) Permutation {
+	return engine.SuggestOrder(s, fds, mvds)
+}
+
+// RenderTable prints a relation as an aligned table in the paper's
+// display style.
+func RenderTable(r *Relation) string { return query.RenderTable(r) }
+
+// Predicate constructors for algebra-level selections.
+var (
+	// Contains tests set membership of a constant.
+	Contains = algebra.Contains
+	// Cmp compares a component against a constant (Any semantics).
+	Cmp = algebra.Cmp
+	// Card tests a component's cardinality.
+	Card = algebra.Card
+	// And, Or, Not combine predicates; True matches everything.
+	And  = algebra.And
+	Or   = algebra.Or
+	Not  = algebra.Not
+	True = algebra.True
+)
+
+// Comparison operators for Cmp/Card.
+const (
+	EQ = algebra.EQ
+	NE = algebra.NE
+	LT = algebra.LT
+	LE = algebra.LE
+	GT = algebra.GT
+	GE = algebra.GE
+)
+
+// Select, Project, NaturalJoin, Nest and Unnest expose the nested
+// algebra on relations.
+var (
+	Select      = algebra.Select
+	SelectFlat  = algebra.SelectFlat
+	Project     = algebra.Project
+	ProjectFlat = algebra.ProjectFlat
+	NaturalJoin = algebra.NaturalJoin
+	Union       = algebra.Union
+	Difference  = algebra.Difference
+	Nest        = algebra.Nest
+	Unnest      = algebra.Unnest
+)

@@ -1,0 +1,95 @@
+package nfr
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the README quick-start path through
+// the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	db := NewDatabase()
+	err := db.Create(RelationDef{
+		Name:   "enrollment",
+		Schema: MustSchema("Student", "Course", "Club"),
+		MVDs:   []MVD{NewMVD([]string{"Student"}, []string{"Course"})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][]string{
+		{"s1", "c1", "b1"}, {"s1", "c2", "b1"},
+		{"s2", "c1", "b2"}, {"s2", "c2", "b2"},
+	} {
+		if _, err := db.Insert("enrollment", Row(r...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := db.Stats("enrollment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FlatTuples != 4 || st.NFRTuples != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	rel, _ := db.Rel("enrollment")
+	out := RenderTable(rel.Relation())
+	if !strings.Contains(out, "c1,c2") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestFacadeAlgebraAndPredicates(t *testing.T) {
+	s := MustSchema("A", "B")
+	r, err := FromFlats(s, []Flat{Row("a1", "b1"), Row("a1", "b2"), Row("a2", "b1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Nest(r, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 2 {
+		t.Errorf("nest = %d tuples", n.Len())
+	}
+	sel, err := Select(n, And(Contains("A", Row("a1")[0]), Card("B", GE, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 1 {
+		t.Errorf("select = %d", sel.Len())
+	}
+	back, err := Unnest(n, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EquivalentTo(r) {
+		t.Error("unnest lost information")
+	}
+}
+
+func TestFacadeSessionAndOrder(t *testing.T) {
+	s := NewSession()
+	if _, err := s.Exec("CREATE r (A, B) MVD A ->-> B"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO r VALUES (a, b)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec("SHOW r")
+	if err != nil || res.Relation.Len() != 1 {
+		t.Fatalf("show: %v %v", res, err)
+	}
+	sch := MustSchema("X", "Y")
+	p, err := PermOf(sch, "Y", "X")
+	if err != nil || p.String() != "⟨1 0⟩" {
+		t.Errorf("PermOf = %v, %v", p, err)
+	}
+	so := SuggestOrder(sch, []FD{NewFD([]string{"X"}, []string{"Y"})}, nil)
+	if so.Names(sch)[1] != "X" {
+		t.Errorf("SuggestOrder = %v", so.Names(sch))
+	}
+	if StringRow("x")[0].Str() != "x" {
+		t.Error("StringRow")
+	}
+}
