@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	nfr-bench [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3]
+//	nfr-bench [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk]
+//
+// The disk experiment drives the enrollment workload through the
+// disk-backed engine (paged file + buffer pool) and reports pool
+// hit/miss rates and realization equivalence.
 package main
 
 import (
@@ -46,13 +50,24 @@ func main() {
 	case "c2":
 		experiments.RunNFRvsJoin(w, 47, 250)
 	case "c3":
-		dir, err := os.MkdirTemp("", "nfr-bench")
-		if err != nil {
+		if err := inTempDir("nfr-bench", func(dir string) error {
+			_, err := experiments.RunStorageFootprint(w, dir, 53, 250)
+			return err
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		defer os.RemoveAll(dir)
-		if _, err := experiments.RunStorageFootprint(w, dir, 53, 250); err != nil {
+	case "disk":
+		if err := inTempDir("nfr-bench-disk", func(dir string) error {
+			res, err := experiments.RunDiskEngine(w, dir, 61, 250, 32)
+			if err != nil {
+				return err
+			}
+			if !res.Equivalent {
+				return fmt.Errorf("disk realization diverged from in-memory engine")
+			}
+			return nil
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -60,4 +75,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", what)
 		os.Exit(2)
 	}
+}
+
+// inTempDir runs fn with a fresh temp directory, removing it before
+// returning (os.Exit in main would skip deferred cleanup).
+func inTempDir(prefix string, fn func(dir string) error) error {
+	dir, err := os.MkdirTemp("", prefix)
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	return fn(dir)
 }

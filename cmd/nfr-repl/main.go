@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	nfr-repl                 # interactive
+//	nfr-repl                 # interactive, in-memory
 //	nfr-repl script.nfq      # execute a script, one statement per line
 //	                         # (blank lines and -- comments ignored;
 //	                         #  statements may span lines until ';')
-//	nfr-repl -d DIR ...      # open/persist the database in DIR
+//	nfr-repl -d FILE ...     # open the paged database FILE (created if
+//	                         # missing); updates are written through the
+//	                         # buffer pool and flushed to disk on \save
+//	                         # and on exit
 //
-// Extra REPL commands: \save, \quit.
+// Extra REPL commands: \save (flush dirty pages — the durability
+// point; an unflushed session killed hard loses unevicted pages),
+// \quit.
 package main
 
 import (
@@ -25,20 +30,18 @@ import (
 )
 
 func main() {
-	dir := flag.String("d", "", "database directory to load and save")
+	path := flag.String("d", "", "paged database file to open (created if missing)")
 	flag.Parse()
 
 	sess := query.NewSession()
-	if *dir != "" {
-		if _, err := os.Stat(*dir); err == nil {
-			db, err := engine.Load(*dir)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "load:", err)
-				os.Exit(1)
-			}
-			sess.DB = db
-			fmt.Printf("loaded %d relation(s) from %s\n", len(db.Names()), *dir)
+	if *path != "" {
+		db, err := engine.Open(*path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
 		}
+		sess = query.NewSessionOn(db)
+		fmt.Printf("opened %s with %d relation(s)\n", *path, len(db.Names()))
 	}
 
 	var in io.Reader = os.Stdin
@@ -54,17 +57,15 @@ func main() {
 		interactive = false
 	}
 
-	code := run(sess, in, os.Stdout, interactive, *dir)
-	if *dir != "" {
-		if err := sess.DB.Save(*dir); err != nil {
-			fmt.Fprintln(os.Stderr, "save:", err)
-			os.Exit(1)
-		}
+	code := run(sess, in, os.Stdout, interactive)
+	if err := sess.DB.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
 	}
 	os.Exit(code)
 }
 
-func run(sess *query.Session, in io.Reader, out io.Writer, interactive bool, dir string) int {
+func run(sess *query.Session, in io.Reader, out io.Writer, interactive bool) int {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var pending strings.Builder
@@ -86,12 +87,12 @@ func run(sess *query.Session, in io.Reader, out io.Writer, interactive bool, dir
 		case "\\quit", "\\q":
 			return exitCode
 		case "\\save":
-			if dir == "" {
-				fmt.Fprintln(out, "no database directory (-d) configured")
-			} else if err := sess.DB.Save(dir); err != nil {
+			if !sess.DB.DiskBacked() {
+				fmt.Fprintln(out, "no database file (-d) configured")
+			} else if err := sess.DB.Flush(); err != nil {
 				fmt.Fprintln(out, "save:", err)
 			} else {
-				fmt.Fprintln(out, "saved to", dir)
+				fmt.Fprintln(out, "flushed")
 			}
 			prompt()
 			continue

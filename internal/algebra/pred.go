@@ -12,11 +12,58 @@ package algebra
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 
 	"repro/internal/schema"
 	"repro/internal/tuple"
 	"repro/internal/value"
 )
+
+// LiteralString renders an atom in the query language's literal syntax
+// so that re-parsing it yields the identical atom: strings are always
+// quoted (escaping only backslash and quote, matching the query
+// lexer's escape rule), floats always carry a decimal point so they
+// cannot be re-read as ints, and null/bools use their keywords.
+// Non-finite floats (NaN, ±Inf) have no literal in the grammar — the
+// parser can never produce them — and render as plain NaN/+Inf/-Inf
+// for display.
+func LiteralString(a value.Atom) string {
+	switch a.K {
+	case value.Null:
+		return "null"
+	case value.Bool:
+		if a.I != 0 {
+			return "true"
+		}
+		return "false"
+	case value.Int:
+		return strconv.FormatInt(a.I, 10)
+	case value.Float:
+		if math.IsNaN(a.F) || math.IsInf(a.F, 0) {
+			return strconv.FormatFloat(a.F, 'g', -1, 64)
+		}
+		s := strconv.FormatFloat(a.F, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	case value.String:
+		var b strings.Builder
+		b.WriteByte('"')
+		for i := 0; i < len(a.S); i++ {
+			if c := a.S[i]; c == '\\' || c == '"' {
+				b.WriteByte('\\')
+			}
+			b.WriteByte(a.S[i])
+		}
+		b.WriteByte('"')
+		return b.String()
+	default:
+		return a.String()
+	}
+}
 
 // CmpOp is a comparison operator for atom predicates.
 type CmpOp uint8
@@ -134,7 +181,7 @@ func (p cmpPred) String() string {
 	if p.quant == All {
 		q = "all "
 	}
-	return fmt.Sprintf("%s %s%s %s", p.attr, q, p.op, p.val)
+	return fmt.Sprintf("%s %s%s %s", p.attr, q, p.op, LiteralString(p.val))
 }
 
 type attrCmpPred struct {
@@ -190,7 +237,7 @@ func (p containsPred) Eval(s *schema.Schema, t tuple.Tuple) (bool, error) {
 }
 
 func (p containsPred) String() string {
-	return fmt.Sprintf("%s contains %s", p.attr, p.val)
+	return fmt.Sprintf("%s contains %s", p.attr, LiteralString(p.val))
 }
 
 type cardPred struct {

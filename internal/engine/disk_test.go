@@ -1,0 +1,400 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// enrollmentFlats deterministically generates the Section-2 workload as
+// flat tuples.
+func enrollmentFlats(seed int64, students int) (*schema.Schema, []tuple.Flat) {
+	e := workload.GenEnrollment(seed, workload.EnrollmentParams{
+		Students: students, CoursePool: 20, ClubPool: 6, SemesterPool: 4,
+		CoursesPerStudent: 3, ClubsPerStudent: 2,
+	})
+	return e.R1.Schema(), e.R1.Expand()
+}
+
+// TestDiskEngineEquivalence drives the same workload through an
+// in-memory and a disk-backed engine and checks both the live canonical
+// forms and the disk realization (read back through the buffer pool)
+// stay identical, including across a close/reopen.
+func TestDiskEngineEquivalence(t *testing.T) {
+	sch, flats := enrollmentFlats(11, 30)
+	def := RelationDef{
+		Name:   "R1",
+		Schema: sch,
+		Order:  schema.MustPermOf(sch, "Course", "Club", "Student"),
+	}
+
+	mem := New()
+	if err := mem.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.nfrs")
+	disk, err := OpenWith(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !disk.DiskBacked() || mem.DiskBacked() {
+		t.Fatal("DiskBacked mode flags wrong")
+	}
+	if err := disk.Create(def); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		memRel, err := mem.ReadRelation("R1")
+		if err != nil {
+			t.Fatalf("%s: mem read: %v", stage, err)
+		}
+		diskRel, err := disk.ReadRelation("R1")
+		if err != nil {
+			t.Fatalf("%s: disk read: %v", stage, err)
+		}
+		if !memRel.Equal(diskRel) {
+			t.Fatalf("%s: disk realization diverged from in-memory canonical form", stage)
+		}
+	}
+
+	for i, f := range flats {
+		if _, err := mem.Insert("R1", f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := disk.Insert("R1", f); err != nil {
+			t.Fatal(err)
+		}
+		if i%25 == 0 {
+			check("insert")
+		}
+	}
+	// delete a third of the flats again
+	for i, f := range flats {
+		if i%3 != 0 {
+			continue
+		}
+		cm, err := mem.Delete("R1", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd, err := disk.Delete("R1", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cm != cd {
+			t.Fatalf("delete change mismatch for %v", f)
+		}
+	}
+	check("after deletes")
+
+	if hits, misses, _, ok := disk.PoolStats(); !ok || hits+misses == 0 {
+		t.Errorf("PoolStats = %d/%d/%v, want activity", hits, misses, ok)
+	}
+
+	// reopen from disk and compare against the in-memory engine
+	if err := disk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	disk2, err := OpenWith(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk2.Close()
+	rel2, err := disk2.ReadRelation("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	memRel, _ := mem.ReadRelation("R1")
+	if !memRel.Equal(rel2) {
+		t.Fatal("reopened disk relation diverged from in-memory canonical form")
+	}
+	// reopened relation is exactly canonical
+	r2, _ := disk2.Rel("R1")
+	want, _ := r2.Relation().CanonicalFromFlats(r2.Def().Order)
+	if !r2.Relation().Equal(want) {
+		t.Fatal("reopened relation not canonical")
+	}
+	// and keeps accepting write-through updates
+	if _, err := disk2.Insert("R1", tuple.FlatOfStrings("s_new", "c_new", "b_new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := disk2.ReadRelation("R1")
+	if got.Len() != r2.Relation().Len() {
+		t.Fatal("write-through lost a tuple after reopen")
+	}
+}
+
+// TestOversizedTupleRollsBack: a record that can never fit a page must
+// reject that one update — rolled back in memory, heap resynced — and
+// leave the relation fully usable, not poisoned.
+func TestOversizedTupleRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.nfrs")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	def := RelationDef{Name: "r", Schema: schema.MustOf("A", "B")}
+	if err := db.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("r", tuple.FlatOfStrings("a1", "b1")); err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, 5000)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	if _, err := db.Insert("r", tuple.FlatOfStrings(string(huge), "b2")); err == nil {
+		t.Fatal("oversized tuple accepted")
+	}
+	// the failed update is rolled back everywhere: memory, disk, reopen
+	rel, err := db.ReadRelation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("relation has %d tuples after rolled-back insert", rel.Len())
+	}
+	// and the relation is not poisoned: further updates work
+	if ch, err := db.Insert("r", tuple.FlatOfStrings("a2", "b2")); err != nil || !ch {
+		t.Fatalf("insert after rollback: %v %v", ch, err)
+	}
+	if ch, err := db.Delete("r", tuple.FlatOfStrings("a1", "b1")); err != nil || !ch {
+		t.Fatalf("delete after rollback: %v %v", ch, err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rel2, err := db2.ReadRelation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Len() != 1 || rel2.ExpansionSize() != 1 {
+		t.Fatalf("reopened relation wrong: %d tuples / %d flats", rel2.Len(), rel2.ExpansionSize())
+	}
+}
+
+// TestSaveOpenQueryEquivalence saves an in-memory database and reopens
+// the snapshot disk-backed: both engines must answer identically.
+func TestSaveOpenQueryEquivalence(t *testing.T) {
+	sch, flats := enrollmentFlats(7, 25)
+	def := RelationDef{Name: "R1", Schema: sch,
+		Order: schema.MustPermOf(sch, "Course", "Club", "Student")}
+	mem := New()
+	if err := mem.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.InsertMany("R1", flats); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.nfrs")
+	if err := mem.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	memRel, _ := mem.ReadRelation("R1")
+	diskRel, err := disk.ReadRelation("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !memRel.Equal(diskRel) {
+		t.Fatal("Save→Open changed relation content")
+	}
+	if !memRel.EquivalentTo(diskRel) {
+		t.Fatal("Save→Open changed the denoted 1NF relation")
+	}
+	// definitions survive: order + MVD/FD lists
+	r, err := disk.Rel("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Def().Order.String() != def.Order.String() {
+		t.Fatalf("order changed: %v != %v", r.Def().Order, def.Order)
+	}
+	// disk-backed drop removes the relation durably
+	if err := disk.Drop("R1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	disk2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk2.Close()
+	if len(disk2.Names()) != 0 {
+		t.Fatalf("dropped relation resurrected: %v", disk2.Names())
+	}
+}
+
+// TestConcurrentScanAndWrite races disk-mode queries against
+// write-through updates on the same relation; run under -race this
+// catches unsynchronized page access.
+func TestConcurrentScanAndWrite(t *testing.T) {
+	sch, flats := enrollmentFlats(29, 25)
+	def := RelationDef{Name: "r", Schema: sch,
+		Order: schema.MustPermOf(sch, "Course", "Club", "Student")}
+	db, err := OpenWith(filepath.Join(t.TempDir(), "rw.nfrs"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, f := range flats {
+			if _, err := db.Insert("r", f); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			if _, err := db.ReadRelation("r"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSaveToOwnAlias: saving a live disk-backed database to an alias
+// of its own file must flush, not rename a snapshot over the open
+// pager (which would orphan all further writes).
+func TestSaveToOwnAlias(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.nfrs")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Create(RelationDef{Name: "r", Schema: schema.MustOf("A")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("r", tuple.FlatOfStrings("a1")); err != nil {
+		t.Fatal(err)
+	}
+	// alias: same file through a different name (symlink), so the
+	// string compare cannot match and inode comparison must
+	alias := filepath.Join(dir, "alias.nfrs")
+	if err := os.Symlink(path, alias); err != nil {
+		t.Skipf("symlink unavailable: %v", err)
+	}
+	if err := db.Save(alias); err != nil {
+		t.Fatal(err)
+	}
+	// writes after the save must survive close+reopen
+	if _, err := db.Insert("r", tuple.FlatOfStrings("a2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rel, err := db2.ReadRelation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// degree-1 tuples compose, so a1+a2 is one NFR tuple with R* size 2
+	if rel.ExpansionSize() != 2 {
+		t.Fatalf("post-save write lost: %d flat tuples, want 2", rel.ExpansionSize())
+	}
+}
+
+// TestLoadEmptyFile: loading a zero-length file must error, not
+// initialize it into an empty database.
+func TestLoadEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.nfrs")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("load of empty file accepted")
+	}
+	// and the file is untouched
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("load wrote to the file: %v, err %v", fi, err)
+	}
+}
+
+// TestDiskCanonicalInvariant mirrors TestEngineCanonicalInvariant on a
+// disk-backed engine: the stored realization must track the canonical
+// form through a mixed random workload.
+func TestDiskCanonicalInvariant(t *testing.T) {
+	sch, flats := enrollmentFlats(23, 20)
+	def := RelationDef{Name: "r", Schema: sch,
+		Order: schema.MustPermOf(sch, "Course", "Club", "Student")}
+	path := filepath.Join(t.TempDir(), "inv.nfrs")
+	db, err := OpenWith(path, 4) // tiny pool to force evictions
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Create(def); err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]tuple.Flat{}
+	for i, f := range flats {
+		if i%4 == 3 && len(live) > 0 {
+			var victim tuple.Flat
+			for _, v := range live {
+				victim = v
+				break
+			}
+			if _, err := db.Delete("r", victim); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, victim.Key())
+			continue
+		}
+		if _, err := db.Insert("r", f); err != nil {
+			t.Fatal(err)
+		}
+		live[f.Key()] = f
+	}
+	var liveFlats []tuple.Flat
+	for _, f := range live {
+		liveFlats = append(liveFlats, f)
+	}
+	flat := core.MustFromFlats(def.Schema, liveFlats)
+	want, _ := flat.Canonical(def.Order)
+	got, err := db.ReadRelation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("disk realization diverged from canonical rebuild")
+	}
+	if _, _, ev, _ := db.PoolStats(); ev == 0 {
+		t.Log("note: no evictions despite tiny pool (workload fits)")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/schema"
+	"repro/internal/store"
 	"repro/internal/tuple"
 	"repro/internal/update"
 )
@@ -56,10 +57,12 @@ func SuggestOrder(s *schema.Schema, fds []dep.FD, mvds []dep.MVD) schema.Permuta
 }
 
 // Rel is one live relation: its definition plus the canonical-form
-// maintainer.
+// maintainer, and — when the database is disk-backed — the paged store
+// the maintainer writes through to.
 type Rel struct {
 	def RelationDef
 	m   *update.Maintainer
+	rs  *store.RelStore // nil for in-memory databases
 }
 
 // Def returns the relation's definition.
@@ -77,14 +80,129 @@ func (r *Rel) ResetStats() { r.m.ResetStats() }
 
 // Database is a catalog of live relations. Methods are safe for
 // concurrent use; each relation serializes its own updates.
+//
+// A Database runs in one of two modes: purely in-memory (New), or
+// disk-backed (Open), where every relation is realized as a heap chain
+// in a single paged file and each canonical-form mutation is written
+// through as it happens.
 type Database struct {
 	mu   sync.RWMutex
 	rels map[string]*Rel
+	st   *store.Store // nil = purely in-memory
+	path string       // paged file path when disk-backed
 }
 
-// New creates an empty database.
+// New creates an empty in-memory database.
 func New() *Database {
 	return &Database{rels: make(map[string]*Rel)}
+}
+
+// Open opens (or creates) a disk-backed database in the single paged
+// file at path, with the default buffer-pool size.
+func Open(path string) (*Database, error) { return OpenWith(path, 0) }
+
+// OpenWith is Open with an explicit buffer-pool capacity in pages
+// (0 = store.DefaultPoolPages). Every relation found in the file is
+// loaded by scanning its heap through the buffer pool; the maintainers
+// then write all further mutations through to the store.
+func OpenWith(path string, poolPages int) (*Database, error) {
+	st, err := store.Open(path, store.Options{PoolPages: poolPages})
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{rels: make(map[string]*Rel), st: st, path: path}
+	for _, name := range st.Relations() {
+		rs, _ := st.Rel(name)
+		if err := db.attach(rs, true); err != nil {
+			// discard, don't flush: a failed Open must not mutate the
+			// file (an earlier relation's drift resync may have dirtied
+			// pages)
+			st.Discard()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// attach loads one stored relation into a live maintainer; live
+// attachments (Open) additionally connect the write-through sink and
+// resync the heap if the stored form drifted from canonical, while
+// read-only attachments (Load) leave the file untouched.
+func (db *Database) attach(rs *store.RelStore, live bool) error {
+	sdef := rs.Def()
+	rel, err := rs.Load()
+	if err != nil {
+		return err
+	}
+	def := RelationDef{Name: sdef.Name, Schema: sdef.Schema, Order: sdef.Order, FDs: sdef.FDs, MVDs: sdef.MVDs}
+	m, err := update.FromRelationIndexed(rel, def.Order)
+	if err != nil {
+		return err
+	}
+	r := &Rel{def: def, m: m}
+	if live {
+		// FromRelationIndexed re-canonicalizes; if the stored form had
+		// drifted from V_P (it never does through this engine, but the
+		// file format does not forbid it), resync the heap to the
+		// canonical form so write-through deletes always find their
+		// victim records.
+		if !m.Relation().Equal(rel) {
+			if err := rs.Replace(m.Relation()); err != nil {
+				return err
+			}
+		}
+		m.SetSink(rs)
+		r.rs = rs
+	}
+	db.rels[def.Name] = r
+	return nil
+}
+
+// DiskBacked reports whether the database writes through to a paged
+// file.
+func (db *Database) DiskBacked() bool { return db.st != nil }
+
+// Flush writes all dirty buffered pages of a disk-backed database to
+// stable storage. It is a no-op in memory mode.
+func (db *Database) Flush() error {
+	if db.st == nil {
+		return nil
+	}
+	return db.st.Flush()
+}
+
+// Close flushes and closes the paged file of a disk-backed database.
+// It is a no-op in memory mode.
+func (db *Database) Close() error {
+	if db.st == nil {
+		return nil
+	}
+	return db.st.Close()
+}
+
+// PoolStats reports the buffer pool's (hits, misses, evictions) for a
+// disk-backed database; ok is false in memory mode.
+func (db *Database) PoolStats() (hits, misses, evictions int, ok bool) {
+	if db.st == nil {
+		return 0, 0, 0, false
+	}
+	hits, misses, evictions = db.st.PoolStats()
+	return hits, misses, evictions, true
+}
+
+// ReadRelation returns the named relation for query evaluation. A
+// disk-backed database materializes it by scanning the relation's heap
+// chain through the buffer pool (the paper's realization view); an
+// in-memory database returns the live canonical relation directly.
+func (db *Database) ReadRelation(name string) (*core.Relation, error) {
+	r, err := db.Rel(name)
+	if err != nil {
+		return nil, err
+	}
+	if r.rs != nil {
+		return r.rs.Load()
+	}
+	return r.m.Relation(), nil
 }
 
 // Create registers a new empty relation.
@@ -124,16 +242,41 @@ func (db *Database) Create(def RelationDef) error {
 	if _, dup := db.rels[def.Name]; dup {
 		return fmt.Errorf("engine: relation %q already exists", def.Name)
 	}
-	db.rels[def.Name] = &Rel{def: def, m: m}
+	r := &Rel{def: def, m: m}
+	if db.st != nil {
+		rs, err := db.st.CreateRelation(store.RelationDef{
+			Name: def.Name, Schema: def.Schema, Order: def.Order,
+			FDs: def.FDs, MVDs: def.MVDs,
+		})
+		if err != nil {
+			return err
+		}
+		m.SetSink(rs)
+		r.rs = rs
+	}
+	db.rels[def.Name] = r
 	return nil
 }
 
-// Drop removes a relation.
+// Drop removes a relation (and its stored records in disk mode).
 func (db *Database) Drop(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.rels[name]; !ok {
 		return fmt.Errorf("engine: unknown relation %q", name)
+	}
+	if db.st != nil {
+		if err := db.st.DropRelation(name); err != nil {
+			// a partial drop may have tombstoned some of the relation's
+			// records; resync the heap from the (untouched) in-memory
+			// canonical form so disk never silently diverges
+			if r := db.rels[name]; r.rs != nil {
+				if rerr := r.rs.Replace(r.m.Relation()); rerr != nil {
+					return fmt.Errorf("engine: drop failed (%v) and heap resync failed: %w", err, rerr)
+				}
+			}
+			return err
+		}
 	}
 	delete(db.rels, name)
 	return nil
@@ -172,7 +315,14 @@ func (db *Database) Insert(name string, f tuple.Flat) (bool, error) {
 	if err := db.typeCheck(r, f); err != nil {
 		return false, err
 	}
-	return r.m.Insert(f)
+	ch, err := r.m.Insert(f)
+	if err != nil {
+		return ch, err
+	}
+	if err := r.syncAfterWrite(ch, f, true); err != nil {
+		return false, err
+	}
+	return ch, nil
 }
 
 // Delete removes a flat tuple from the named relation.
@@ -181,7 +331,45 @@ func (db *Database) Delete(name string, f tuple.Flat) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return r.m.Delete(f)
+	ch, err := r.m.Delete(f)
+	if err != nil {
+		return ch, err
+	}
+	if err := r.syncAfterWrite(ch, f, false); err != nil {
+		return false, err
+	}
+	return ch, nil
+}
+
+// syncAfterWrite surfaces a write-through failure latched by the
+// relation's store sink (always nil in memory mode) without leaving
+// memory and disk divergent: the in-memory mutation is rolled back
+// (the Section-4 algorithms are exact inverses on R*, and the
+// canonical form is unique, so memory returns to its pre-operation
+// state), the heap is rewritten from the canonical form, and the
+// original failure is returned. A record that can never fit a page
+// (an over-grown tuple) therefore rejects that one update instead of
+// poisoning the relation.
+func (r *Rel) syncAfterWrite(changed bool, f tuple.Flat, wasInsert bool) error {
+	if r.rs == nil {
+		return nil
+	}
+	err := r.rs.Err()
+	if err == nil {
+		return nil
+	}
+	if changed {
+		if wasInsert {
+			r.m.Delete(f)
+		} else {
+			r.m.Insert(f)
+		}
+	}
+	if rerr := r.rs.Replace(r.m.Relation()); rerr != nil {
+		return fmt.Errorf("engine: write-through failed (%v) and heap resync failed: %w", err, rerr)
+	}
+	r.rs.ResetErr()
+	return fmt.Errorf("engine: write-through to store failed (update rolled back): %w", err)
 }
 
 // InsertMany bulk-inserts flat tuples, returning how many changed the

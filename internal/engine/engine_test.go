@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
@@ -254,11 +255,15 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	db.Create(RelationDef{Name: "plain", Schema: schema.MustOf("X", "Y")})
 	db.Insert("plain", tuple.FlatOfStrings("x", "y"))
 
-	dir := t.TempDir()
-	if err := db.Save(dir); err != nil {
+	path := filepath.Join(t.TempDir(), "db.nfrs")
+	if err := db.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	db2, err := Load(dir)
+	// saving twice over an existing file must replace it cleanly
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,8 +297,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.nfrs")); err == nil {
+		t.Error("load of missing file accepted")
+	}
 	if _, err := Load(t.TempDir()); err == nil {
-		t.Error("load of empty dir accepted")
+		t.Error("load of a directory accepted")
 	}
 }
 

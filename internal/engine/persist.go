@@ -1,151 +1,108 @@
 package engine
 
 import (
-	"bufio"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 
-	"repro/internal/dep"
-	"repro/internal/encoding"
-	"repro/internal/schema"
-	"repro/internal/update"
+	"repro/internal/store"
 )
 
-// Save persists the database to a directory: a MANIFEST file listing
-// each relation's definition and one binary .nfr file per relation.
-func (db *Database) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// Save persists a point-in-time snapshot of the database into a single
+// paged file at path (the store format: catalog page + per-relation
+// heap chains — see docs/storage.md). An existing file is replaced
+// atomically via a temporary file and rename. A disk-backed database
+// saving to its own path just flushes the buffer pool: the paged file
+// is already the database.
+func (db *Database) Save(path string) error {
+	if db.st != nil && db.isOwnFile(path) {
+		return db.Flush()
+	}
+	tmp := path + ".tmp"
+	if err := os.Remove(tmp); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	mf, err := os.Create(filepath.Join(dir, "MANIFEST"))
+	st, err := store.Open(tmp, store.Options{})
 	if err != nil {
 		return err
 	}
-	defer mf.Close()
-	w := bufio.NewWriter(mf)
 	for _, name := range db.Names() {
 		r, err := db.Rel(name)
 		if err != nil {
+			st.Close()
+			os.Remove(tmp)
 			return err
 		}
 		def := r.Def()
-		fmt.Fprintf(w, "relation %s\n", name)
-		fmt.Fprintf(w, "order %s\n", strings.Join(def.Order.Names(def.Schema), ","))
-		for _, f := range def.FDs {
-			fmt.Fprintf(w, "fd %s : %s\n",
-				strings.Join(f.Lhs.Sorted(), ","), strings.Join(f.Rhs.Sorted(), ","))
+		rs, err := st.CreateRelation(store.RelationDef{
+			Name: def.Name, Schema: def.Schema, Order: def.Order,
+			FDs: def.FDs, MVDs: def.MVDs,
+		})
+		if err == nil {
+			rel := r.Relation()
+			for i := 0; i < rel.Len() && err == nil; i++ {
+				err = rs.Insert(rel.Tuple(i))
+			}
 		}
-		for _, m := range def.MVDs {
-			fmt.Fprintf(w, "mvd %s : %s\n",
-				strings.Join(m.Lhs.Sorted(), ","), strings.Join(m.Rhs.Sorted(), ","))
-		}
-		fmt.Fprintln(w, "end")
-		rf, err := os.Create(filepath.Join(dir, name+".nfr"))
 		if err != nil {
-			return err
-		}
-		if err := encoding.WriteRelation(rf, r.Relation()); err != nil {
-			rf.Close()
-			return err
-		}
-		if err := rf.Close(); err != nil {
+			st.Close()
+			os.Remove(tmp)
 			return err
 		}
 	}
-	return w.Flush()
+	if err := st.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
-// Load restores a database saved by Save.
-func Load(dir string) (*Database, error) {
-	mf, err := os.Open(filepath.Join(dir, "MANIFEST"))
+// isOwnFile reports whether path names the live paged file, comparing
+// inodes (not strings) so relative paths, aliases and symlinks cannot
+// trick Save into renaming a snapshot over the file the open pager
+// still holds — which would silently orphan all further writes.
+func (db *Database) isOwnFile(path string) bool {
+	if path == db.path {
+		return true
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return false // target doesn't exist, cannot be the live file
+	}
+	own, err := os.Stat(db.path)
+	if err != nil {
+		return false
+	}
+	return os.SameFile(fi, own)
+}
+
+// Load restores a database saved by Save into memory mode: the paged
+// file is read once (relations, nest orders, dependencies, tuples) and
+// then closed. Use Open instead to keep the file live with write-
+// through updates.
+func Load(path string) (*Database, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: load %s: %w", path, err)
+	}
+	// A zero-length file would be initialized (written!) by store.Open's
+	// create-if-empty path; a read-only load must reject it instead.
+	if fi.Size() == 0 {
+		return nil, fmt.Errorf("engine: load %s: not a database file (empty)", path)
+	}
+	st, err := store.Open(path, store.Options{})
 	if err != nil {
 		return nil, err
 	}
-	defer mf.Close()
+	// Discard, never flush: Load must not write to the file under any
+	// circumstance (read-only attaches leave no dirty pages anyway).
+	defer st.Discard()
 	db := New()
-	sc := bufio.NewScanner(mf)
-	var cur *RelationDef
-	var orderNames []string
-	flush := func() error {
-		if cur == nil {
-			return nil
+	for _, name := range st.Relations() {
+		rs, _ := st.Rel(name)
+		// read-only attach: no sink, and never writes back to the file
+		if err := db.attach(rs, false); err != nil {
+			return nil, err
 		}
-		rf, err := os.Open(filepath.Join(dir, cur.Name+".nfr"))
-		if err != nil {
-			return err
-		}
-		rel, err := encoding.ReadRelation(rf)
-		rf.Close()
-		if err != nil {
-			return err
-		}
-		cur.Schema = rel.Schema()
-		if len(orderNames) > 0 {
-			p, err := schema.PermOf(cur.Schema, orderNames...)
-			if err != nil {
-				return err
-			}
-			cur.Order = p
-		}
-		if err := db.Create(*cur); err != nil {
-			return err
-		}
-		r, err := db.Rel(cur.Name)
-		if err != nil {
-			return err
-		}
-		m, err := update.FromRelationIndexed(rel, cur.Order)
-		if err != nil {
-			return err
-		}
-		r.m = m
-		cur = nil
-		orderNames = nil
-		return nil
-	}
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		fields := strings.Fields(line)
-		switch fields[0] {
-		case "relation":
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("engine: bad manifest line %q", line)
-			}
-			cur = &RelationDef{Name: fields[1]}
-		case "order":
-			if cur == nil || len(fields) != 2 {
-				return nil, fmt.Errorf("engine: bad manifest line %q", line)
-			}
-			orderNames = strings.Split(fields[1], ",")
-		case "fd", "mvd":
-			if cur == nil || len(fields) != 4 || fields[2] != ":" {
-				return nil, fmt.Errorf("engine: bad manifest line %q", line)
-			}
-			lhs := strings.Split(fields[1], ",")
-			rhs := strings.Split(fields[3], ",")
-			if fields[0] == "fd" {
-				cur.FDs = append(cur.FDs, dep.NewFD(lhs, rhs))
-			} else {
-				cur.MVDs = append(cur.MVDs, dep.NewMVD(lhs, rhs))
-			}
-		case "end":
-			if err := flush(); err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("engine: bad manifest directive %q", fields[0])
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if cur != nil {
-		return nil, fmt.Errorf("engine: manifest truncated (missing end)")
 	}
 	return db, nil
 }

@@ -307,6 +307,10 @@ func RunAll(w io.Writer, dir string) error {
 	if _, err := RunStorageFootprint(w, dir, 53, 250); err != nil {
 		return err
 	}
+	sep()
+	if _, err := RunDiskEngine(w, dir, 61, 250, 32); err != nil {
+		return err
+	}
 	return nil
 }
 

@@ -231,6 +231,22 @@ func TestRunStorageFootprint(t *testing.T) {
 	}
 }
 
+func TestRunDiskEngine(t *testing.T) {
+	res, err := RunDiskEngine(io.Discard, t.TempDir(), 3, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Error("disk realization not equivalent to in-memory engine")
+	}
+	if res.Hits+res.Misses == 0 {
+		t.Error("no buffer-pool traffic recorded")
+	}
+	if res.NFRTuples == 0 || res.FlatTuples <= res.NFRTuples {
+		t.Errorf("suspicious sizes: %d NFR / %d flat", res.NFRTuples, res.FlatTuples)
+	}
+}
+
 func TestFig1DataSatisfiesMVD(t *testing.T) {
 	r1, _ := Fig1Data()
 	// cross-check via canonical nesting: grouping must be exact

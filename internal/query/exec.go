@@ -34,8 +34,12 @@ type Session struct {
 	DB *engine.Database
 }
 
-// NewSession creates a session over a fresh database.
+// NewSession creates a session over a fresh in-memory database.
 func NewSession() *Session { return &Session{DB: engine.New()} }
+
+// NewSessionOn creates a session over an existing database (for
+// example one opened disk-backed with engine.Open).
+func NewSessionOn(db *engine.Database) *Session { return &Session{DB: db} }
 
 // Exec parses and executes one statement.
 func (s *Session) Exec(stmtText string) (Result, error) {
@@ -159,12 +163,12 @@ func (s *Session) ExecStmt(st Stmt) (Result, error) {
 	}
 }
 
+// relation fetches the named relation for evaluation. On a disk-backed
+// database this scans the relation's heap chain through the buffer
+// pool, so queries exercise the paged realization rather than the
+// maintainer's in-memory working set.
 func (s *Session) relation(name string) (*core.Relation, error) {
-	r, err := s.DB.Rel(name)
-	if err != nil {
-		return nil, err
-	}
-	return r.Relation(), nil
+	return s.DB.ReadRelation(name)
 }
 
 func (s *Session) execCreate(st CreateStmt) (Result, error) {

@@ -1,0 +1,85 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds covers every statement form and the grammar's corners:
+// quoted strings with escapes, typed attributes, predicates with all
+// connectives, CARD, CONTAINS, ALL, keyword-flavored identifiers, and
+// numeric edge shapes.
+var fuzzSeeds = []string{
+	"create r (a, b)",
+	"create r (a:int, b:string, c:float, d:bool) order (b, a, c, d)",
+	"create r (a, b, c) fd a -> b, c mvd a ->-> b",
+	"drop r",
+	"insert into r values (1, 2.5, \"x\", true, null)",
+	"insert into r values (s1, c1), (s2, c2)",
+	"delete from r values (-3, \"a\\\"b\\\\c\")",
+	"select * from r",
+	"select flat a, b from r where a = 1 and b <> 2 or not (c < 3)",
+	"select a from r where card(b) >= 2",
+	"select a from r where b contains \"x\" and c all > 0",
+	"select a from r where a = true and b = null",
+	"nest r on a",
+	"unnest r on a",
+	"join r, s",
+	"show r",
+	"stats r",
+	"validate r",
+	"select * from r where a = 0.5",
+	"select * from r where a = -0",
+	"insert into r values (007, 1., \"\")",
+	"select * from r where card = 1",
+	"select flat flat from r",
+	"-- comment only",
+	"select * from r where a = \"true\"",
+}
+
+// FuzzParse asserts two properties over arbitrary input: the parser
+// never panics, and any statement it accepts round-trips — printing it
+// with String() and re-parsing yields an identical AST.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		st, err := Parse(in)
+		if err != nil {
+			return // rejected input is fine; only panics are bugs
+		}
+		text := st.String()
+		st2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse\ninput: %q\nprinted: %q\nerror: %v", in, text, err)
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatalf("round trip changed the AST\ninput: %q\nprinted: %q\nfirst:  %#v\nsecond: %#v", in, text, st, st2)
+		}
+		// printing is a fixed point once parsed
+		if text2 := st2.String(); text2 != text {
+			t.Fatalf("printer not stable: %q then %q", text, text2)
+		}
+	})
+}
+
+// TestStmtStringRoundTripSeeds runs the fuzz property over the seed
+// corpus in normal test runs (go test does run seeds, but this keeps
+// the property visible even with -run filters).
+func TestStmtStringRoundTripSeeds(t *testing.T) {
+	for _, in := range fuzzSeeds {
+		st, err := Parse(in)
+		if err != nil {
+			continue
+		}
+		st2, err := Parse(st.String())
+		if err != nil {
+			t.Errorf("%q: printed form %q does not re-parse: %v", in, st.String(), err)
+			continue
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Errorf("%q: round trip changed AST", in)
+		}
+	}
+}

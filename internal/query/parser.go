@@ -9,8 +9,13 @@ import (
 	"repro/internal/value"
 )
 
-// Stmt is a parsed statement.
-type Stmt interface{ stmt() }
+// Stmt is a parsed statement. String renders it in re-parseable query
+// syntax: for every statement st, Parse(st.String()) succeeds and
+// yields an identical AST (the property FuzzParse checks).
+type Stmt interface {
+	stmt()
+	String() string
+}
 
 // CreateStmt declares a relation.
 type CreateStmt struct {
@@ -102,10 +107,10 @@ func Parse(in string) (Stmt, error) {
 	return st, nil
 }
 
-func (p *parser) peek() token  { return p.toks[p.i] }
-func (p *parser) next() token  { t := p.toks[p.i]; p.i++; return t }
-func (p *parser) atEOF() bool  { return p.peek().kind == tokEOF }
-func (p *parser) save() int    { return p.i }
+func (p *parser) peek() token   { return p.toks[p.i] }
+func (p *parser) next() token   { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.i }
 func (p *parser) restore(s int) { p.i = s }
 
 // matchKw consumes a case-insensitive keyword.

@@ -1,0 +1,116 @@
+package query
+
+import (
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/value"
+)
+
+// This file implements the statement printer: String() renders every
+// Stmt back into query syntax such that re-parsing yields an identical
+// AST. Literals are rendered via algebra.LiteralString, which quotes
+// strings and keeps floats distinguishable from ints, so the bare-
+// identifier / keyword ambiguities of the surface syntax cannot change
+// the atom kinds on the round trip.
+
+func renderRows(b *strings.Builder, rows [][]value.Atom) {
+	for i, row := range rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, a := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(algebra.LiteralString(a))
+		}
+		b.WriteByte(')')
+	}
+}
+
+func (s CreateStmt) String() string {
+	var b strings.Builder
+	b.WriteString("create ")
+	b.WriteString(s.Name)
+	b.WriteString(" (")
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		if a.Kind != value.Null {
+			b.WriteByte(':')
+			b.WriteString(a.Kind.String())
+		}
+	}
+	b.WriteByte(')')
+	if len(s.Order) > 0 {
+		b.WriteString(" order (")
+		b.WriteString(strings.Join(s.Order, ", "))
+		b.WriteByte(')')
+	}
+	for _, f := range s.FDs {
+		b.WriteString(" fd ")
+		b.WriteString(strings.Join(f[0], ", "))
+		b.WriteString(" -> ")
+		b.WriteString(strings.Join(f[1], ", "))
+	}
+	for _, m := range s.MVDs {
+		b.WriteString(" mvd ")
+		b.WriteString(strings.Join(m[0], ", "))
+		b.WriteString(" ->-> ")
+		b.WriteString(strings.Join(m[1], ", "))
+	}
+	return b.String()
+}
+
+func (s DropStmt) String() string { return "drop " + s.Name }
+
+func (s InsertStmt) String() string {
+	var b strings.Builder
+	b.WriteString("insert into ")
+	b.WriteString(s.Name)
+	b.WriteString(" values ")
+	renderRows(&b, s.Rows)
+	return b.String()
+}
+
+func (s DeleteStmt) String() string {
+	var b strings.Builder
+	b.WriteString("delete from ")
+	b.WriteString(s.Name)
+	b.WriteString(" values ")
+	renderRows(&b, s.Rows)
+	return b.String()
+}
+
+func (s SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if s.Flat {
+		b.WriteString("flat ")
+	}
+	if s.Cols == nil {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(strings.Join(s.Cols, ", "))
+	}
+	b.WriteString(" from ")
+	b.WriteString(s.Name)
+	if s.Where != nil {
+		b.WriteString(" where ")
+		b.WriteString(s.Where.String())
+	}
+	return b.String()
+}
+
+func (s NestStmt) String() string   { return "nest " + s.Name + " on " + s.Attr }
+func (s UnnestStmt) String() string { return "unnest " + s.Name + " on " + s.Attr }
+func (s JoinStmt) String() string   { return "join " + s.Left + ", " + s.Right }
+func (s ShowStmt) String() string   { return "show " + s.Name }
+func (s StatsStmt) String() string  { return "stats " + s.Name }
+func (s ValidateStmt) String() string {
+	return "validate " + s.Name
+}

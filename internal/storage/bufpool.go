@@ -78,6 +78,12 @@ func (bp *BufferPool) Get(pid uint32) (*Frame, error) {
 	if err := bp.pager.Read(pid, &fr.page); err != nil {
 		return nil, err
 	}
+	// Every page entering the pool from disk is validated once, so
+	// downstream slot arithmetic never indexes out of range on a torn
+	// or garbage page.
+	if err := fr.page.Validate(); err != nil {
+		return nil, fmt.Errorf("page %d: %w", pid, err)
+	}
 	bp.frames[pid] = fr
 	return fr, nil
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 )
 
@@ -34,12 +35,21 @@ func CreateHeap(bp *BufferPool) (*HeapFile, error) {
 	return &HeapFile{bp: bp, first: pid, last: pid}, nil
 }
 
+// ErrChainCycle is returned when a heap chain's next pointers loop —
+// a corruption Page.Validate cannot see (the next field is arbitrary).
+var ErrChainCycle = errors.New("storage: heap chain cycle")
+
 // OpenHeap attaches to an existing heap chain starting at first.
 func OpenHeap(bp *BufferPool, first uint32) (*HeapFile, error) {
 	h := &HeapFile{bp: bp, first: first, last: first}
 	// walk to the end of the chain
 	pid := first
+	seen := make(map[uint32]bool)
 	for {
+		if seen[pid] {
+			return nil, fmt.Errorf("%w: page %d revisited", ErrChainCycle, pid)
+		}
+		seen[pid] = true
 		fr, err := bp.Get(pid)
 		if err != nil {
 			return nil, err
@@ -135,7 +145,12 @@ func (h *HeapFile) Delete(rid RID) error {
 // during the call.
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
 	pid := h.first
+	seen := make(map[uint32]bool)
 	for pid != 0 {
+		if seen[pid] {
+			return fmt.Errorf("%w: page %d revisited", ErrChainCycle, pid)
+		}
+		seen[pid] = true
 		fr, err := h.bp.Get(pid)
 		if err != nil {
 			return err
@@ -172,7 +187,12 @@ type HeapStats struct {
 func (h *HeapFile) Stats() (HeapStats, error) {
 	var st HeapStats
 	pid := h.first
+	seen := make(map[uint32]bool)
 	for pid != 0 {
+		if seen[pid] {
+			return st, fmt.Errorf("%w: page %d revisited", ErrChainCycle, pid)
+		}
+		seen[pid] = true
 		fr, err := h.bp.Get(pid)
 		if err != nil {
 			return st, err

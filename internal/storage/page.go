@@ -33,6 +33,10 @@ var ErrPageFull = errors.New("storage: page full")
 // ErrBadSlot is returned for out-of-range or deleted slots.
 var ErrBadSlot = errors.New("storage: bad slot")
 
+// ErrCorruptPage is wrapped by Validate failures on structurally
+// invalid pages (torn writes, truncation, garbage).
+var ErrCorruptPage = errors.New("storage: corrupt page")
+
 // Page is one fixed-size slotted page.
 type Page [PageSize]byte
 
@@ -161,6 +165,32 @@ func (p *Page) Compact() {
 		off += len(r.data)
 	}
 	p.setFreeStart(off)
+}
+
+// Validate checks the structural invariants of a page read from disk:
+// the slot directory and record area must fit the page and every live
+// slot must reference a region inside the record area. It exists so a
+// torn or garbage page surfaces as a clean error instead of an
+// out-of-range panic in slot arithmetic.
+func (p *Page) Validate() error {
+	ns := p.numSlots()
+	if pageHeaderSize+ns*slotSize > PageSize {
+		return fmt.Errorf("%w: slot directory of %d entries overflows page", ErrCorruptPage, ns)
+	}
+	fs := p.freeStart()
+	if fs < pageHeaderSize || fs > PageSize-ns*slotSize {
+		return fmt.Errorf("%w: free start %d out of range", ErrCorruptPage, fs)
+	}
+	for i := 0; i < ns; i++ {
+		off, ln := p.slotAt(i)
+		if off == 0 {
+			continue // tombstone
+		}
+		if off < pageHeaderSize || off+ln > fs {
+			return fmt.Errorf("%w: slot %d region [%d,%d) outside record area", ErrCorruptPage, i, off, off+ln)
+		}
+	}
+	return nil
 }
 
 // LiveRecords calls fn for every live slot, stopping early on false.

@@ -258,6 +258,71 @@ func TestBufferPoolValidation(t *testing.T) {
 	}
 }
 
+func TestPageValidate(t *testing.T) {
+	var p Page
+	p.Init()
+	if _, err := p.Insert([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid page rejected: %v", err)
+	}
+	// a zero page (torn write) has freeStart below the header
+	var zero Page
+	if err := zero.Validate(); err == nil {
+		t.Error("zero page accepted")
+	}
+	// slot directory overflowing the page
+	var huge Page
+	huge.Init()
+	huge[0], huge[1] = 0xFF, 0xFF // numSlots = 65535
+	if err := huge.Validate(); err == nil {
+		t.Error("oversized slot directory accepted")
+	}
+	// live slot pointing past the record area
+	var bad Page
+	bad.Init()
+	if _, err := bad.Insert([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	bad.setSlot(0, PageSize-1, 8)
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-area slot accepted")
+	}
+	// a corrupt page read through the pool surfaces as a clean error
+	pg, bp := newPool(t, 2)
+	fr, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := fr.PID()
+	if err := bp.Unpin(fr, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var junk Page
+	junk[0], junk[1] = 0xFF, 0xFF
+	if err := pg.Write(pid, &junk); err != nil {
+		t.Fatal(err)
+	}
+	// evict the clean cached copy so the next Get re-reads from disk
+	fr2, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(fr2, false)
+	fr3, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(fr3, false)
+	if _, err := bp.Get(pid); err == nil {
+		t.Error("corrupt page loaded through pool without error")
+	}
+}
+
 func TestHeapInsertGetDeleteScan(t *testing.T) {
 	_, bp := newPool(t, 8)
 	h, err := CreateHeap(bp)

@@ -1,0 +1,290 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// RelStore is one relation's on-disk realization: a heap file of
+// encoded canonical NFR tuples plus two in-memory hash indexes rebuilt
+// on open —
+//
+//   - a primary index keyed on the full tuple key, so the write-through
+//     delete path locates the victim record in O(1), and
+//   - a fixed-attribute index keyed on each atom of the tuple's fixed
+//     (determinant) component, so point lookups by determinant value
+//     (the NFR analogue of a key probe) avoid scanning the heap.
+//
+// RelStore implements update.Sink; because the sink interface cannot
+// return errors mid-algorithm, write failures are latched and surfaced
+// via Err.
+type RelStore struct {
+	st     *Store
+	def    RelationDef
+	heap   *storage.HeapFile
+	catRID storage.RID
+
+	mu    sync.Mutex
+	rids  *storage.HashIndex // tuple key -> RID
+	fixed *storage.HashIndex // determinant atom -> RID
+	count int
+	err   error // first write-through failure
+}
+
+// fixedAttr returns the schema position of the last-nested attribute —
+// the component the canonical form is fixed on when the nest order
+// follows the paper's Section 3.4 guidance.
+func (r *RelStore) fixedAttr() int { return r.def.Order[len(r.def.Order)-1] }
+
+func newRelStore(s *Store, def RelationDef, heap *storage.HeapFile, catRID storage.RID) *RelStore {
+	return &RelStore{
+		st: s, def: def, heap: heap, catRID: catRID,
+		rids:  storage.NewHashIndex(),
+		fixed: storage.NewHashIndex(),
+	}
+}
+
+// openRelStore attaches to an existing heap chain and rebuilds the
+// indexes by scanning it.
+func openRelStore(s *Store, ce catalogEntry) (*RelStore, error) {
+	heap, err := storage.OpenHeap(s.bp, ce.heapFirst)
+	if err != nil {
+		return nil, fmt.Errorf("%w: opening heap of %q: %v", ErrCorrupt, ce.def.Name, err)
+	}
+	rs := newRelStore(s, ce.def, heap, ce.rid)
+	var dupErr error
+	if err := rs.scanRaw(func(rid storage.RID, t tuple.Tuple) bool {
+		// The engine never writes the same tuple twice; a duplicate
+		// record would make deletes leave a stale copy behind, so it is
+		// corruption, not data.
+		if len(rs.rids.Get([]byte(t.Key()))) > 0 {
+			dupErr = fmt.Errorf("%w: duplicate record at %v in %q", ErrCorrupt, rid, ce.def.Name)
+			return false
+		}
+		rs.indexTuple(t, rid)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if dupErr != nil {
+		return nil, dupErr
+	}
+	return rs, nil
+}
+
+// Def returns the relation's durable definition.
+func (r *RelStore) Def() RelationDef { return r.def }
+
+// Len returns the number of stored NFR tuples.
+func (r *RelStore) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Err returns the first write-through failure recorded by the sink
+// callbacks (nil when all writes succeeded).
+func (r *RelStore) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *RelStore) indexTuple(t tuple.Tuple, rid storage.RID) {
+	r.rids.Put([]byte(t.Key()), rid)
+	for _, a := range t.Set(r.fixedAttr()).Atoms() {
+		r.fixed.Put(encoding.AppendAtom(nil, a), rid)
+	}
+	r.count++
+}
+
+func (r *RelStore) unindexTuple(t tuple.Tuple, rid storage.RID) {
+	r.rids.Delete([]byte(t.Key()), rid)
+	for _, a := range t.Set(r.fixedAttr()).Atoms() {
+		r.fixed.Delete(encoding.AppendAtom(nil, a), rid)
+	}
+	r.count--
+}
+
+// Insert appends one canonical tuple to the heap and indexes it.
+func (r *RelStore) Insert(t tuple.Tuple) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rid, err := r.heap.Insert(encoding.EncodeTuple(t))
+	if err != nil {
+		return err
+	}
+	r.indexTuple(t, rid)
+	return nil
+}
+
+// Remove deletes the record holding the exact tuple t.
+func (r *RelStore) Remove(t tuple.Tuple) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := []byte(t.Key())
+	rids := r.rids.Get(key)
+	if len(rids) == 0 {
+		return fmt.Errorf("store: tuple not found in %q: %s", r.def.Name, t)
+	}
+	rid := rids[0]
+	if err := r.heap.Delete(rid); err != nil {
+		return err
+	}
+	r.unindexTuple(t, rid)
+	return nil
+}
+
+// TupleAdded implements update.Sink: write-through of a composition
+// result. Errors are latched (see Err).
+func (r *RelStore) TupleAdded(t tuple.Tuple) {
+	if err := r.Insert(t); err != nil {
+		r.setErr(err)
+	}
+}
+
+// TupleRemoved implements update.Sink: write-through of a decomposition
+// victim. Errors are latched (see Err).
+func (r *RelStore) TupleRemoved(t tuple.Tuple) {
+	if err := r.Remove(t); err != nil {
+		r.setErr(err)
+	}
+}
+
+// ResetErr clears the latched write-through failure. Callers must
+// first restore heap↔memory consistency (see Replace); the engine's
+// rollback path does exactly that.
+func (r *RelStore) ResetErr() {
+	r.mu.Lock()
+	r.err = nil
+	r.mu.Unlock()
+}
+
+func (r *RelStore) setErr(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+// scanRaw decodes every live record in chain order, reporting rids.
+// r.mu is held for the whole walk so readers never observe page bytes
+// mid-mutation from a concurrent write-through.
+func (r *RelStore) scanRaw(fn func(rid storage.RID, t tuple.Tuple) bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scanRawLocked(fn)
+}
+
+func (r *RelStore) scanRawLocked(fn func(rid storage.RID, t tuple.Tuple) bool) error {
+	deg := r.def.Schema.Degree()
+	var decodeErr error
+	err := r.heap.Scan(func(rid storage.RID, rec []byte) bool {
+		t, n, err := encoding.DecodeTuple(rec)
+		if err != nil {
+			decodeErr = fmt.Errorf("%w: record %v of %q: %v", ErrCorrupt, rid, r.def.Name, err)
+			return false
+		}
+		if n != len(rec) || t.Degree() != deg {
+			decodeErr = fmt.Errorf("%w: record %v of %q: malformed tuple record", ErrCorrupt, rid, r.def.Name)
+			return false
+		}
+		return fn(rid, t)
+	})
+	if err != nil {
+		return fmt.Errorf("%w: scanning %q: %v", ErrCorrupt, r.def.Name, err)
+	}
+	return decodeErr
+}
+
+// Scan calls fn for every stored tuple in heap order, reading pages
+// through the shared buffer pool. fn returning false stops the scan.
+func (r *RelStore) Scan(fn func(t tuple.Tuple) bool) error {
+	return r.scanRaw(func(_ storage.RID, t tuple.Tuple) bool { return fn(t) })
+}
+
+// Load materializes the stored relation by scanning its heap.
+func (r *RelStore) Load() (*core.Relation, error) {
+	rel := core.NewRelation(r.def.Schema)
+	if err := r.Scan(func(t tuple.Tuple) bool {
+		rel.Add(t)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// LookupFixed returns every stored tuple whose fixed (determinant)
+// component contains atom a — an index point lookup instead of a heap
+// scan.
+func (r *RelStore) LookupFixed(a value.Atom) ([]tuple.Tuple, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rids := r.fixed.Get(encoding.AppendAtom(nil, a))
+	out := make([]tuple.Tuple, 0, len(rids))
+	for _, rid := range rids {
+		rec, err := r.heap.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		t, _, err := encoding.DecodeTuple(rec)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %v of %q: %v", ErrCorrupt, rid, r.def.Name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// HeapStats reports the heap occupancy of this relation.
+func (r *RelStore) HeapStats() (storage.HeapStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.heap.Stats()
+}
+
+// Replace atomically (with respect to this process) swaps the stored
+// content for the given relation: every live record is tombstoned and
+// rel's tuples are inserted fresh. Used by the engine when the stored
+// form has drifted from the canonical form it maintains.
+func (r *RelStore) Replace(rel *core.Relation) error {
+	if err := r.clear(); err != nil {
+		return err
+	}
+	for i := 0; i < rel.Len(); i++ {
+		if err := r.Insert(rel.Tuple(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clear tombstones every live record (used by DropRelation).
+func (r *RelStore) clear() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var rids []storage.RID
+	if err := r.heap.Scan(func(rid storage.RID, _ []byte) bool {
+		rids = append(rids, rid)
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, rid := range rids {
+		if err := r.heap.Delete(rid); err != nil {
+			return err
+		}
+	}
+	r.rids = storage.NewHashIndex()
+	r.fixed = storage.NewHashIndex()
+	r.count = 0
+	return nil
+}

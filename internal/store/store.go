@@ -1,0 +1,263 @@
+// Package store maps catalog relations onto the paged storage
+// substrate: each relation's canonical NFR tuples live in a heap file
+// of encoded records behind a shared buffer pool, with an in-memory
+// hash index (rebuilt on open) keyed on the fixed (determinant)
+// attribute so victim tuples can be located by key instead of by
+// scanning. The whole database is one paged file:
+//
+//	page 1..  catalog heap chain — record 0 is the header
+//	          (magic "NFRS" + format version), every further live
+//	          record is one relation definition + its heap root
+//	page *    per-relation heap chains of encoding.EncodeTuple records
+//
+// The store is the durability half of the engine's "realization view"
+// (paper Section 5): the engine keeps the canonical form in memory for
+// the Section-4 update algorithms and writes every tuple mutation
+// through via the update.Sink interface. See docs/storage.md for the
+// layer diagram and format details.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Magic identifies a paged NFR database file (header record of the
+// catalog heap).
+var Magic = [4]byte{'N', 'F', 'R', 'S'}
+
+// FormatVersion is the current paged file format version.
+const FormatVersion = 1
+
+// DefaultPoolPages is the buffer-pool capacity used when Options does
+// not specify one.
+const DefaultPoolPages = 64
+
+// ErrCorrupt is wrapped by open/scan errors caused by a malformed
+// database file (truncation, torn pages, garbage records).
+var ErrCorrupt = errors.New("store: corrupt database file")
+
+// catalogRoot is the page id of the catalog heap's first page.
+const catalogRoot = 1
+
+// Options tunes a Store.
+type Options struct {
+	// PoolPages is the buffer-pool capacity in pages (0 = default).
+	PoolPages int
+}
+
+// Store is one paged database file: a catalog of relation stores
+// sharing a pager and buffer pool.
+type Store struct {
+	mu      sync.Mutex
+	pager   *storage.Pager
+	bp      *storage.BufferPool
+	catalog *storage.HeapFile
+	rels    map[string]*RelStore
+}
+
+// Open opens the paged database at path, creating and initializing the
+// file when it does not exist (or is empty). On an existing file the
+// catalog is read and every relation's hash indexes are rebuilt from
+// its heap (the classic rebuild-on-start design: the heap is the only
+// durable structure).
+func Open(path string, opts Options) (*Store, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = DefaultPoolPages
+	}
+	pg, err := storage.OpenPager(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := storage.NewBufferPool(pg, opts.PoolPages)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	s := &Store{pager: pg, bp: bp, rels: make(map[string]*RelStore)}
+	if pg.NumPages() == 0 {
+		if err := s.initFile(); err != nil {
+			pg.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := s.loadCatalog(); err != nil {
+		pg.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// initFile lays out a fresh database: the catalog heap with its header
+// record.
+func (s *Store) initFile() error {
+	cat, err := storage.CreateHeap(s.bp)
+	if err != nil {
+		return err
+	}
+	if cat.FirstPage() != catalogRoot {
+		return fmt.Errorf("store: catalog heap allocated at page %d, want %d", cat.FirstPage(), catalogRoot)
+	}
+	s.catalog = cat
+	hdr := append(append([]byte{}, Magic[:]...), FormatVersion)
+	if _, err := cat.Insert(hdr); err != nil {
+		return err
+	}
+	return s.bp.Flush()
+}
+
+// loadCatalog reads the header and every relation record, opening each
+// relation's heap and rebuilding its indexes.
+func (s *Store) loadCatalog() error {
+	cat, err := storage.OpenHeap(s.bp, catalogRoot)
+	if err != nil {
+		return fmt.Errorf("%w: opening catalog: %v", ErrCorrupt, err)
+	}
+	s.catalog = cat
+	sawHeader := false
+	var defs []catalogEntry
+	scanErr := cat.Scan(func(rid storage.RID, rec []byte) bool {
+		if len(rec) == 0 {
+			err = fmt.Errorf("%w: empty catalog record at %v", ErrCorrupt, rid)
+			return false
+		}
+		switch rec[0] {
+		case Magic[0]:
+			if len(rec) != 5 || string(rec[:4]) != string(Magic[:]) {
+				err = fmt.Errorf("%w: bad header record", ErrCorrupt)
+				return false
+			}
+			if rec[4] != FormatVersion {
+				err = fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, rec[4])
+				return false
+			}
+			sawHeader = true
+			return true
+		case relRecordTag:
+			ce, derr := decodeCatalogRecord(rec)
+			if derr != nil {
+				err = derr
+				return false
+			}
+			ce.rid = rid
+			defs = append(defs, ce)
+			return true
+		default:
+			err = fmt.Errorf("%w: unknown catalog record tag %q at %v", ErrCorrupt, rec[0], rid)
+			return false
+		}
+	})
+	if scanErr != nil {
+		return fmt.Errorf("%w: scanning catalog: %v", ErrCorrupt, scanErr)
+	}
+	if err != nil {
+		return err
+	}
+	if !sawHeader {
+		return fmt.Errorf("%w: missing header record", ErrCorrupt)
+	}
+	for _, ce := range defs {
+		if _, dup := s.rels[ce.def.Name]; dup {
+			return fmt.Errorf("%w: duplicate catalog entry for %q", ErrCorrupt, ce.def.Name)
+		}
+		rs, err := openRelStore(s, ce)
+		if err != nil {
+			return err
+		}
+		s.rels[ce.def.Name] = rs
+	}
+	return nil
+}
+
+// CreateRelation registers a new empty relation: a fresh heap chain
+// plus a catalog record pointing at it.
+func (s *Store) CreateRelation(def RelationDef) (*RelStore, error) {
+	if err := def.validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.rels[def.Name]; dup {
+		return nil, fmt.Errorf("store: relation %q already exists", def.Name)
+	}
+	heap, err := storage.CreateHeap(s.bp)
+	if err != nil {
+		return nil, err
+	}
+	rid, err := s.catalog.Insert(encodeCatalogRecord(def, heap.FirstPage()))
+	if err != nil {
+		return nil, err
+	}
+	rs := newRelStore(s, def, heap, rid)
+	s.rels[def.Name] = rs
+	return rs, nil
+}
+
+// DropRelation removes a relation: its catalog record is tombstoned and
+// its heap records deleted. The heap's pages themselves are orphaned
+// (there is no free list yet; see docs/storage.md).
+func (s *Store) DropRelation(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs, ok := s.rels[name]
+	if !ok {
+		return fmt.Errorf("store: unknown relation %q", name)
+	}
+	// clear first: if record deletion fails midway the catalog entry
+	// survives, so the relation stays visible (partially emptied) and
+	// the caller's view never diverges from the file's.
+	if err := rs.clear(); err != nil {
+		return err
+	}
+	if err := s.catalog.Delete(rs.catRID); err != nil {
+		return err
+	}
+	delete(s.rels, name)
+	return nil
+}
+
+// Rel looks up a relation store by name.
+func (s *Store) Rel(name string) (*RelStore, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs, ok := s.rels[name]
+	return rs, ok
+}
+
+// Relations returns the names of all stored relations (unsorted).
+func (s *Store) Relations() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Flush writes every dirty buffered page back and syncs the file.
+func (s *Store) Flush() error { return s.bp.Flush() }
+
+// Close flushes and closes the underlying file.
+func (s *Store) Close() error {
+	if err := s.bp.Flush(); err != nil {
+		s.pager.Close()
+		return err
+	}
+	return s.pager.Close()
+}
+
+// Discard closes the underlying file WITHOUT flushing dirty buffered
+// pages — for error paths that must not mutate a file they failed to
+// open or attach.
+func (s *Store) Discard() error { return s.pager.Close() }
+
+// PoolStats reports the shared buffer pool's (hits, misses, evictions).
+func (s *Store) PoolStats() (hits, misses, evictions int) { return s.bp.Stats() }
+
+// NumPages returns the number of allocated pages in the file.
+func (s *Store) NumPages() uint32 { return s.pager.NumPages() }

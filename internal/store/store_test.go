@@ -1,0 +1,234 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func testDef(t *testing.T) RelationDef {
+	t.Helper()
+	s := schema.MustOf("Student", "Course", "Club")
+	return RelationDef{
+		Name:   "R1",
+		Schema: s,
+		Order:  schema.MustPermOf(s, "Course", "Club", "Student"),
+		FDs:    []dep.FD{dep.NewFD([]string{"Student"}, []string{"Club"})},
+		MVDs:   []dep.MVD{dep.NewMVD([]string{"Student"}, []string{"Course"})},
+	}
+}
+
+func TestCreateInsertScanReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.nfrs")
+	st, err := Open(path, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := testDef(t)
+	rs, err := st.CreateRelation(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CreateRelation(def); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	e := workload.GenEnrollment(3, workload.EnrollmentParams{
+		Students: 20, CoursePool: 10, ClubPool: 4, SemesterPool: 3,
+		CoursesPerStudent: 3, ClubsPerStudent: 2,
+	})
+	canon, _ := e.R1.Canonical(def.Order)
+	for i := 0; i < canon.Len(); i++ {
+		if err := rs.Insert(canon.Tuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs.Len() != canon.Len() {
+		t.Fatalf("Len = %d, want %d", rs.Len(), canon.Len())
+	}
+	got, err := rs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(canon) {
+		t.Fatal("loaded relation differs from inserted content")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// reopen: catalog + heap + rebuilt indexes
+	st2, err := Open(path, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rs2, ok := st2.Rel("R1")
+	if !ok {
+		t.Fatalf("relation lost on reopen; have %v", st2.Relations())
+	}
+	d2 := rs2.Def()
+	if !d2.Schema.Equal(def.Schema) || d2.Order.String() != def.Order.String() {
+		t.Fatal("definition changed across reopen")
+	}
+	if len(d2.FDs) != 1 || d2.FDs[0].String() != def.FDs[0].String() {
+		t.Fatalf("FDs lost: %v", d2.FDs)
+	}
+	if len(d2.MVDs) != 1 || d2.MVDs[0].String() != def.MVDs[0].String() {
+		t.Fatalf("MVDs lost: %v", d2.MVDs)
+	}
+	got2, err := rs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(canon) {
+		t.Fatal("content changed across reopen")
+	}
+	// the rebuilt primary index supports removal
+	victim := canon.Tuple(0)
+	if err := rs2.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Len() != canon.Len()-1 {
+		t.Fatalf("Len after remove = %d", rs2.Len())
+	}
+	if err := rs2.Remove(victim); err == nil {
+		t.Error("double remove accepted")
+	}
+}
+
+func TestLookupFixed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.nfrs")
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	def := testDef(t) // fixed (last-nested) attribute is Student
+	rs, err := st.CreateRelation(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// two tuples fixed on different students, one with a grouped set
+	t1 := tupleOf([][]string{{"c1", "c2"}, {"b1"}, {"s1"}}, def.Order)
+	t2 := tupleOf([][]string{{"c3"}, {"b2"}, {"s2", "s3"}}, def.Order)
+	for _, tp := range []tuple.Tuple{t1, t2} {
+		if err := rs.Insert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, err := rs.LookupFixed(value.NewString("s1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || !hits[0].Equal(t1) {
+		t.Fatalf("LookupFixed(s1) = %v", hits)
+	}
+	// grouped determinant: both member atoms find the tuple
+	for _, s := range []string{"s2", "s3"} {
+		hits, err := rs.LookupFixed(value.NewString(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != 1 || !hits[0].Equal(t2) {
+			t.Fatalf("LookupFixed(%s) = %v", s, hits)
+		}
+	}
+	if hits, _ := rs.LookupFixed(value.NewString("s9")); len(hits) != 0 {
+		t.Fatalf("LookupFixed(s9) = %v", hits)
+	}
+	// removal unindexes every member atom
+	if err := rs.Remove(t2); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := rs.LookupFixed(value.NewString("s3")); len(hits) != 0 {
+		t.Fatalf("LookupFixed(s3) after remove = %v", hits)
+	}
+}
+
+// tupleOf builds an NFR tuple from components listed in nest order
+// (Course, Club, Student for testDef), placing each at its schema
+// position.
+func tupleOf(comps [][]string, order schema.Permutation) tuple.Tuple {
+	sets := make([][]string, len(comps))
+	for pos, attr := range order {
+		sets[attr] = comps[pos]
+	}
+	return core.TupleOfSets(sets...)
+}
+
+func TestDropRelation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.nfrs")
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := testDef(t)
+	rs, err := st.CreateRelation(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Insert(tupleOf([][]string{{"c1"}, {"b1"}, {"s1"}}, def.Order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DropRelation("R1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DropRelation("R1"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(st2.Relations()) != 0 {
+		t.Fatalf("dropped relation resurrected: %v", st2.Relations())
+	}
+}
+
+func TestCreateRelationValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.nfrs")
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.CreateRelation(RelationDef{}); err == nil {
+		t.Error("empty def accepted")
+	}
+	s := schema.MustOf("A", "B")
+	if _, err := st.CreateRelation(RelationDef{Name: "r", Schema: s, Order: schema.Permutation{0}}); err == nil {
+		t.Error("bad order accepted")
+	}
+}
+
+func TestCatalogRecordRoundTrip(t *testing.T) {
+	def := testDef(t)
+	rec := encodeCatalogRecord(def, 7)
+	ce, err := decodeCatalogRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.heapFirst != 7 || ce.def.Name != def.Name ||
+		!ce.def.Schema.Equal(def.Schema) ||
+		ce.def.Order.String() != def.Order.String() ||
+		len(ce.def.FDs) != 1 || !ce.def.FDs[0].Equal(def.FDs[0]) ||
+		len(ce.def.MVDs) != 1 || ce.def.MVDs[0].String() != def.MVDs[0].String() {
+		t.Fatalf("round trip changed definition: %+v", ce)
+	}
+	// every truncation of the record is rejected, never panics
+	for i := 0; i < len(rec); i++ {
+		if _, err := decodeCatalogRecord(rec[:i+1]); err == nil && i+1 != len(rec) {
+			t.Fatalf("truncated catalog record of %d bytes accepted", i+1)
+		}
+	}
+}

@@ -54,12 +54,23 @@ func (s *Stats) Add(s2 Stats) {
 	s.CandidateScans += s2.CandidateScans
 }
 
+// Sink observes every NFR-tuple mutation the maintainer applies to its
+// canonical relation. A storage layer implements it to write tuples
+// through to disk as the Section-4 algorithms compose and decompose
+// them; Added/Removed fire only for mutations that actually changed
+// the relation.
+type Sink interface {
+	TupleAdded(t tuple.Tuple)
+	TupleRemoved(t tuple.Tuple)
+}
+
 // Maintainer owns an NFR kept permanently in canonical form V_P and
 // applies the paper's update algorithms to it.
 type Maintainer struct {
 	rel   *core.Relation
 	order schema.Permutation // order[0] is nested first (paper's E1)
 	stats Stats
+	sink  Sink
 	// firstIdx/lastIdx, when non-nil, are posting-list indexes on the
 	// first- and last-nested attributes that prune the candidate scan
 	// (see atomIndex for the soundness argument). Nil = naive scan.
@@ -110,23 +121,40 @@ func (m *Maintainer) enableIndex() {
 // Indexed reports whether the maintainer uses the posting-list index.
 func (m *Maintainer) Indexed() bool { return m.firstIdx != nil }
 
+// SetSink registers a mutation observer (nil to detach). The sink sees
+// only mutations applied after registration; a storage layer loading an
+// existing relation registers after the initial load.
+func (m *Maintainer) SetSink(s Sink) { m.sink = s }
+
 // addTuple and removeTuple route every relation mutation through the
-// indexes so they stay exact.
+// indexes and the sink so both stay exact.
 func (m *Maintainer) addTuple(t tuple.Tuple) {
-	if m.rel.Add(t) && m.firstIdx != nil {
+	if !m.rel.Add(t) {
+		return
+	}
+	if m.firstIdx != nil {
 		m.firstIdx.add(t)
 		if m.lastIdx != nil {
 			m.lastIdx.add(t)
 		}
 	}
+	if m.sink != nil {
+		m.sink.TupleAdded(t)
+	}
 }
 
 func (m *Maintainer) removeTuple(t tuple.Tuple) {
-	if m.rel.Remove(t) && m.firstIdx != nil {
+	if !m.rel.Remove(t) {
+		return
+	}
+	if m.firstIdx != nil {
 		m.firstIdx.remove(t)
 		if m.lastIdx != nil {
 			m.lastIdx.remove(t)
 		}
+	}
+	if m.sink != nil {
+		m.sink.TupleRemoved(t)
 	}
 }
 

@@ -14,7 +14,10 @@
 //     FDs/MVDs, an NF² query language, and binary persistence;
 //   - the substrate: dependency theory (closures, keys, Bernstein 3NF
 //     synthesis, 4NF), a nested relational algebra, and a paged storage
-//     engine realizing the paper's "realization view".
+//     engine realizing the paper's "realization view" — each relation's
+//     canonical tuples live in heap chains of slotted pages behind an
+//     LRU buffer pool, in a single database file (see docs/storage.md
+//     for the layer diagram, file format, and buffer-pool tuning).
 //
 // Quick start:
 //
@@ -98,11 +101,18 @@ const (
 	MN     = core.MN
 )
 
-// NewDatabase creates an empty database.
+// NewDatabase creates an empty in-memory database.
 func NewDatabase() *Database { return engine.New() }
 
-// LoadDatabase restores a database saved with Database.Save.
-func LoadDatabase(dir string) (*Database, error) { return engine.Load(dir) }
+// OpenDatabase opens (or creates) a disk-backed database in the single
+// paged file at path: relations live in heap chains behind a buffer
+// pool and every canonical-form update is written through as it
+// happens. Close it to flush. See docs/storage.md.
+func OpenDatabase(path string) (*Database, error) { return engine.Open(path) }
+
+// LoadDatabase reads a paged database file saved with Database.Save
+// into an in-memory database (no live file attachment).
+func LoadDatabase(path string) (*Database, error) { return engine.Load(path) }
 
 // NewSession creates a query-language session over a fresh database.
 func NewSession() *Session { return query.NewSession() }
