@@ -8,8 +8,9 @@
 //	nfr-bench [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk]
 //
 // The disk experiment drives the enrollment workload through the
-// disk-backed engine (paged file + buffer pool) and reports pool
-// hit/miss rates and realization equivalence.
+// disk-backed engine (paged file + WAL + buffer pool) and reports pool
+// hit/miss rates, group-commit fsyncs per statement (must be ≤ 1),
+// crash-recovery replay, and realization equivalence.
 package main
 
 import (
@@ -65,6 +66,12 @@ func main() {
 			}
 			if !res.Equivalent {
 				return fmt.Errorf("disk realization diverged from in-memory engine")
+			}
+			if res.FsyncsPerStatement > 1 {
+				return fmt.Errorf("group commit broken: %.3f fsyncs/statement (want ≤ 1)", res.FsyncsPerStatement)
+			}
+			if !res.RecoveredEquivalent {
+				return fmt.Errorf("crash recovery diverged from in-memory engine")
 			}
 			return nil
 		}); err != nil {

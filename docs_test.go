@@ -1,0 +1,95 @@
+package nfr
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docSkip lists Markdown files whose content is retrieved external
+// material (paper abstracts, related-work notes, exemplar snippets):
+// they quote links and paths from other repositories that this one
+// never promised to resolve.
+var docSkip = map[string]bool{
+	"PAPER.md":    true,
+	"PAPERS.md":   true,
+	"SNIPPETS.md": true,
+	"ISSUE.md":    true,
+}
+
+var (
+	// [text](target) — inline Markdown links, including images
+	mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	// internal/<pkg> references in prose or code spans
+	internalRef = regexp.MustCompile(`\binternal/([a-z][a-z0-9]*)`)
+)
+
+// TestDocIntegrity walks every Markdown file in the repository and
+// fails on broken relative links and on references to internal/
+// packages that do not exist — so the docs can't silently rot as the
+// code moves (the doc-map in ARCHITECTURE.md depends on this).
+func TestDocIntegrity(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mdFiles []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == ".claude" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") && !docSkip[d.Name()] {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 4 {
+		t.Fatalf("found only %d Markdown files — doc walk broken?", len(mdFiles))
+	}
+
+	for _, path := range mdFiles {
+		rel, _ := filepath.Rel(root, path)
+		body, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(body)
+
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q", rel, m[1])
+			}
+		}
+
+		for _, m := range internalRef.FindAllStringSubmatch(text, -1) {
+			pkg := filepath.Join(root, "internal", m[1])
+			if fi, err := os.Stat(pkg); err != nil || !fi.IsDir() {
+				t.Errorf("%s: references nonexistent package internal/%s", rel, m[1])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -327,6 +328,68 @@ func TestSaveToOwnAlias(t *testing.T) {
 	// degree-1 tuples compose, so a1+a2 is one NFR tuple with R* size 2
 	if rel.ExpansionSize() != 2 {
 		t.Fatalf("post-save write lost: %d flat tuples, want 2", rel.ExpansionSize())
+	}
+}
+
+// TestSaveOverCrashedDatabase: saving a snapshot over a path that
+// holds a crashed database (data file + WAL sidecar with committed
+// batches) must not let the stale log survive the rename — a
+// regression here replayed the old database's page images into the
+// fresh snapshot on the next Open.
+func TestSaveOverCrashedDatabase(t *testing.T) {
+	dir := t.TempDir()
+	// build a crashed database pair at target: copy the live file pair
+	// of an open (never-Closed) database, whose WAL holds its batches
+	scratch := filepath.Join(dir, "scratch.nfrs")
+	old, err := Open(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Create(RelationDef{Name: "old_rel", Schema: schema.MustOf("A")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := old.Insert("old_rel", tuple.FlatOfStrings(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := filepath.Join(dir, "target.nfrs")
+	for _, sfx := range []string{"", ".wal"} {
+		b, err := os.ReadFile(scratch + sfx)
+		if err != nil {
+			t.Fatalf("copying crashed pair: %v", err)
+		}
+		if err := os.WriteFile(target+sfx, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old.Close()
+
+	// save a fresh snapshot over the crashed pair
+	mem := New()
+	if err := mem.Create(RelationDef{Name: "fresh", Schema: schema.MustOf("X", "Y")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Insert("fresh", tuple.FlatOfStrings("x1", "y1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Save(target); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(target + ".wal"); !os.IsNotExist(err) {
+		t.Fatal("stale WAL sidecar survived Save")
+	}
+	db, err := Open(target)
+	if err != nil {
+		t.Fatalf("snapshot corrupted by stale WAL: %v", err)
+	}
+	defer db.Close()
+	if names := db.Names(); len(names) != 1 || names[0] != "fresh" {
+		t.Fatalf("snapshot content wrong after Save over crashed db: %v", names)
+	}
+	rel, err := db.ReadRelation("fresh")
+	if err != nil || rel.ExpansionSize() != 1 {
+		t.Fatalf("snapshot data wrong: %v (err %v)", rel, err)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/schema"
+	"repro/internal/storage"
 	"repro/internal/store"
 	"repro/internal/tuple"
 	"repro/internal/update"
@@ -90,6 +91,12 @@ type Database struct {
 	rels map[string]*Rel
 	st   *store.Store // nil = purely in-memory
 	path string       // paged file path when disk-backed
+	// stmtMu serializes disk-mode statements: the store's group commit
+	// logs EVERY dirty buffered page as one atomic batch, so two
+	// relations' statements must not interleave their page mutations
+	// (one statement's commit would otherwise log the other's
+	// half-applied pages). Memory mode takes no such lock.
+	stmtMu sync.Mutex
 }
 
 // New creates an empty in-memory database.
@@ -120,6 +127,12 @@ func OpenWith(path string, poolPages int) (*Database, error) {
 			st.Discard()
 			return nil, err
 		}
+	}
+	// commit any drift resync the attach loop performed (a no-op — zero
+	// fsyncs — when, as always through this engine, nothing drifted)
+	if err := st.Commit(); err != nil {
+		st.Discard()
+		return nil, err
 	}
 	return db, nil
 }
@@ -181,13 +194,35 @@ func (db *Database) Close() error {
 }
 
 // PoolStats reports the buffer pool's (hits, misses, evictions) for a
-// disk-backed database; ok is false in memory mode.
+// disk-backed database; ok is false in memory mode. The counters cover
+// traffic since Open returned — open-time recovery and index-rebuild
+// I/O is bucketed separately in OpenIOStats.
 func (db *Database) PoolStats() (hits, misses, evictions int, ok bool) {
 	if db.st == nil {
 		return 0, 0, 0, false
 	}
 	hits, misses, evictions = db.st.PoolStats()
 	return hits, misses, evictions, true
+}
+
+// OpenIOStats reports the buffer-pool counters consumed by Open itself
+// (WAL replay, catalog load, hash-index rebuild) for a disk-backed
+// database; ok is false in memory mode.
+func (db *Database) OpenIOStats() (st storage.PoolStats, ok bool) {
+	if db.st == nil {
+		return storage.PoolStats{}, false
+	}
+	return db.st.OpenIOStats(), true
+}
+
+// WALStats reports write-ahead-log activity (batches, page images,
+// fsyncs, and what open-time recovery replayed) for a disk-backed
+// database; ok is false in memory mode.
+func (db *Database) WALStats() (st storage.WALStats, ok bool) {
+	if db.st == nil {
+		return storage.WALStats{}, false
+	}
+	return db.st.WALStats(), true
 }
 
 // ReadRelation returns the named relation for query evaluation. A
@@ -244,12 +279,20 @@ func (db *Database) Create(def RelationDef) error {
 	}
 	r := &Rel{def: def, m: m}
 	if db.st != nil {
+		db.stmtMu.Lock()
+		defer db.stmtMu.Unlock()
 		rs, err := db.st.CreateRelation(store.RelationDef{
 			Name: def.Name, Schema: def.Schema, Order: def.Order,
 			FDs: def.FDs, MVDs: def.MVDs,
 		})
 		if err != nil {
 			return err
+		}
+		if err := db.st.Commit(); err != nil {
+			// roll the uncommitted create back out of the store so the
+			// catalog and this database never diverge
+			db.st.DropRelation(def.Name)
+			return fmt.Errorf("engine: create %q: commit failed: %w", def.Name, err)
 		}
 		m.SetSink(rs)
 		r.rs = rs
@@ -258,7 +301,9 @@ func (db *Database) Create(def RelationDef) error {
 	return nil
 }
 
-// Drop removes a relation (and its stored records in disk mode).
+// Drop removes a relation. In disk mode the catalog record is deleted
+// and the heap chain's pages go to the free list, all committed as one
+// WAL batch.
 func (db *Database) Drop(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -266,16 +311,18 @@ func (db *Database) Drop(name string) error {
 		return fmt.Errorf("engine: unknown relation %q", name)
 	}
 	if db.st != nil {
+		db.stmtMu.Lock()
+		defer db.stmtMu.Unlock()
 		if err := db.st.DropRelation(name); err != nil {
-			// a partial drop may have tombstoned some of the relation's
-			// records; resync the heap from the (untouched) in-memory
-			// canonical form so disk never silently diverges
-			if r := db.rels[name]; r.rs != nil {
-				if rerr := r.rs.Replace(r.m.Relation()); rerr != nil {
-					return fmt.Errorf("engine: drop failed (%v) and heap resync failed: %w", err, rerr)
-				}
-			}
+			// the store only fails before mutating anything (see
+			// store.DropRelation), so the relation is still fully intact
 			return err
+		}
+		if err := db.st.Commit(); err != nil {
+			// the drop happened in-process; its durability arrives with
+			// the next successful commit
+			delete(db.rels, name)
+			return fmt.Errorf("engine: drop %q: commit failed: %w", name, err)
 		}
 	}
 	delete(db.rels, name)
@@ -315,6 +362,10 @@ func (db *Database) Insert(name string, f tuple.Flat) (bool, error) {
 	if err := db.typeCheck(r, f); err != nil {
 		return false, err
 	}
+	if db.st != nil {
+		db.stmtMu.Lock()
+		defer db.stmtMu.Unlock()
+	}
 	ch, err := r.m.Insert(f)
 	if err != nil {
 		return ch, err
@@ -330,6 +381,10 @@ func (db *Database) Delete(name string, f tuple.Flat) (bool, error) {
 	r, err := db.Rel(name)
 	if err != nil {
 		return false, err
+	}
+	if db.st != nil {
+		db.stmtMu.Lock()
+		defer db.stmtMu.Unlock()
 	}
 	ch, err := r.m.Delete(f)
 	if err != nil {
@@ -369,6 +424,9 @@ func (r *Rel) syncAfterWrite(changed bool, f tuple.Flat, wasInsert bool) error {
 		return fmt.Errorf("engine: write-through failed (%v) and heap resync failed: %w", err, rerr)
 	}
 	r.rs.ResetErr()
+	if cerr := r.rs.Commit(); cerr != nil {
+		return fmt.Errorf("engine: write-through failed (%v) and commit of the resynced heap failed: %w", err, cerr)
+	}
 	return fmt.Errorf("engine: write-through to store failed (update rolled back): %w", err)
 }
 

@@ -21,6 +21,12 @@ func (db *Database) Save(path string) error {
 	if err := os.Remove(tmp); err != nil && !os.IsNotExist(err) {
 		return err
 	}
+	// also clear any WAL sidecar a crashed previous Save left behind —
+	// store.Open would otherwise replay its stale batches into the
+	// fresh snapshot
+	if err := os.Remove(tmp + ".wal"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
 	st, err := store.Open(tmp, store.Options{})
 	if err != nil {
 		return err
@@ -53,6 +59,16 @@ func (db *Database) Save(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	// If path holds a crashed database, its WAL sidecar must not
+	// survive the replacement: store.Open would replay the old
+	// database's committed page images into the fresh snapshot.
+	// Removing it first means a crash inside this window degrades the
+	// doomed old file to fail-stop (it was being replaced anyway)
+	// instead of silently corrupting the new one.
+	if err := os.Remove(path + ".wal"); err != nil && !os.IsNotExist(err) {
+		os.Remove(tmp)
+		return err
+	}
 	return os.Rename(tmp, path)
 }
 
@@ -79,6 +95,11 @@ func (db *Database) isOwnFile(path string) bool {
 // file is read once (relations, nest orders, dependencies, tuples) and
 // then closed. Use Open instead to keep the file live with write-
 // through updates.
+//
+// Loading a cleanly closed file never writes. Loading a crashed file —
+// one whose WAL sidecar still holds committed batches — first completes
+// crash recovery (store.Open replays the log into the data file), which
+// is the only circumstance under which Load writes.
 func Load(path string) (*Database, error) {
 	fi, err := os.Stat(path)
 	if err != nil {

@@ -245,6 +245,15 @@ func TestRunDiskEngine(t *testing.T) {
 	if res.NFRTuples == 0 || res.FlatTuples <= res.NFRTuples {
 		t.Errorf("suspicious sizes: %d NFR / %d flat", res.NFRTuples, res.FlatTuples)
 	}
+	if res.Statements == 0 || res.WALFsyncs == 0 {
+		t.Errorf("group-commit accounting empty: %d statements, %d fsyncs", res.Statements, res.WALFsyncs)
+	}
+	if res.FsyncsPerStatement > 1 {
+		t.Errorf("group commit broken: %.3f fsyncs/statement", res.FsyncsPerStatement)
+	}
+	if !res.RecoveredEquivalent {
+		t.Error("crash recovery diverged from in-memory engine")
+	}
 }
 
 func TestFig1DataSatisfiesMVD(t *testing.T) {

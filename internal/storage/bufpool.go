@@ -2,7 +2,9 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -22,17 +24,43 @@ func (fr *Frame) Page() *Page { return &fr.page }
 // PID returns the frame's page id.
 func (fr *Frame) PID() uint32 { return fr.pid }
 
+// PoolStats is a snapshot of the buffer pool's counters. Overflows
+// counts the times the pool grew past capacity because every unpinned
+// frame was dirty and the WAL's no-steal rule forbade writing one out;
+// Repairs counts pages whose data-file copy failed its checksum and was
+// restored from the WAL's committed image.
+type PoolStats struct {
+	Hits      int
+	Misses    int
+	Evictions int
+	Overflows int
+	Repairs   int
+}
+
+// errNoCleanVictim is the internal signal that eviction found no clean
+// unpinned frame and the pool (in WAL mode) should grow instead.
+var errNoCleanVictim = errors.New("storage: no clean eviction victim")
+
 // BufferPool caches pages with LRU eviction. Pinned frames are never
-// evicted; dirty frames are written back on eviction and on Flush.
+// evicted. Without a WAL, dirty frames are written back on eviction and
+// on Flush (the legacy path). With a WAL attached the pool is
+// no-steal: a dirty page never reaches the data file before its batch
+// is committed to the log — eviction prefers clean frames and the pool
+// temporarily overflows its capacity when none exists.
 type BufferPool struct {
 	mu       sync.Mutex
 	pager    *Pager
+	wal      *WAL // nil = legacy mode (no write-ahead protection)
 	capacity int
 	frames   map[uint32]*Frame
 	lru      *list.List // of *Frame, front = most recently unpinned
 
-	// stats
-	hits, misses, evictions int
+	// allocate, when set, may return a recycled page id (from the
+	// store's free list) instead of growing the file. Called without
+	// bp.mu held: implementations may re-enter the pool.
+	allocate func() (uint32, bool)
+
+	stats PoolStats
 }
 
 // NewBufferPool creates a pool of the given capacity (≥ 1).
@@ -48,19 +76,57 @@ func NewBufferPool(pager *Pager, capacity int) (*BufferPool, error) {
 	}, nil
 }
 
+// AttachWAL switches the pool to write-ahead mode: Commit becomes the
+// only path by which dirty pages reach the data file, eviction is
+// no-steal, and checksum failures in Get are repaired from the log's
+// committed images when possible.
+func (bp *BufferPool) AttachWAL(w *WAL) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.wal = w
+}
+
+// SetAllocator installs a recycled-page source consulted by NewPage
+// before the file is grown (the store's free list).
+func (bp *BufferPool) SetAllocator(fn func() (uint32, bool)) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.allocate = fn
+}
+
 // Stats returns (hits, misses, evictions).
 func (bp *BufferPool) Stats() (hits, misses, evictions int) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	return bp.hits, bp.misses, bp.evictions
+	return bp.stats.Hits, bp.stats.Misses, bp.stats.Evictions
 }
 
-// Get pins the page into the pool, loading it if absent.
+// Snapshot returns all pool counters.
+func (bp *BufferPool) Snapshot() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// TakeStats returns the counters and zeroes them. The store uses it to
+// bucket open-time I/O (recovery replay, catalog load, index rebuild)
+// separately from steady-state traffic so hit rates stay honest.
+func (bp *BufferPool) TakeStats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	st := bp.stats
+	bp.stats = PoolStats{}
+	return st
+}
+
+// Get pins the page into the pool, loading it if absent. A page read
+// from disk is checksum-verified and structurally validated; a checksum
+// failure is repaired from the WAL's committed image when one exists.
 func (bp *BufferPool) Get(pid uint32) (*Frame, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if fr, ok := bp.frames[pid]; ok {
-		bp.hits++
+		bp.stats.Hits++
 		if fr.pins == 0 && fr.elem != nil {
 			bp.lru.Remove(fr.elem)
 			fr.elem = nil
@@ -68,15 +134,29 @@ func (bp *BufferPool) Get(pid uint32) (*Frame, error) {
 		fr.pins++
 		return fr, nil
 	}
-	bp.misses++
-	if len(bp.frames) >= bp.capacity {
-		if err := bp.evictLocked(); err != nil {
-			return nil, err
-		}
+	bp.stats.Misses++
+	if err := bp.makeRoomLocked(); err != nil {
+		return nil, err
 	}
 	fr := &Frame{pid: pid, pins: 1}
 	if err := bp.pager.Read(pid, &fr.page); err != nil {
 		return nil, err
+	}
+	if err := fr.page.VerifyChecksum(); err != nil {
+		// A torn data-file write of a committed page: restore the
+		// page from the log's committed image and heal the file.
+		img, ok := Page{}, false
+		if bp.wal != nil {
+			img, ok = bp.wal.Image(pid)
+		}
+		if !ok {
+			return nil, fmt.Errorf("page %d: %w", pid, err)
+		}
+		fr.page = img
+		if werr := bp.pager.Write(pid, &fr.page); werr != nil {
+			return nil, fmt.Errorf("page %d: repairing torn page: %w", pid, werr)
+		}
+		bp.stats.Repairs++
 	}
 	// Every page entering the pool from disk is validated once, so
 	// downstream slot arithmetic never indexes out of range on a torn
@@ -88,18 +168,43 @@ func (bp *BufferPool) Get(pid uint32) (*Frame, error) {
 	return fr, nil
 }
 
-// NewPage allocates a fresh page and returns it pinned.
+// NewPage allocates a fresh page — recycling one from the allocator
+// hook when available — and returns it pinned and zero-initialized.
 func (bp *BufferPool) NewPage() (*Frame, error) {
-	pid, err := bp.pager.Allocate()
-	if err != nil {
-		return nil, err
+	bp.mu.Lock()
+	alloc := bp.allocate
+	bp.mu.Unlock()
+	var pid uint32
+	if alloc != nil {
+		if p, ok := alloc(); ok {
+			pid = p
+		}
+	}
+	if pid == 0 {
+		p, err := bp.pager.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		pid = p
 	}
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	if len(bp.frames) >= bp.capacity {
-		if err := bp.evictLocked(); err != nil {
-			return nil, err
+	if fr, ok := bp.frames[pid]; ok {
+		// a recycled page still cached from its previous life
+		if fr.pins > 0 {
+			return nil, fmt.Errorf("storage: recycled page %d still pinned", pid)
 		}
+		if fr.elem != nil {
+			bp.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		fr.page.Init()
+		fr.dirty = true
+		fr.pins = 1
+		return fr, nil
+	}
+	if err := bp.makeRoomLocked(); err != nil {
+		return nil, err
 	}
 	fr := &Frame{pid: pid, pins: 1}
 	fr.page.Init()
@@ -125,7 +230,37 @@ func (bp *BufferPool) Unpin(fr *Frame, dirty bool) error {
 	return nil
 }
 
+// makeRoomLocked evicts one frame if the pool is at capacity. In WAL
+// mode a full pool of dirty frames overflows instead of stealing.
+func (bp *BufferPool) makeRoomLocked() error {
+	if len(bp.frames) < bp.capacity {
+		return nil
+	}
+	err := bp.evictLocked()
+	if err == errNoCleanVictim {
+		bp.stats.Overflows++
+		return nil
+	}
+	return err
+}
+
 func (bp *BufferPool) evictLocked() error {
+	// Prefer a clean victim: it needs no I/O, and under a WAL a dirty
+	// frame must NOT reach the data file before its batch commits.
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		fr := e.Value.(*Frame)
+		if fr.dirty {
+			continue
+		}
+		bp.lru.Remove(e)
+		fr.elem = nil
+		delete(bp.frames, fr.pid)
+		bp.stats.Evictions++
+		return nil
+	}
+	if bp.wal != nil {
+		return errNoCleanVictim
+	}
 	back := bp.lru.Back()
 	if back == nil {
 		return fmt.Errorf("storage: buffer pool exhausted (all %d frames pinned)", bp.capacity)
@@ -139,12 +274,60 @@ func (bp *BufferPool) evictLocked() error {
 		}
 	}
 	delete(bp.frames, fr.pid)
-	bp.evictions++
+	bp.stats.Evictions++
 	return nil
 }
 
-// Flush writes every dirty frame back to the pager and syncs.
+// Commit is the group-commit step: every dirty frame's image is
+// appended to the WAL as one batch (a single fsync), and only then are
+// the pages written through to the data file and marked clean. With no
+// dirty frames it is a no-op costing zero fsyncs.
+func (bp *BufferPool) Commit() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.wal == nil {
+		return fmt.Errorf("storage: Commit on a pool without a WAL")
+	}
+	var frames []*Frame
+	for _, fr := range bp.frames {
+		if fr.dirty {
+			frames = append(frames, fr)
+		}
+	}
+	if len(frames) == 0 {
+		return nil
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i].pid < frames[j].pid })
+	batch := make([]WALPage, len(frames))
+	for i, fr := range frames {
+		fr.page.StampChecksum()
+		batch[i] = WALPage{PID: fr.pid, Img: &fr.page}
+	}
+	if err := bp.wal.AppendBatch(batch); err != nil {
+		return err
+	}
+	for _, fr := range frames {
+		if err := bp.pager.Write(fr.pid, &fr.page); err != nil {
+			return err
+		}
+		fr.dirty = false
+	}
+	return nil
+}
+
+// Flush makes every dirty page durable and syncs the data file. With a
+// WAL attached it routes through Commit so the write-ahead invariant
+// holds even here; without one it writes pages back directly.
 func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	wal := bp.wal
+	bp.mu.Unlock()
+	if wal != nil {
+		if err := bp.Commit(); err != nil {
+			return err
+		}
+		return bp.pager.Sync()
+	}
 	bp.mu.Lock()
 	for _, fr := range bp.frames {
 		if fr.dirty {

@@ -1,0 +1,50 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// File is the narrow slice of *os.File the storage layer needs: random
+// reads and writes, truncation, durability, and size. It exists so
+// crash tests can substitute an in-memory recording implementation and
+// replay arbitrary torn prefixes of the write stream; production code
+// uses the operating-system file returned by OpenOSFile.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Size() (int64, error)
+}
+
+// OpenFileFunc opens a database file by name. When create is false and
+// the file does not exist, the error must satisfy
+// errors.Is(err, fs.ErrNotExist).
+type OpenFileFunc func(name string, create bool) (File, error)
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// OpenOSFile opens path read-write as a storage File, creating it when
+// create is true. A missing file with create=false reports an error
+// satisfying errors.Is(err, fs.ErrNotExist).
+func OpenOSFile(path string, create bool) (File, error) {
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	return osFile{f}, nil
+}

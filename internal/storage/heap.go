@@ -70,6 +70,31 @@ func OpenHeap(bp *BufferPool, first uint32) (*HeapFile, error) {
 // reopen the heap).
 func (h *HeapFile) FirstPage() uint32 { return h.first }
 
+// Pages returns every page id of the chain in order. The store's drop
+// path uses it to hand a relation's pages to the free list.
+func (h *HeapFile) Pages() ([]uint32, error) {
+	var pids []uint32
+	pid := h.first
+	seen := make(map[uint32]bool)
+	for pid != 0 {
+		if seen[pid] {
+			return nil, fmt.Errorf("%w: page %d revisited", ErrChainCycle, pid)
+		}
+		seen[pid] = true
+		pids = append(pids, pid)
+		fr, err := h.bp.Get(pid)
+		if err != nil {
+			return nil, err
+		}
+		next := fr.Page().Next()
+		if err := h.bp.Unpin(fr, false); err != nil {
+			return nil, err
+		}
+		pid = next
+	}
+	return pids, nil
+}
+
 // Insert stores a record, growing the chain as needed.
 func (h *HeapFile) Insert(rec []byte) (RID, error) {
 	fr, err := h.bp.Get(h.last)

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // PageSize is the fixed size of every page in bytes.
@@ -16,14 +17,21 @@ const PageSize = 4096
 
 // Page layout:
 //
-//	[0:2)  numSlots  uint16
-//	[2:4)  freeStart uint16 — first free byte after record data
-//	[4:8)  next      uint32 — next page id in a heap chain (0 = none)
-//	records grow up from byte 8; the slot directory grows down from
+//	[0:2)   numSlots  uint16
+//	[2:4)   freeStart uint16 — first free byte after record data
+//	[4:8)   next      uint32 — next page id in a heap chain (0 = none)
+//	[8:12)  checksum  uint32 — CRC32-C of the page with this field zeroed
+//	records grow up from byte 12; the slot directory grows down from
 //	PageSize, 4 bytes per slot: offset uint16, length uint16.
 //	A slot with offset 0 is a tombstone (records never start at 0).
+//
+// The checksum is stamped by the pager on every write (and by the
+// buffer pool before a page image enters the WAL) and verified by the
+// buffer pool on every read from disk, so a torn or bit-rotted page is
+// detected before any slot arithmetic touches it. See docs/recovery.md.
 const (
-	pageHeaderSize = 8
+	pageHeaderSize = 12
+	checksumOff    = 8
 	slotSize       = 4
 )
 
@@ -59,6 +67,36 @@ func (p *Page) Next() uint32 { return binary.LittleEndian.Uint32(p[4:8]) }
 
 // SetNext sets the chained next page id.
 func (p *Page) SetNext(pid uint32) { binary.LittleEndian.PutUint32(p[4:8], pid) }
+
+// crcTable is the Castagnoli polynomial used for page and WAL record
+// checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the stored page checksum.
+func (p *Page) Checksum() uint32 { return binary.LittleEndian.Uint32(p[checksumOff : checksumOff+4]) }
+
+// ComputeChecksum returns the CRC32-C of the page contents with the
+// checksum field treated as zero.
+func (p *Page) ComputeChecksum() uint32 {
+	c := crc32.Update(0, crcTable, p[:checksumOff])
+	return crc32.Update(c, crcTable, p[checksumOff+4:])
+}
+
+// StampChecksum recomputes and stores the page checksum. Every page
+// image that reaches stable storage (data file or WAL) is stamped.
+func (p *Page) StampChecksum() {
+	binary.LittleEndian.PutUint32(p[checksumOff:checksumOff+4], p.ComputeChecksum())
+}
+
+// VerifyChecksum compares the stored checksum against the computed one,
+// returning an ErrCorruptPage-wrapped error on mismatch (a torn write
+// or bit rot).
+func (p *Page) VerifyChecksum() error {
+	if got, want := p.ComputeChecksum(), p.Checksum(); got != want {
+		return fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorruptPage, want, got)
+	}
+	return nil
+}
 
 func (p *Page) slotAt(i int) (off, ln int) {
 	base := PageSize - (i+1)*slotSize

@@ -2,35 +2,47 @@ package storage
 
 import (
 	"fmt"
-	"os"
 	"sync"
 )
 
 // Pager reads and writes fixed-size pages of a single file. Page ids
 // start at 1 (0 is reserved as the nil page id used to terminate
-// chains). Pager is safe for concurrent use.
+// chains). Every page written through the pager is stamped with its
+// header checksum, so any page on disk is either checksum-valid or the
+// product of a torn write. Pager is safe for concurrent use.
 type Pager struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     File
 	pages uint32 // number of allocated pages
 }
 
-// OpenPager opens (or creates) the page file at path.
+// OpenPager opens (or creates) the page file at path on the operating
+// system's filesystem.
 func OpenPager(path string) (*Pager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := OpenOSFile(path, true)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open pager: %w", err)
 	}
-	st, err := f.Stat()
+	pg, err := NewPager(f)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("storage: file size %d not a multiple of page size", st.Size())
+	return pg, nil
+}
+
+// NewPager wraps an open page file. The file size must be a multiple of
+// the page size; a ragged tail is a torn extension write the caller
+// must resolve first (see store.Open's recovery path).
+func NewPager(f File) (*Pager, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
 	}
-	return &Pager{f: f, pages: uint32(st.Size() / PageSize)}, nil
+	if size%PageSize != 0 {
+		return nil, fmt.Errorf("storage: file size %d not a multiple of page size", size)
+	}
+	return &Pager{f: f, pages: uint32(size / PageSize)}, nil
 }
 
 // NumPages returns the number of allocated pages.
@@ -40,12 +52,14 @@ func (pg *Pager) NumPages() uint32 {
 	return pg.pages
 }
 
-// Allocate appends a fresh, zero-initialized page and returns its id.
+// Allocate appends a fresh, checksum-stamped empty page and returns its
+// id.
 func (pg *Pager) Allocate() (uint32, error) {
 	pg.mu.Lock()
 	defer pg.mu.Unlock()
 	var p Page
 	p.Init()
+	p.StampChecksum()
 	pid := pg.pages + 1
 	if _, err := pg.f.WriteAt(p[:], int64(pid-1)*PageSize); err != nil {
 		return 0, fmt.Errorf("storage: allocate page %d: %w", pid, err)
@@ -54,7 +68,31 @@ func (pg *Pager) Allocate() (uint32, error) {
 	return pid, nil
 }
 
-// Read fills p with the contents of page pid.
+// EnsureAllocated extends the file with checksum-stamped empty pages
+// until pid is allocated. Recovery uses it to re-extend a file whose
+// growth was lost in a crash before replaying WAL images beyond the
+// current end.
+func (pg *Pager) EnsureAllocated(pid uint32) error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if pid <= pg.pages {
+		return nil
+	}
+	var p Page
+	p.Init()
+	p.StampChecksum()
+	for next := pg.pages + 1; next <= pid; next++ {
+		if _, err := pg.f.WriteAt(p[:], int64(next-1)*PageSize); err != nil {
+			return fmt.Errorf("storage: extend to page %d: %w", next, err)
+		}
+	}
+	pg.pages = pid
+	return nil
+}
+
+// Read fills p with the contents of page pid. The checksum is not
+// verified here; the buffer pool verifies (and, when possible, repairs)
+// every page it loads.
 func (pg *Pager) Read(pid uint32, p *Page) error {
 	pg.mu.Lock()
 	defer pg.mu.Unlock()
@@ -65,13 +103,14 @@ func (pg *Pager) Read(pid uint32, p *Page) error {
 	return err
 }
 
-// Write stores p as page pid.
+// Write stamps p's checksum and stores it as page pid.
 func (pg *Pager) Write(pid uint32, p *Page) error {
 	pg.mu.Lock()
 	defer pg.mu.Unlock()
 	if pid == 0 || pid > pg.pages {
 		return fmt.Errorf("storage: write of unallocated page %d", pid)
 	}
+	p.StampChecksum()
 	_, err := pg.f.WriteAt(p[:], int64(pid-1)*PageSize)
 	return err
 }

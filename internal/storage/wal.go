@@ -1,0 +1,357 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"sync"
+)
+
+// This file implements the write-ahead log behind the paged file's
+// crash recovery (docs/recovery.md). The WAL is a sidecar file holding
+// full-page redo images grouped into commit batches:
+//
+//	header  "NFRW" version(1) reserved(3)                       8 bytes
+//	'P' pid:uint32 image:PageSize crc32c:uint32                 page image
+//	'C' seq:uint64 npages:uint32 crc32c:uint32                  commit
+//
+// Ordering rule (the write-ahead invariant): every dirty page's image
+// is appended and the batch's commit record fsync'd BEFORE any of
+// those pages may be written to the data file. One batch = one
+// statement = one fsync — group commit. Recovery replays the latest
+// committed image of every page and discards a torn tail at the first
+// record that fails its CRC, is truncated, breaks the sequence, or
+// disagrees with its commit record's page count. Full page images make
+// redo idempotent: replaying an already-applied batch rewrites the same
+// bytes, so no per-page LSN is needed.
+const (
+	walMagic      = "NFRW"
+	walVersion    = 1
+	walHeaderSize = 8
+
+	walRecPage   = 'P'
+	walRecCommit = 'C'
+
+	walPageRecSize   = 1 + 4 + PageSize + 4
+	walCommitRecSize = 1 + 8 + 4 + 4
+)
+
+// ErrCorruptWAL wraps WAL open failures that are not a plain torn tail
+// (bad magic or an unsupported version).
+var ErrCorruptWAL = errors.New("storage: corrupt WAL")
+
+// WALStats counts WAL activity. Batches/PagesLogged/Fsyncs cover this
+// process's appends; Recovered* describe what open-time redo found.
+type WALStats struct {
+	Batches          int // committed batches appended
+	PagesLogged      int // page images appended
+	Fsyncs           int // commit fsyncs (one per AppendBatch)
+	CheckpointFsyncs int // fsyncs spent truncating the log at checkpoints
+	RecoveredBatches int // committed batches found at open
+	RecoveredPages   int // page images in those batches (latest per batch)
+}
+
+// WALPage names one page image for a batch append.
+type WALPage struct {
+	PID uint32
+	Img *Page
+}
+
+// WAL is a per-database write-ahead log. The file is created lazily on
+// the first append, so opening a database read-only leaves no sidecar
+// behind. All methods are safe for concurrent use.
+type WAL struct {
+	mu     sync.Mutex
+	path   string
+	open   OpenFileFunc
+	f      File // nil until the file exists
+	size   int64
+	seq    uint64
+	images map[uint32]*Page // latest committed image per page since the last reset
+	stats  WALStats
+}
+
+// OpenWAL attaches to the write-ahead log at path. An existing file is
+// scanned: committed batches are retained for replay (CommittedImages)
+// and the torn tail, if any, is truncated away. A missing file is not
+// created until the first AppendBatch.
+func OpenWAL(path string, open OpenFileFunc) (*WAL, error) {
+	if open == nil {
+		open = OpenOSFile
+	}
+	w := &WAL{path: path, open: open, images: make(map[uint32]*Page)}
+	f, err := open(path, false)
+	if errors.Is(err, fs.ErrNotExist) {
+		return w, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.f = f
+	if err := w.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// recover scans the file, collecting the latest committed image per
+// page, and truncates everything past the last committed batch.
+func (w *WAL) recover() error {
+	size, err := w.f.Size()
+	if err != nil {
+		return err
+	}
+	if size == 0 {
+		// created but never written (crash between create and header)
+		w.size = 0
+		return nil
+	}
+	buf := make([]byte, size)
+	if n, err := w.f.ReadAt(buf, 0); err != nil && !(err == io.EOF && int64(n) == size) {
+		return err
+	}
+	validHdr := []byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], walVersion, 0, 0, 0}
+	hdr := buf
+	if size >= walHeaderSize {
+		hdr = buf[:walHeaderSize]
+	}
+	if size < walHeaderSize || !bytes.Equal(hdr, validHdr) {
+		// A header that is a zero-padded prefix of the valid one is a
+		// torn creation: the log's first fsync never completed, so no
+		// batch was ever promised durable — treat the log as empty. Any
+		// other header (alien magic, a future version) is corruption we
+		// must not guess at.
+		if !tornHeader(hdr, validHdr) {
+			return fmt.Errorf("%w: bad header", ErrCorruptWAL)
+		}
+		if err := w.f.Truncate(0); err != nil {
+			return err
+		}
+		w.size = 0
+		return nil
+	}
+	end := int64(walHeaderSize)
+	off := int64(walHeaderSize)
+	pending := make(map[uint32]*Page)
+	sawCommit := false
+scan:
+	for off < size {
+		switch buf[off] {
+		case walRecPage:
+			if off+walPageRecSize > size {
+				break scan // torn tail
+			}
+			rec := buf[off : off+walPageRecSize]
+			if crc32.Checksum(rec[:walPageRecSize-4], crcTable) !=
+				binary.LittleEndian.Uint32(rec[walPageRecSize-4:]) {
+				break scan
+			}
+			pid := binary.LittleEndian.Uint32(rec[1:5])
+			var img Page
+			copy(img[:], rec[5:5+PageSize])
+			pending[pid] = &img
+			off += walPageRecSize
+		case walRecCommit:
+			if off+walCommitRecSize > size {
+				break scan
+			}
+			rec := buf[off : off+walCommitRecSize]
+			if crc32.Checksum(rec[:walCommitRecSize-4], crcTable) !=
+				binary.LittleEndian.Uint32(rec[walCommitRecSize-4:]) {
+				break scan
+			}
+			seq := binary.LittleEndian.Uint64(rec[1:9])
+			n := binary.LittleEndian.Uint32(rec[9:13])
+			// The first commit's sequence number is whatever the writer
+			// had reached (checkpoints truncate the log but do not reset
+			// the counter); after that it must advance by exactly one.
+			if (sawCommit && seq != w.seq+1) || int(n) != len(pending) {
+				// a commit record that survived while part of its batch
+				// tore, or an out-of-order remnant: not a committed batch
+				break scan
+			}
+			sawCommit = true
+			for pid, img := range pending {
+				w.images[pid] = img
+			}
+			w.stats.RecoveredBatches++
+			w.stats.RecoveredPages += len(pending)
+			pending = make(map[uint32]*Page)
+			w.seq = seq
+			off += walCommitRecSize
+			end = off
+		default:
+			break scan
+		}
+	}
+	w.size = end
+	if size > end {
+		if err := w.f.Truncate(end); err != nil {
+			return err
+		}
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tornHeader reports whether hdr (any length) is a zero-padded proper
+// prefix of the valid WAL header — the only shapes a crash during the
+// header's first, never-fsync'd write can leave.
+func tornHeader(hdr, valid []byte) bool {
+	n := len(hdr)
+	if n > len(valid) {
+		n = len(valid)
+	}
+	i := 0
+	for i < n && hdr[i] == valid[i] {
+		i++
+	}
+	if i == len(valid) {
+		return false // a full valid header never reaches here
+	}
+	for _, b := range hdr[i:] {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendBatch appends one commit batch — every page's image followed by
+// a commit record — and fsyncs once. After AppendBatch returns, the
+// batch is durable and its pages may be written to the data file.
+func (w *WAL) AppendBatch(pages []WALPage) error {
+	if len(pages) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		f, err := w.open(w.path, true)
+		if err != nil {
+			return err
+		}
+		w.f = f
+	}
+	if w.size == 0 {
+		hdr := make([]byte, walHeaderSize)
+		copy(hdr, walMagic)
+		hdr[4] = walVersion
+		if _, err := w.f.WriteAt(hdr, 0); err != nil {
+			return err
+		}
+		w.size = walHeaderSize
+	}
+	buf := make([]byte, 0, len(pages)*walPageRecSize+walCommitRecSize)
+	for _, p := range pages {
+		rec := make([]byte, 0, walPageRecSize)
+		rec = append(rec, walRecPage)
+		rec = binary.LittleEndian.AppendUint32(rec, p.PID)
+		rec = append(rec, p.Img[:]...)
+		rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(rec, crcTable))
+		buf = append(buf, rec...)
+	}
+	commit := make([]byte, 0, walCommitRecSize)
+	commit = append(commit, walRecCommit)
+	commit = binary.LittleEndian.AppendUint64(commit, w.seq+1)
+	commit = binary.LittleEndian.AppendUint32(commit, uint32(len(pages)))
+	commit = binary.LittleEndian.AppendUint32(commit, crc32.Checksum(commit, crcTable))
+	buf = append(buf, commit...)
+	if _, err := w.f.WriteAt(buf, w.size); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.stats.Fsyncs++
+	w.size += int64(len(buf))
+	w.seq++
+	w.stats.Batches++
+	w.stats.PagesLogged += len(pages)
+	for _, p := range pages {
+		img := *p.Img
+		w.images[p.PID] = &img
+	}
+	return nil
+}
+
+// CommittedImages returns the latest committed image of every page
+// logged since the last reset, for open-time redo. The returned map is
+// the WAL's own; treat it as read-only and apply before Reset.
+func (w *WAL) CommittedImages() map[uint32]*Page {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.images
+}
+
+// Image returns a copy of the latest committed image of pid, if the
+// page was logged since the last reset. The buffer pool uses it to
+// repair a page whose data-file copy fails its checksum.
+func (w *WAL) Image(pid uint32) (Page, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	img, ok := w.images[pid]
+	if !ok {
+		return Page{}, false
+	}
+	return *img, true
+}
+
+// Size returns the committed end offset of the log (0 when the file was
+// never created).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Stats returns a snapshot of the WAL counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Reset truncates the log back to its header after a checkpoint (the
+// data file is synced, so the logged batches are no longer needed) and
+// drops the retained images.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.images = make(map[uint32]*Page)
+	if w.f == nil {
+		return nil
+	}
+	if w.size > walHeaderSize {
+		if err := w.f.Truncate(walHeaderSize); err != nil {
+			return err
+		}
+		w.size = walHeaderSize
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.stats.CheckpointFsyncs++
+	}
+	return nil
+}
+
+// Close closes the log file (without resetting it). It reports whether
+// the file exists on disk so the caller can remove the sidecar after a
+// clean shutdown.
+func (w *WAL) Close() (exists bool, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return false, nil
+	}
+	err = w.f.Close()
+	w.f = nil
+	return true, err
+}

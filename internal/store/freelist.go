@@ -1,0 +1,113 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// The free list is a heap chain rooted at page 2 whose records are
+// 4-byte little-endian page ids of reclaimable pages (a dropped
+// relation's chain). It is durable like any other page: pushes and pops
+// mutate buffered pages that ride in the same commit batch as the
+// statement that caused them, so a crash can never disagree with the
+// catalog about who owns a page. An in-memory mirror (pid + record id)
+// avoids rescanning the chain on every allocation.
+
+// freeRoot is the page id of the free-list heap's first page.
+const freeRoot = 2
+
+// freeEntry mirrors one free-list record.
+type freeEntry struct {
+	pid uint32
+	rid storage.RID
+}
+
+// initFreeList creates the free-list heap in a fresh file; it must land
+// on page freeRoot.
+func (s *Store) initFreeList() error {
+	fh, err := storage.CreateHeap(s.bp)
+	if err != nil {
+		return err
+	}
+	if fh.FirstPage() != freeRoot {
+		return fmt.Errorf("store: free list allocated at page %d, want %d", fh.FirstPage(), freeRoot)
+	}
+	s.freeHeap = fh
+	return nil
+}
+
+// loadFreeList attaches to the free-list heap of an existing file and
+// mirrors its records.
+func (s *Store) loadFreeList() error {
+	fh, err := storage.OpenHeap(s.bp, freeRoot)
+	if err != nil {
+		return fmt.Errorf("%w: opening free list: %v", ErrCorrupt, err)
+	}
+	s.freeHeap = fh
+	var badRec error
+	err = fh.Scan(func(rid storage.RID, rec []byte) bool {
+		if len(rec) != 4 {
+			badRec = fmt.Errorf("%w: free-list record at %v has %d bytes", ErrCorrupt, rid, len(rec))
+			return false
+		}
+		pid := binary.LittleEndian.Uint32(rec)
+		if pid <= freeRoot || pid > s.pager.NumPages() {
+			badRec = fmt.Errorf("%w: free-list entry for impossible page %d", ErrCorrupt, pid)
+			return false
+		}
+		s.free = append(s.free, freeEntry{pid: pid, rid: rid})
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("%w: scanning free list: %v", ErrCorrupt, err)
+	}
+	return badRec
+}
+
+// freePages appends the given page ids to the free list. Called with
+// s.mu held on the drop path; failures leave the remaining pages
+// orphaned (the pre-free-list behaviour), never double-owned.
+func (s *Store) freePages(pids []uint32) error {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	for _, pid := range pids {
+		var rec [4]byte
+		binary.LittleEndian.PutUint32(rec[:], pid)
+		rid, err := s.freeHeap.Insert(rec[:])
+		if err != nil {
+			return err
+		}
+		s.free = append(s.free, freeEntry{pid: pid, rid: rid})
+	}
+	return nil
+}
+
+// recycle pops one free page for reuse; it is the buffer pool's
+// allocator hook. TryLock: the free list's own heap operations may
+// allocate pages (growing the chain), and that re-entrant allocation
+// must fall through to the pager rather than deadlock.
+func (s *Store) recycle() (uint32, bool) {
+	if !s.freeMu.TryLock() {
+		return 0, false
+	}
+	defer s.freeMu.Unlock()
+	n := len(s.free)
+	if n == 0 {
+		return 0, false
+	}
+	e := s.free[n-1]
+	if err := s.freeHeap.Delete(e.rid); err != nil {
+		return 0, false
+	}
+	s.free = s.free[:n-1]
+	return e.pid, true
+}
+
+// FreePages returns the number of pages currently on the free list.
+func (s *Store) FreePages() int {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	return len(s.free)
+}

@@ -157,6 +157,35 @@ func (r *RelStore) TupleRemoved(t tuple.Tuple) {
 	}
 }
 
+// StatementBegin implements update.BatchSink. The adds and drops of one
+// Section-4 statement accumulate as dirty buffered pages; nothing
+// reaches the data file yet (the pool is no-steal).
+func (r *RelStore) StatementBegin() {}
+
+// StatementEnd implements update.BatchSink: the group-commit point. All
+// pages the statement dirtied go to the WAL as one batch with a single
+// fsync, then through to the data file. Errors are latched (see Err) so
+// the engine's rollback path can surface them.
+//
+// A statement whose write-through already failed mid-stream is NOT
+// committed: its half-applied pages stay buffered (the pool is
+// no-steal, so they cannot leak to disk), the engine's rollback then
+// repairs them in place via Replace, and the repaired state commits as
+// one batch — a crash anywhere in between recovers the pre-statement
+// state, never a mix.
+func (r *RelStore) StatementEnd() {
+	if r.Err() != nil {
+		return
+	}
+	if err := r.st.Commit(); err != nil {
+		r.setErr(err)
+	}
+}
+
+// Commit forces a group commit outside a maintainer statement — the
+// engine uses it after resynchronizing the heap on a rollback.
+func (r *RelStore) Commit() error { return r.st.Commit() }
+
 // ResetErr clears the latched write-through failure. Callers must
 // first restore heap↔memory consistency (see Replace); the engine's
 // rollback path does exactly that.

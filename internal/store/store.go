@@ -3,23 +3,30 @@
 // of encoded records behind a shared buffer pool, with an in-memory
 // hash index (rebuilt on open) keyed on the fixed (determinant)
 // attribute so victim tuples can be located by key instead of by
-// scanning. The whole database is one paged file:
+// scanning. The whole database is one paged file plus a write-ahead-log
+// sidecar (<path>.wal):
 //
-//	page 1..  catalog heap chain — record 0 is the header
+//	page 1    catalog heap chain — record 0 is the header
 //	          (magic "NFRS" + format version), every further live
 //	          record is one relation definition + its heap root
+//	page 2    free-list heap chain — 4-byte page ids reclaimable
+//	          from dropped relations (see freelist.go)
 //	page *    per-relation heap chains of encoding.EncodeTuple records
 //
 // The store is the durability half of the engine's "realization view"
 // (paper Section 5): the engine keeps the canonical form in memory for
 // the Section-4 update algorithms and writes every tuple mutation
-// through via the update.Sink interface. See docs/storage.md for the
-// layer diagram and format details.
+// through via the update.Sink interface; Commit groups a statement's
+// dirty pages into one WAL batch with a single fsync, and opening a
+// crashed file replays committed batches and discards torn tails. See
+// docs/storage.md for the layer diagram and docs/recovery.md for the
+// recovery protocol.
 package store
 
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/storage"
@@ -29,12 +36,19 @@ import (
 // catalog heap).
 var Magic = [4]byte{'N', 'F', 'R', 'S'}
 
-// FormatVersion is the current paged file format version.
-const FormatVersion = 1
+// FormatVersion is the current paged file format version. Version 2
+// added the page-header checksum field, the free-list page, and the WAL
+// sidecar; version-1 files predate the checksum field and are not
+// readable.
+const FormatVersion = 2
 
 // DefaultPoolPages is the buffer-pool capacity used when Options does
 // not specify one.
 const DefaultPoolPages = 64
+
+// DefaultCheckpointBytes is the WAL size that triggers an automatic
+// checkpoint after a commit when Options does not specify one.
+const DefaultCheckpointBytes = 4 << 20
 
 // ErrCorrupt is wrapped by open/scan errors caused by a malformed
 // database file (truncation, torn pages, garbage records).
@@ -47,53 +61,177 @@ const catalogRoot = 1
 type Options struct {
 	// PoolPages is the buffer-pool capacity in pages (0 = default).
 	PoolPages int
+	// OpenFile opens database files (the data file and the WAL
+	// sidecar). nil = the operating-system filesystem. Crash tests
+	// substitute an in-memory recording implementation.
+	OpenFile storage.OpenFileFunc
+	// RemoveFile deletes a file; used to remove the WAL sidecar on a
+	// clean close (its absence marks a clean shutdown). nil = os.Remove.
+	RemoveFile func(name string) error
+	// CheckpointBytes is the WAL size at which a commit triggers an
+	// automatic checkpoint (sync the data file, reset the log).
+	// 0 = DefaultCheckpointBytes, negative = only checkpoint on
+	// Flush/Close.
+	CheckpointBytes int64
 }
 
 // Store is one paged database file: a catalog of relation stores
-// sharing a pager and buffer pool.
+// sharing a pager, a write-ahead log, and a buffer pool.
 type Store struct {
 	mu      sync.Mutex
 	pager   *storage.Pager
 	bp      *storage.BufferPool
+	wal     *storage.WAL
+	walPath string
+	remove  func(string) error
+	ckptAt  int64
 	catalog *storage.HeapFile
 	rels    map[string]*RelStore
+
+	freeMu   sync.Mutex
+	freeHeap *storage.HeapFile
+	free     []freeEntry
+
+	openStats storage.PoolStats
 }
 
 // Open opens the paged database at path, creating and initializing the
-// file when it does not exist (or is empty). On an existing file the
-// catalog is read and every relation's hash indexes are rebuilt from
-// its heap (the classic rebuild-on-start design: the heap is the only
-// durable structure).
+// file when it does not exist (or is empty). Opening is also the
+// recovery point: committed batches found in the WAL sidecar are
+// replayed into the data file (healing torn pages and lost tails) and
+// the log's torn tail, if any, is discarded — see docs/recovery.md. On
+// an existing file the catalog is then read and every relation's hash
+// indexes are rebuilt from its heap (the classic rebuild-on-start
+// design: the heap and the log are the only durable structures).
 func Open(path string, opts Options) (*Store, error) {
 	if opts.PoolPages <= 0 {
 		opts.PoolPages = DefaultPoolPages
 	}
-	pg, err := storage.OpenPager(path)
+	openFile := opts.OpenFile
+	if openFile == nil {
+		openFile = storage.OpenOSFile
+	}
+	remove := opts.RemoveFile
+	if remove == nil {
+		remove = os.Remove
+	}
+	ckptAt := opts.CheckpointBytes
+	if ckptAt == 0 {
+		ckptAt = DefaultCheckpointBytes
+	}
+
+	walPath := path + ".wal"
+	wal, err := storage.OpenWAL(walPath, openFile)
 	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	closeWAL := func() { wal.Close() }
+
+	df, err := openFile(path, true)
+	if err != nil {
+		closeWAL()
 		return nil, err
 	}
+	size, err := df.Size()
+	if err != nil {
+		df.Close()
+		closeWAL()
+		return nil, err
+	}
+	if size%storage.PageSize != 0 {
+		// A ragged tail is a torn extension write (Pager.Allocate grows
+		// the file mid-statement, before the statement's batch exists in
+		// the log), so the partial page is never committed data: round
+		// the file down and let replay and validation decide. This is
+		// safe even with an empty log because every committed live page
+		// is referenced — by the catalog, the free list, or a heap
+		// chain — so if the rounding cut real data, catalog/chain
+		// validation below fail-stops; silent loss is impossible. A file
+		// rounded down to zero pages has no catalog to validate against
+		// and is refused rather than silently re-initialized.
+		rounded := size - size%storage.PageSize
+		if rounded == 0 && wal.Stats().RecoveredBatches == 0 {
+			df.Close()
+			closeWAL()
+			return nil, fmt.Errorf("%w: file size %d is less than one page and no WAL to recover from", ErrCorrupt, size)
+		}
+		if err := df.Truncate(rounded); err != nil {
+			df.Close()
+			closeWAL()
+			return nil, err
+		}
+	}
+	pg, err := storage.NewPager(df)
+	if err != nil {
+		df.Close()
+		closeWAL()
+		return nil, err
+	}
+
+	// Redo: apply the latest committed image of every logged page, then
+	// checkpoint the log. Idempotent — a crash mid-replay just replays
+	// again on the next open.
+	if images := wal.CommittedImages(); len(images) > 0 {
+		for pid, img := range images {
+			if err := pg.EnsureAllocated(pid); err != nil {
+				pg.Close()
+				closeWAL()
+				return nil, err
+			}
+			if err := pg.Write(pid, img); err != nil {
+				pg.Close()
+				closeWAL()
+				return nil, err
+			}
+		}
+		if err := pg.Sync(); err != nil {
+			pg.Close()
+			closeWAL()
+			return nil, err
+		}
+		if err := wal.Reset(); err != nil {
+			pg.Close()
+			closeWAL()
+			return nil, err
+		}
+	}
+
 	bp, err := storage.NewBufferPool(pg, opts.PoolPages)
 	if err != nil {
 		pg.Close()
+		closeWAL()
 		return nil, err
 	}
-	s := &Store{pager: pg, bp: bp, rels: make(map[string]*RelStore)}
+	bp.AttachWAL(wal)
+	s := &Store{
+		pager: pg, bp: bp, wal: wal, walPath: walPath,
+		remove: remove, ckptAt: ckptAt,
+		rels: make(map[string]*RelStore),
+	}
 	if pg.NumPages() == 0 {
 		if err := s.initFile(); err != nil {
-			pg.Close()
+			s.Discard()
 			return nil, err
 		}
-		return s, nil
+	} else {
+		if err := s.loadCatalog(); err != nil {
+			s.Discard()
+			return nil, err
+		}
+		if err := s.loadFreeList(); err != nil {
+			s.Discard()
+			return nil, err
+		}
 	}
-	if err := s.loadCatalog(); err != nil {
-		pg.Close()
-		return nil, err
-	}
+	// Recycling starts only now: nothing above may hand out free pages,
+	// and the open-phase I/O is bucketed away from steady-state stats.
+	bp.SetAllocator(s.recycle)
+	s.openStats = bp.TakeStats()
 	return s, nil
 }
 
 // initFile lays out a fresh database: the catalog heap with its header
-// record.
+// record and the free-list heap, committed and checkpointed.
 func (s *Store) initFile() error {
 	cat, err := storage.CreateHeap(s.bp)
 	if err != nil {
@@ -107,7 +245,10 @@ func (s *Store) initFile() error {
 	if _, err := cat.Insert(hdr); err != nil {
 		return err
 	}
-	return s.bp.Flush()
+	if err := s.initFreeList(); err != nil {
+		return err
+	}
+	return s.Flush()
 }
 
 // loadCatalog reads the header and every relation record, opening each
@@ -174,7 +315,8 @@ func (s *Store) loadCatalog() error {
 }
 
 // CreateRelation registers a new empty relation: a fresh heap chain
-// plus a catalog record pointing at it.
+// plus a catalog record pointing at it. The caller owns the commit
+// boundary (the engine commits once per statement).
 func (s *Store) CreateRelation(def RelationDef) (*RelStore, error) {
 	if err := def.validate(); err != nil {
 		return nil, err
@@ -198,8 +340,10 @@ func (s *Store) CreateRelation(def RelationDef) (*RelStore, error) {
 }
 
 // DropRelation removes a relation: its catalog record is tombstoned and
-// its heap records deleted. The heap's pages themselves are orphaned
-// (there is no free list yet; see docs/storage.md).
+// its heap chain's pages are pushed onto the free list for reuse.
+// Failures before the catalog delete leave the relation intact; a
+// free-list failure after it degrades to orphaned pages (never
+// double-owned pages or a dangling catalog entry).
 func (s *Store) DropRelation(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -207,16 +351,19 @@ func (s *Store) DropRelation(name string) error {
 	if !ok {
 		return fmt.Errorf("store: unknown relation %q", name)
 	}
-	// clear first: if record deletion fails midway the catalog entry
-	// survives, so the relation stays visible (partially emptied) and
-	// the caller's view never diverges from the file's.
-	if err := rs.clear(); err != nil {
+	pids, err := rs.heap.Pages()
+	if err != nil {
 		return err
 	}
 	if err := s.catalog.Delete(rs.catRID); err != nil {
 		return err
 	}
 	delete(s.rels, name)
+	if err := s.freePages(pids); err != nil {
+		// the relation is gone either way; the unfreed pages leak until
+		// the next Save snapshot compacts the file
+		return nil
+	}
 	return nil
 }
 
@@ -239,25 +386,79 @@ func (s *Store) Relations() []string {
 	return out
 }
 
-// Flush writes every dirty buffered page back and syncs the file.
-func (s *Store) Flush() error { return s.bp.Flush() }
+// Commit groups every dirty buffered page into one WAL batch (a single
+// fsync) and writes the pages through to the data file — the
+// group-commit boundary the engine invokes once per statement. When the
+// log has grown past the checkpoint threshold the commit is followed by
+// an automatic checkpoint.
+func (s *Store) Commit() error {
+	if err := s.bp.Commit(); err != nil {
+		return err
+	}
+	if s.ckptAt > 0 && s.wal.Size() >= s.ckptAt {
+		return s.Flush()
+	}
+	return nil
+}
 
-// Close flushes and closes the underlying file.
+// Flush is the checkpoint: commit any dirty pages, sync the data file,
+// and reset the log (whose batches are now redundant).
+func (s *Store) Flush() error {
+	if err := s.bp.Commit(); err != nil {
+		return err
+	}
+	if err := s.pager.Sync(); err != nil {
+		return err
+	}
+	return s.wal.Reset()
+}
+
+// Close checkpoints and closes the underlying files. After a clean
+// close the WAL sidecar is removed — its absence marks a clean
+// shutdown, and Save snapshots leave no sidecar behind.
 func (s *Store) Close() error {
-	if err := s.bp.Flush(); err != nil {
+	if err := s.Flush(); err != nil {
+		s.wal.Close()
 		s.pager.Close()
 		return err
 	}
+	existed, werr := s.wal.Close()
+	if existed && werr == nil {
+		if rerr := s.remove(s.walPath); rerr != nil && !os.IsNotExist(rerr) {
+			werr = rerr
+		}
+	}
+	if cerr := s.pager.Close(); cerr != nil {
+		return cerr
+	}
+	return werr
+}
+
+// Discard closes the underlying files WITHOUT flushing dirty buffered
+// pages or checkpointing — for error paths that must not mutate a file
+// they failed to open or attach, and for crash simulation in tests.
+func (s *Store) Discard() error {
+	s.wal.Close()
 	return s.pager.Close()
 }
 
-// Discard closes the underlying file WITHOUT flushing dirty buffered
-// pages — for error paths that must not mutate a file they failed to
-// open or attach.
-func (s *Store) Discard() error { return s.pager.Close() }
-
-// PoolStats reports the shared buffer pool's (hits, misses, evictions).
+// PoolStats reports the shared buffer pool's (hits, misses, evictions)
+// accumulated since Open returned; open-time I/O (recovery replay,
+// catalog load, index rebuild) is bucketed separately in OpenIOStats.
 func (s *Store) PoolStats() (hits, misses, evictions int) { return s.bp.Stats() }
+
+// AllPoolStats returns every buffer-pool counter (including overflows
+// and checksum repairs) since Open returned.
+func (s *Store) AllPoolStats() storage.PoolStats { return s.bp.Snapshot() }
+
+// OpenIOStats returns the buffer-pool counters consumed by Open itself:
+// recovery replay, catalog load, and index rebuild. Keeping this bucket
+// separate keeps steady-state hit rates honest.
+func (s *Store) OpenIOStats() storage.PoolStats { return s.openStats }
+
+// WALStats reports write-ahead-log activity, including what open-time
+// recovery replayed.
+func (s *Store) WALStats() storage.WALStats { return s.wal.Stats() }
 
 // NumPages returns the number of allocated pages in the file.
 func (s *Store) NumPages() uint32 { return s.pager.NumPages() }

@@ -1,0 +1,733 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// This file is the crash-injection harness for the recovery protocol
+// (docs/recovery.md): the whole database lives in an in-memory
+// filesystem that journals every write, and the harness re-creates the
+// on-disk state a crash would leave at EVERY byte offset of the journal
+// — torn log tails, torn data pages, and lost unsynced writes — then
+// reopens and asserts the canonical form is exactly a statement
+// boundary, never a mix, and every page of the recovered file is
+// checksum-valid.
+
+// memOp is one journaled mutation.
+type memOp struct {
+	name string
+	kind byte // 'w' write, 't' truncate, 's' sync
+	off  int64
+	data []byte
+	size int64 // truncate target
+}
+
+// cost is the op's share of the byte-offset enumeration: every byte of
+// a write is an injection point; truncates count as one point.
+func (op memOp) cost() int64 {
+	switch op.kind {
+	case 'w':
+		return int64(len(op.data))
+	case 't':
+		return 1
+	default:
+		return 0
+	}
+}
+
+// memFS is an in-memory filesystem implementing the store's OpenFile
+// hook, with a journal of all mutations while recording.
+type memFS struct {
+	mu        sync.Mutex
+	files     map[string][]byte
+	journal   []memOp
+	recording bool
+}
+
+func newMemFS() *memFS { return &memFS{files: map[string][]byte{}} }
+
+func (m *memFS) open(name string, create bool) (storage.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		if !create {
+			return nil, fmt.Errorf("memfs: open %s: %w", name, fs.ErrNotExist)
+		}
+		m.files[name] = nil
+	}
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *memFS) remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fs.ErrNotExist
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *memFS) record(op memOp) {
+	if m.recording {
+		m.journal = append(m.journal, op)
+	}
+}
+
+// snapshot deep-copies the current file contents.
+func (m *memFS) snapshot() map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]byte, len(m.files))
+	for n, b := range m.files {
+		out[n] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+func (m *memFS) startRecording() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recording = true
+	m.journal = nil
+}
+
+func (m *memFS) stopRecording() []memOp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recording = false
+	return m.journal
+}
+
+type memFile struct {
+	fs   *memFS
+	name string
+}
+
+func (f *memFile) buf() []byte { return f.fs.files[f.name] }
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	b := f.buf()
+	if off >= int64(len(b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	applyWrite(f.fs.files, f.name, off, p)
+	f.fs.record(memOp{name: f.name, kind: 'w', off: off, data: append([]byte(nil), p...)})
+	return len(p), nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	applyTruncate(f.fs.files, f.name, size)
+	f.fs.record(memOp{name: f.name, kind: 't', size: size})
+	return nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.fs.record(memOp{name: f.name, kind: 's'})
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+func (f *memFile) Size() (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(len(f.buf())), nil
+}
+
+func applyWrite(files map[string][]byte, name string, off int64, p []byte) {
+	b := files[name]
+	if need := off + int64(len(p)); need > int64(len(b)) {
+		nb := make([]byte, need)
+		copy(nb, b)
+		b = nb
+	}
+	copy(b[off:], p)
+	files[name] = b
+}
+
+func applyTruncate(files map[string][]byte, name string, size int64) {
+	b := files[name]
+	if size <= int64(len(b)) {
+		files[name] = b[:size]
+	} else {
+		nb := make([]byte, size)
+		copy(nb, b)
+		files[name] = nb
+	}
+}
+
+// crashState materializes the durable state a crash at byte offset k of
+// the journal would leave.
+//
+// inorder mode applies the journal's ops in order up to k, tearing the
+// op containing k mid-way: the torn-tail families (log tail cut inside
+// a record; data page cut inside a page write).
+//
+// reordered mode models the OS persisting nothing since the last fsync
+// except the torn op itself: ops up to the last 's' barrier before k
+// apply, everything after is dropped, and only the prefix of the op
+// containing k lands. This is the "both torn" family — e.g. a
+// committed statement's data-file writes all lost while the next
+// statement's log append tore.
+func crashState(base map[string][]byte, journal []memOp, k int64, reordered bool) map[string][]byte {
+	files := make(map[string][]byte, len(base))
+	for n, b := range base {
+		files[n] = append([]byte(nil), b...)
+	}
+	apply := func(op memOp, upto int64) {
+		switch op.kind {
+		case 'w':
+			if upto > int64(len(op.data)) {
+				upto = int64(len(op.data))
+			}
+			applyWrite(files, op.name, op.off, op.data[:upto])
+		case 't':
+			if upto > 0 {
+				applyTruncate(files, op.name, op.size)
+			}
+		}
+	}
+	if !reordered {
+		at := int64(0)
+		for _, op := range journal {
+			c := op.cost()
+			if at+c <= k {
+				apply(op, c)
+				at += c
+				continue
+			}
+			apply(op, k-at)
+			break
+		}
+		return files
+	}
+	// find the op containing k and the last sync barrier before it
+	at := int64(0)
+	tornIdx, tornBytes := -1, int64(0)
+	for i, op := range journal {
+		c := op.cost()
+		if at+c > k {
+			tornIdx, tornBytes = i, k-at
+			break
+		}
+		at += c
+	}
+	if tornIdx == -1 {
+		tornIdx = len(journal)
+	}
+	lastSync := 0
+	for i := 0; i < tornIdx; i++ {
+		if journal[i].kind == 's' {
+			lastSync = i + 1
+		}
+	}
+	for i := 0; i < lastSync; i++ {
+		apply(journal[i], journal[i].cost())
+	}
+	if tornIdx < len(journal) {
+		apply(journal[tornIdx], tornBytes)
+	}
+	return files
+}
+
+// loadCanon opens the database in the given filesystem state and
+// returns relation R1's canonical form. Opening runs recovery; it must
+// never fail and must leave every data page checksum-valid.
+func loadCanon(t *testing.T, files map[string][]byte, label string) *core.Relation {
+	t.Helper()
+	fs := &memFS{files: files}
+	st, err := Open("db", Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	defer st.Discard()
+	rs, ok := st.Rel("R1")
+	if !ok {
+		t.Fatalf("%s: relation lost", label)
+	}
+	rel, err := rs.Load()
+	if err != nil {
+		t.Fatalf("%s: load failed: %v", label, err)
+	}
+	// every page of the recovered data file is checksum-valid
+	data := fs.files["db"]
+	if len(data)%storage.PageSize != 0 {
+		t.Fatalf("%s: recovered file size %d ragged", label, len(data))
+	}
+	var p storage.Page
+	for pid := 0; pid < len(data)/storage.PageSize; pid++ {
+		copy(p[:], data[pid*storage.PageSize:])
+		if err := p.VerifyChecksum(); err != nil {
+			t.Fatalf("%s: page %d of recovered file: %v", label, pid+1, err)
+		}
+	}
+	return rel
+}
+
+// TestCrashRecoveryEveryOffset is the acceptance harness: two
+// statements are journaled, a crash is injected at every byte offset of
+// the journal in both replay modes, and every reopen must recover a
+// checksum-valid file whose canonical form is exactly the pre-, mid-,
+// or post-statement state.
+func TestCrashRecoveryEveryOffset(t *testing.T) {
+	fs := newMemFS()
+	opts := Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove, CheckpointBytes: -1}
+	def := testDef(t)
+
+	// base: a small multi-page database, cleanly closed
+	st, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CreateRelation(def); err != nil {
+		t.Fatal(err)
+	}
+	e := workload.GenEnrollment(5, workload.EnrollmentParams{
+		Students: 12, CoursePool: 8, ClubPool: 4, SemesterPool: 3,
+		CoursesPerStudent: 3, ClubsPerStudent: 2,
+	})
+	canon, _ := e.R1.Canonical(def.Order)
+	rs, _ := st.Rel(def.Name)
+	for i := 0; i < canon.Len(); i++ {
+		if err := rs.Insert(canon.Tuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a few fat padding tuples push the heap across several pages so the
+	// statements below dirty (and the crashes tear) more than one page,
+	// while keeping the per-reopen index rebuild cheap (the harness
+	// reopens the database tens of thousands of times)
+	pad := make([]byte, 700)
+	for i := range pad {
+		pad[i] = 'p'
+	}
+	for i := 0; i < 7; i++ {
+		tp := tupleOf([][]string{
+			{fmt.Sprintf("%s-%d", pad, i)}, {"padclub"}, {fmt.Sprintf("pads%d", i)},
+		}, def.Order)
+		if err := rs.Insert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base := fs.snapshot()
+	if _, ok := base["db.wal"]; ok {
+		t.Fatal("clean close left a WAL sidecar")
+	}
+
+	// journal two statements against the reopened database
+	st2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, _ := st2.Rel(def.Name)
+	pre, err := rs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.startRecording()
+	// statement 1: a mixed add/remove batch dirtying several pages
+	// (victims from both ends of the heap chain), one group commit
+	for _, victim := range []int{0, pre.Len() - 1} {
+		if err := rs2.Remove(pre.Tuple(victim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rs2.Insert(tupleOf([][]string{{"zc1", "zc2"}, {"zb1"}, {"zs1"}}, def.Order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	mark1 := int64(0)
+	for _, op := range fs.journal {
+		mark1 += op.cost()
+	}
+	mid, err := rs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// statement 2: another add/remove batch
+	if err := rs2.Insert(tupleOf([][]string{{"zc3"}, {"zb2", "zb3"}, {"zs2"}}, def.Order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs2.Remove(mid.Tuple(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	post, err := rs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := fs.stopRecording()
+	st2.Discard() // crash: no checkpoint, no close-time flush
+
+	if pre.Equal(mid) || mid.Equal(post) || pre.Equal(post) {
+		t.Fatal("statements must produce three distinct states")
+	}
+	total := int64(0)
+	for _, op := range journal {
+		total += op.cost()
+	}
+	if total < 2*storage.PageSize {
+		t.Fatalf("journal too small (%d bytes) to exercise torn pages", total)
+	}
+	t.Logf("journal: %d ops, %d bytes (statement boundary at %d)", len(journal), total, mark1)
+
+	matches := func(rel *core.Relation, allowed ...*core.Relation) bool {
+		for _, a := range allowed {
+			if rel.Equal(a) {
+				return true
+			}
+		}
+		return false
+	}
+	for k := int64(0); k <= total; k++ {
+		for _, reordered := range []bool{false, true} {
+			label := fmt.Sprintf("k=%d reordered=%v", k, reordered)
+			got := loadCanon(t, crashState(base, journal, k, reordered), label)
+			// never a mix: only complete statement states are legal, and
+			// a crash before the second statement's journal region can
+			// never yield its outcome
+			if k <= mark1 {
+				if !matches(got, pre, mid) {
+					t.Fatalf("%s: recovered state is not pre or mid statement state", label)
+				}
+			} else if !matches(got, pre, mid, post) {
+				t.Fatalf("%s: recovered state is not a statement boundary", label)
+			}
+		}
+	}
+}
+
+// TestCrashRecoveryAcrossCheckpoints: with an aggressive auto-checkpoint
+// threshold the journal interleaves commits, data syncs, and log
+// truncations; a crash at every op boundary must still recover a
+// statement-boundary state (the post-checkpoint batches carry
+// continuing sequence numbers — a regression here dropped them all).
+func TestCrashRecoveryAcrossCheckpoints(t *testing.T) {
+	fs := newMemFS()
+	opts := Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove, CheckpointBytes: 1}
+	def := testDef(t)
+	st, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CreateRelation(def); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base := fs.snapshot()
+
+	st2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, _ := st2.Rel(def.Name)
+	fs.startRecording()
+	states := []*core.Relation{}
+	rel, err := rs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	states = append(states, rel)
+	for i := 0; i < 4; i++ {
+		tp := tupleOf([][]string{
+			{fmt.Sprintf("c%d", i)}, {fmt.Sprintf("b%d", i)}, {fmt.Sprintf("s%d", i)},
+		}, def.Order)
+		if err := rs2.Insert(tp); err != nil {
+			t.Fatal(err)
+		}
+		if err := st2.Commit(); err != nil { // checkpoints every time (threshold 1)
+			t.Fatal(err)
+		}
+		rel, err := rs2.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, rel)
+	}
+	journal := fs.stopRecording()
+	st2.Discard()
+
+	// crash at every op boundary (and mid-op at a stride) in both modes
+	total := int64(0)
+	for _, op := range journal {
+		total += op.cost()
+	}
+	boundaries := map[int64]bool{0: true, total: true}
+	at := int64(0)
+	for _, op := range journal {
+		at += op.cost()
+		boundaries[at] = true
+	}
+	for k := int64(0); k <= total; k += 97 {
+		boundaries[k] = true
+	}
+	for k := range boundaries {
+		for _, reordered := range []bool{false, true} {
+			label := fmt.Sprintf("ckpt k=%d reordered=%v", k, reordered)
+			got := loadCanon(t, crashState(base, journal, k, reordered), label)
+			ok := false
+			for _, s := range states {
+				if got.Equal(s) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("%s: recovered state is not a statement boundary", label)
+			}
+		}
+	}
+}
+
+// TestRaggedTailWithEmptyWAL: a torn extension write can land after a
+// checkpoint emptied (or a clean close removed) the log — e.g. the
+// first statement to grow the heap tears its Pager.Allocate write. The
+// ragged tail is provably uncommitted, so reopen must round the file
+// down and succeed rather than brick the database (a regression here
+// made such files permanently unopenable).
+func TestRaggedTailWithEmptyWAL(t *testing.T) {
+	fs := newMemFS()
+	opts := Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove}
+	def := testDef(t)
+	st, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := st.CreateRelation(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tupleOf([][]string{{"c1"}, {"b1"}, {"s1"}}, def.Order)
+	if err := rs.Insert(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// torn extension: a partial page appended past the committed end
+	fs.files["db"] = append(fs.files["db"], make([]byte, 1234)...)
+	st2, err := Open("db", opts)
+	if err != nil {
+		t.Fatalf("ragged tail with empty WAL bricked the database: %v", err)
+	}
+	defer st2.Close()
+	rs2, ok := st2.Rel(def.Name)
+	if !ok {
+		t.Fatal("relation lost")
+	}
+	rel, err := rs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || !rel.Tuple(0).Equal(want) {
+		t.Fatal("content lost rounding off the torn tail")
+	}
+	// a file cut below one page still refuses (nothing to validate)
+	fs2 := newMemFS()
+	fs2.files["db"] = append([]byte(nil), fs.files["db"][:100]...)
+	if _, err := Open("db", Options{PoolPages: 8, OpenFile: fs2.open, RemoveFile: fs2.remove}); err == nil {
+		t.Fatal("sub-page file reopened without error")
+	}
+}
+
+// TestStatementEndSkipsCommitOnLatchedError: a statement whose
+// write-through failed mid-stream must NOT group-commit its
+// half-applied pages — they stay buffered until the engine's rollback
+// repairs and commits them, so no crash can recover a mixed state.
+func TestStatementEndSkipsCommitOnLatchedError(t *testing.T) {
+	fs := newMemFS()
+	opts := Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove}
+	st, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	def := testDef(t)
+	rs, err := st.CreateRelation(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	before := st.WALStats().Batches
+	rs.TupleAdded(tupleOf([][]string{{"c1"}, {"b1"}, {"s1"}}, def.Order))
+	rs.setErr(fmt.Errorf("injected mid-statement failure"))
+	rs.StatementEnd()
+	if got := st.WALStats().Batches; got != before {
+		t.Fatalf("StatementEnd committed a failed statement: %d batches, want %d", got, before)
+	}
+	// after the engine-style repair (ResetErr + explicit Commit) the
+	// buffered pages commit as one batch
+	rs.ResetErr()
+	if err := rs.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.WALStats().Batches; got != before+1 {
+		t.Fatalf("repaired statement did not commit: %d batches", got)
+	}
+}
+
+// TestDropRelationReclaimsPages: dropping a relation pushes its chain
+// onto the free list and a subsequent relation reuses those pages
+// instead of growing the file.
+func TestDropRelationReclaimsPages(t *testing.T) {
+	fs := newMemFS()
+	opts := Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove}
+	st, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := testDef(t)
+	rs, err := st.CreateRelation(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := workload.GenEnrollment(7, workload.EnrollmentParams{
+		Students: 60, CoursePool: 20, ClubPool: 6, SemesterPool: 3,
+		CoursesPerStudent: 4, ClubsPerStudent: 2,
+	})
+	canon, _ := e.R1.Canonical(def.Order)
+	for i := 0; i < canon.Len(); i++ {
+		if err := rs.Insert(canon.Tuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	pages := st.NumPages()
+	if err := st.DropRelation(def.Name); err != nil {
+		t.Fatal(err)
+	}
+	if st.FreePages() == 0 {
+		t.Fatal("drop reclaimed no pages")
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	freed := st.FreePages()
+
+	// free list survives reopen
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.FreePages(); got != freed {
+		t.Fatalf("free list lost across reopen: %d != %d", got, freed)
+	}
+
+	// a new relation of the same size reuses the freed pages: the file
+	// barely grows
+	def2 := def
+	def2.Name = "R2"
+	rs2, err := st2.CreateRelation(def2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < canon.Len(); i++ {
+		if err := rs2.Insert(canon.Tuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if grown := st2.NumPages() - pages; grown > 2 {
+		t.Fatalf("file grew %d pages despite %d free pages", grown, freed)
+	}
+	got, err := rs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(canon) {
+		t.Fatal("relation on recycled pages diverged")
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenStatsBucketedSeparately: the I/O spent by Open (recovery,
+// catalog load, index rebuild) must not pollute the steady-state pool
+// counters the bench reports.
+func TestOpenStatsBucketedSeparately(t *testing.T) {
+	fs := newMemFS()
+	opts := Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove}
+	st, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := testDef(t)
+	rs, _ := st.CreateRelation(def)
+	e := workload.GenEnrollment(5, workload.EnrollmentParams{
+		Students: 30, CoursePool: 10, ClubPool: 4, SemesterPool: 3,
+		CoursesPerStudent: 3, ClubsPerStudent: 2,
+	})
+	canon, _ := e.R1.Canonical(def.Order)
+	for i := 0; i < canon.Len(); i++ {
+		if err := rs.Insert(canon.Tuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	open := st2.OpenIOStats()
+	if open.Misses == 0 {
+		t.Fatal("open-phase bucket recorded no I/O despite an index rebuild")
+	}
+	if h, m, _ := st2.PoolStats(); h != 0 || m != 0 {
+		t.Fatalf("steady-state counters polluted by open: hits=%d misses=%d", h, m)
+	}
+	rs2, _ := st2.Rel(def.Name)
+	if _, err := rs2.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if h, m, _ := st2.PoolStats(); h+m == 0 {
+		t.Fatal("steady-state counters did not move after a scan")
+	}
+}

@@ -64,6 +64,20 @@ type Sink interface {
 	TupleRemoved(t tuple.Tuple)
 }
 
+// BatchSink is an optional Sink extension for storage layers that group
+// a whole statement's mutations into one durable batch. A single
+// Insert/Delete statement can compose and decompose many NFR tuples —
+// often touching the same page repeatedly — so a sink that made each
+// mutation durable on its own would pay one fsync per tuple. The
+// maintainer brackets the mutation stream of each changing statement
+// with StatementBegin/StatementEnd; the store commits the accumulated
+// batch at StatementEnd with a single fsync (group commit).
+type BatchSink interface {
+	Sink
+	StatementBegin()
+	StatementEnd()
+}
+
 // Maintainer owns an NFR kept permanently in canonical form V_P and
 // applies the paper's update algorithms to it.
 type Maintainer struct {
@@ -207,9 +221,26 @@ func (m *Maintainer) Insert(f tuple.Flat) (bool, error) {
 	if _, covered := m.containsFlat(f); covered {
 		return false, nil
 	}
+	m.beginStatement()
+	defer m.endStatement()
 	m.recursionBudget = m.budget()
 	m.recons(tuple.FromFlat(f))
 	return true, nil
+}
+
+// beginStatement/endStatement bracket one changing Insert/Delete for a
+// BatchSink, marking the group-commit boundary. Statements that change
+// nothing return before the bracket, so they cost the sink no commit.
+func (m *Maintainer) beginStatement() {
+	if bs, ok := m.sink.(BatchSink); ok {
+		bs.StatementBegin()
+	}
+}
+
+func (m *Maintainer) endStatement() {
+	if bs, ok := m.sink.(BatchSink); ok {
+		bs.StatementEnd()
+	}
 }
 
 // Delete removes the flat tuple from the maintained relation,
@@ -223,6 +254,8 @@ func (m *Maintainer) Delete(f tuple.Flat) (bool, error) {
 	if !covered {
 		return false, nil
 	}
+	m.beginStatement()
+	defer m.endStatement()
 	m.recursionBudget = m.budget()
 	m.removeTuple(q)
 	// Split f's value out of q attribute by attribute, last-nested

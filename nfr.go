@@ -15,9 +15,12 @@
 //   - the substrate: dependency theory (closures, keys, Bernstein 3NF
 //     synthesis, 4NF), a nested relational algebra, and a paged storage
 //     engine realizing the paper's "realization view" — each relation's
-//     canonical tuples live in heap chains of slotted pages behind an
-//     LRU buffer pool, in a single database file (see docs/storage.md
-//     for the layer diagram, file format, and buffer-pool tuning).
+//     canonical tuples live in heap chains of checksummed slotted
+//     pages behind an LRU buffer pool, in a single database file with
+//     a write-ahead log making every statement atomic and durable
+//     across crashes (see docs/storage.md for the layer diagram, file
+//     format, and buffer-pool tuning, and docs/recovery.md for the
+//     WAL, checksum, and redo-on-open recovery protocol).
 //
 // Quick start:
 //
@@ -106,8 +109,10 @@ func NewDatabase() *Database { return engine.New() }
 
 // OpenDatabase opens (or creates) a disk-backed database in the single
 // paged file at path: relations live in heap chains behind a buffer
-// pool and every canonical-form update is written through as it
-// happens. Close it to flush. See docs/storage.md.
+// pool, every canonical-form update is written through as one
+// group-committed WAL batch per statement, and opening a crashed file
+// replays its log (docs/recovery.md). Close it to checkpoint. See
+// docs/storage.md.
 func OpenDatabase(path string) (*Database, error) { return engine.Open(path) }
 
 // LoadDatabase reads a paged database file saved with Database.Save
