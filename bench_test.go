@@ -335,14 +335,14 @@ func BenchmarkHeapInsert(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	h, err := storage.CreateHeap(bp)
+	h, err := storage.CreateHeap(bp, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
 	rec := make([]byte, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Insert(rec); err != nil {
+		if _, err := h.Insert(nil, rec); err != nil {
 			b.Fatal(err)
 		}
 	}

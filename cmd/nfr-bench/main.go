@@ -5,17 +5,21 @@
 //
 // Usage:
 //
-//	nfr-bench [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk]
+//	nfr-bench [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk|concurrent [clients [perClient]]]
 //
 // The disk experiment drives the enrollment workload through the
 // disk-backed engine (paged file + WAL + buffer pool) and reports pool
 // hit/miss rates, group-commit fsyncs per statement (must be ≤ 1),
-// crash-recovery replay, and realization equivalence.
+// crash-recovery replay, and realization equivalence. The concurrent
+// experiment runs N client goroutines issuing disk-mode statements in
+// parallel and asserts the merged group commit amortizes fsyncs below
+// one per statement.
 package main
 
 import (
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/experiments"
 )
@@ -58,6 +62,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
+	case "concurrent":
+		clients, perClient := 8, 40
+		if len(os.Args) > 2 {
+			if n, err := strconv.Atoi(os.Args[2]); err == nil && n > 0 {
+				clients = n
+			}
+		}
+		if len(os.Args) > 3 {
+			if n, err := strconv.Atoi(os.Args[3]); err == nil && n > 0 {
+				perClient = n
+			}
+		}
+		if err := runConcurrent(w, clients, perClient); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	case "disk":
 		if err := inTempDir("nfr-bench-disk", func(dir string) error {
 			res, err := experiments.RunDiskEngine(w, dir, 61, 250, 32)
@@ -82,6 +102,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", what)
 		os.Exit(2)
 	}
+}
+
+// runConcurrent runs the concurrent-clients experiment and enforces
+// its acceptance bars: every relation equivalent to the
+// single-threaded oracle, and — with enough clients to contend — the
+// merged group commit spending strictly less than one fsync per
+// statement. Merging depends on commit timing, so a run that failed
+// only the merge bar is retried a couple of times before failing.
+func runConcurrent(w *os.File, clients, perClient int) error {
+	const attempts = 3
+	var last experiments.ConcurrentResult
+	for i := 0; i < attempts; i++ {
+		var res experiments.ConcurrentResult
+		if err := inTempDir("nfr-bench-concurrent", func(dir string) error {
+			r, err := experiments.RunConcurrent(w, dir, int64(67+i), clients, perClient, 128)
+			res = r
+			return err
+		}); err != nil {
+			return err
+		}
+		if !res.Equivalent {
+			return fmt.Errorf("concurrent run diverged from single-threaded oracle")
+		}
+		if res.FsyncsPerStatement > 1 {
+			return fmt.Errorf("group commit broken: %.3f fsyncs/statement (want ≤ 1)", res.FsyncsPerStatement)
+		}
+		last = res
+		if clients < 4 || res.FsyncsPerStatement < 1 {
+			return nil
+		}
+		fmt.Fprintf(w, "  (no commit merging observed, attempt %d/%d)\n", i+1, attempts)
+	}
+	return fmt.Errorf("no merged commits across %d attempts: %.3f fsyncs/statement (want < 1 with %d clients)",
+		attempts, last.FsyncsPerStatement, clients)
 }
 
 // inTempDir runs fn with a fresh temp directory, removing it before

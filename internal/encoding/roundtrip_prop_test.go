@@ -153,14 +153,18 @@ func TestPagedFormatRoundTripProperty(t *testing.T) {
 			Schema: r.Schema(),
 			Order:  schema.IdentityPerm(r.Schema().Degree()),
 		}
-		rs, err := st.CreateRelation(def)
+		txn := st.Begin()
+		rs, err := st.CreateRelation(txn, def)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for j := 0; j < r.Len(); j++ {
-			if err := rs.Insert(r.Tuple(j)); err != nil {
+			if err := rs.Insert(txn, r.Tuple(j)); err != nil {
 				t.Fatal(err)
 			}
+		}
+		if err := st.Commit(txn); err != nil {
+			t.Fatal(err)
 		}
 		if err := st.Close(); err != nil {
 			t.Fatal(err)

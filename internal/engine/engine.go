@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dep"
@@ -64,7 +65,32 @@ type Rel struct {
 	def RelationDef
 	m   *update.Maintainer
 	rs  *store.RelStore // nil for in-memory databases
+
+	// latch serializes statements on THIS relation (the maintainer and
+	// its write-through are single-writer); statements on different
+	// relations run and commit in parallel, their WAL batches merged by
+	// the store's group-commit scheduler. In disk mode the latch is
+	// held through the commit, so readers taking it observe only
+	// committed statement boundaries. Drop takes it too, and sets
+	// dropped (read under the latch) so a statement that was already
+	// waiting fails cleanly instead of writing into freed pages.
+	// latchWaits counts contended acquisitions — the bench's
+	// latch-contention metric.
+	latch      sync.Mutex
+	dropped    bool
+	latchWaits atomic.Int64
 }
+
+// lock acquires the relation's statement latch, counting contention.
+func (r *Rel) lock() {
+	if r.latch.TryLock() {
+		return
+	}
+	r.latchWaits.Add(1)
+	r.latch.Lock()
+}
+
+func (r *Rel) unlock() { r.latch.Unlock() }
 
 // Def returns the relation's definition.
 func (r *Rel) Def() RelationDef { return r.def }
@@ -80,7 +106,11 @@ func (r *Rel) Stats() update.Stats { return r.m.Stats() }
 func (r *Rel) ResetStats() { r.m.ResetStats() }
 
 // Database is a catalog of live relations. Methods are safe for
-// concurrent use; each relation serializes its own updates.
+// concurrent use; each relation serializes its own statements behind a
+// per-relation latch, and — in disk mode — statements on different
+// relations commit concurrently as separate transactions whose WAL
+// batches the store merges into shared fsyncs (there is no global
+// statement lock).
 //
 // A Database runs in one of two modes: purely in-memory (New), or
 // disk-backed (Open), where every relation is realized as a heap chain
@@ -91,12 +121,6 @@ type Database struct {
 	rels map[string]*Rel
 	st   *store.Store // nil = purely in-memory
 	path string       // paged file path when disk-backed
-	// stmtMu serializes disk-mode statements: the store's group commit
-	// logs EVERY dirty buffered page as one atomic batch, so two
-	// relations' statements must not interleave their page mutations
-	// (one statement's commit would otherwise log the other's
-	// half-applied pages). Memory mode takes no such lock.
-	stmtMu sync.Mutex
 }
 
 // New creates an empty in-memory database.
@@ -118,9 +142,11 @@ func OpenWith(path string, poolPages int) (*Database, error) {
 		return nil, err
 	}
 	db := &Database{rels: make(map[string]*Rel), st: st, path: path}
+	// one transaction covers any drift resync the attach loop performs
+	txn := st.Begin()
 	for _, name := range st.Relations() {
 		rs, _ := st.Rel(name)
-		if err := db.attach(rs, true); err != nil {
+		if err := db.attach(rs, txn); err != nil {
 			// discard, don't flush: a failed Open must not mutate the
 			// file (an earlier relation's drift resync may have dirtied
 			// pages)
@@ -128,9 +154,9 @@ func OpenWith(path string, poolPages int) (*Database, error) {
 			return nil, err
 		}
 	}
-	// commit any drift resync the attach loop performed (a no-op — zero
-	// fsyncs — when, as always through this engine, nothing drifted)
-	if err := st.Commit(); err != nil {
+	// commit the resync transaction (a no-op — zero fsyncs — when, as
+	// always through this engine, nothing drifted)
+	if err := st.Commit(txn); err != nil {
 		st.Discard()
 		return nil, err
 	}
@@ -138,10 +164,11 @@ func OpenWith(path string, poolPages int) (*Database, error) {
 }
 
 // attach loads one stored relation into a live maintainer; live
-// attachments (Open) additionally connect the write-through sink and
-// resync the heap if the stored form drifted from canonical, while
-// read-only attachments (Load) leave the file untouched.
-func (db *Database) attach(rs *store.RelStore, live bool) error {
+// attachments (Open, txn non-nil) additionally connect the
+// write-through sink and resync the heap under txn if the stored form
+// drifted from canonical, while read-only attachments (Load, txn nil)
+// leave the file untouched.
+func (db *Database) attach(rs *store.RelStore, txn *store.Txn) error {
 	sdef := rs.Def()
 	rel, err := rs.Load()
 	if err != nil {
@@ -153,14 +180,14 @@ func (db *Database) attach(rs *store.RelStore, live bool) error {
 		return err
 	}
 	r := &Rel{def: def, m: m}
-	if live {
+	if txn != nil {
 		// FromRelationIndexed re-canonicalizes; if the stored form had
 		// drifted from V_P (it never does through this engine, but the
 		// file format does not forbid it), resync the heap to the
 		// canonical form so write-through deletes always find their
 		// victim records.
 		if !m.Relation().Equal(rel) {
-			if err := rs.Replace(m.Relation()); err != nil {
+			if err := rs.Replace(txn, m.Relation()); err != nil {
 				return err
 			}
 		}
@@ -227,17 +254,37 @@ func (db *Database) WALStats() (st storage.WALStats, ok bool) {
 
 // ReadRelation returns the named relation for query evaluation. A
 // disk-backed database materializes it by scanning the relation's heap
-// chain through the buffer pool (the paper's realization view); an
-// in-memory database returns the live canonical relation directly.
+// chain through the buffer pool (the paper's realization view), taking
+// the relation's statement latch so the snapshot is always a committed
+// statement boundary, never a half-applied statement; an in-memory
+// database returns the live canonical relation directly.
 func (db *Database) ReadRelation(name string) (*core.Relation, error) {
 	r, err := db.Rel(name)
 	if err != nil {
 		return nil, err
 	}
 	if r.rs != nil {
+		r.lock()
+		defer r.unlock()
+		if r.dropped {
+			return nil, fmt.Errorf("engine: unknown relation %q", name)
+		}
 		return r.rs.Load()
 	}
 	return r.m.Relation(), nil
+}
+
+// LatchWaits reports how many statement-latch acquisitions blocked on a
+// concurrent statement, summed over all relations — the contention
+// metric of the concurrent bench leg.
+func (db *Database) LatchWaits() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int64
+	for _, r := range db.rels {
+		n += r.latchWaits.Load()
+	}
+	return n
 }
 
 // Create registers a new empty relation.
@@ -279,19 +326,21 @@ func (db *Database) Create(def RelationDef) error {
 	}
 	r := &Rel{def: def, m: m}
 	if db.st != nil {
-		db.stmtMu.Lock()
-		defer db.stmtMu.Unlock()
-		rs, err := db.st.CreateRelation(store.RelationDef{
+		txn := db.st.Begin()
+		rs, err := db.st.CreateRelation(txn, store.RelationDef{
 			Name: def.Name, Schema: def.Schema, Order: def.Order,
 			FDs: def.FDs, MVDs: def.MVDs,
 		})
 		if err != nil {
 			return err
 		}
-		if err := db.st.Commit(); err != nil {
-			// roll the uncommitted create back out of the store so the
-			// catalog and this database never diverge
-			db.st.DropRelation(def.Name)
+		if err := db.st.Commit(txn); err != nil {
+			// roll the uncommitted create back out of the store —
+			// frames dropped, page ownership released, catalog entry
+			// forgotten — so the catalog and this database never
+			// diverge and the failed transaction cannot wedge the
+			// catalog page
+			db.st.AbortCreate(txn, def.Name)
 			return fmt.Errorf("engine: create %q: commit failed: %w", def.Name, err)
 		}
 		m.SetSink(rs)
@@ -303,28 +352,36 @@ func (db *Database) Create(def RelationDef) error {
 
 // Drop removes a relation. In disk mode the catalog record is deleted
 // and the heap chain's pages go to the free list, all committed as one
-// WAL batch.
+// WAL batch. The relation's statement latch is taken for the duration,
+// so a statement in flight on the same relation finishes first and a
+// statement that was waiting observes the drop instead of writing into
+// freed pages.
 func (db *Database) Drop(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.rels[name]; !ok {
+	r, ok := db.rels[name]
+	if !ok {
 		return fmt.Errorf("engine: unknown relation %q", name)
 	}
+	r.lock()
+	defer r.unlock()
 	if db.st != nil {
-		db.stmtMu.Lock()
-		defer db.stmtMu.Unlock()
-		if err := db.st.DropRelation(name); err != nil {
+		txn := db.st.Begin()
+		if err := db.st.DropRelation(txn, name); err != nil {
 			// the store only fails before mutating anything (see
 			// store.DropRelation), so the relation is still fully intact
 			return err
 		}
-		if err := db.st.Commit(); err != nil {
-			// the drop happened in-process; its durability arrives with
-			// the next successful commit
-			delete(db.rels, name)
+		if err := db.st.Commit(txn); err != nil {
+			// unwind: the store's in-memory entry was never removed and
+			// Rollback discards the uncommitted catalog/free-list
+			// mutations, so the relation stays fully usable
+			db.st.Rollback(txn)
 			return fmt.Errorf("engine: drop %q: commit failed: %w", name, err)
 		}
+		db.st.CompleteDrop(name)
 	}
+	r.dropped = true
 	delete(db.rels, name)
 	return nil
 }
@@ -353,7 +410,10 @@ func (db *Database) Names() []string {
 }
 
 // Insert adds a flat tuple to the named relation, maintaining the
-// canonical form. It reports whether the relation changed.
+// canonical form. It reports whether the relation changed. The
+// relation's statement latch is held through the statement and (in
+// disk mode) its commit; statements on other relations proceed in
+// parallel.
 func (db *Database) Insert(name string, f tuple.Flat) (bool, error) {
 	r, err := db.Rel(name)
 	if err != nil {
@@ -362,9 +422,10 @@ func (db *Database) Insert(name string, f tuple.Flat) (bool, error) {
 	if err := db.typeCheck(r, f); err != nil {
 		return false, err
 	}
-	if db.st != nil {
-		db.stmtMu.Lock()
-		defer db.stmtMu.Unlock()
+	r.lock()
+	defer r.unlock()
+	if r.dropped {
+		return false, fmt.Errorf("engine: unknown relation %q", name)
 	}
 	ch, err := r.m.Insert(f)
 	if err != nil {
@@ -382,9 +443,10 @@ func (db *Database) Delete(name string, f tuple.Flat) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if db.st != nil {
-		db.stmtMu.Lock()
-		defer db.stmtMu.Unlock()
+	r.lock()
+	defer r.unlock()
+	if r.dropped {
+		return false, fmt.Errorf("engine: unknown relation %q", name)
 	}
 	ch, err := r.m.Delete(f)
 	if err != nil {
@@ -420,11 +482,17 @@ func (r *Rel) syncAfterWrite(changed bool, f tuple.Flat, wasInsert bool) error {
 			r.m.Insert(f)
 		}
 	}
-	if rerr := r.rs.Replace(r.m.Relation()); rerr != nil {
+	// Repair within the SAME statement transaction the failure left
+	// open (StatementEnd skips the commit of a failed statement), so
+	// the half-applied pages and their repair commit as one atomic
+	// batch — a crash anywhere recovers the pre-statement state.
+	r.rs.StatementBegin() // reuses the failed statement's open transaction
+	txn := r.rs.StatementTxn()
+	if rerr := r.rs.Replace(txn, r.m.Relation()); rerr != nil {
 		return fmt.Errorf("engine: write-through failed (%v) and heap resync failed: %w", err, rerr)
 	}
 	r.rs.ResetErr()
-	if cerr := r.rs.Commit(); cerr != nil {
+	if cerr := r.rs.CommitStatement(); cerr != nil {
 		return fmt.Errorf("engine: write-through failed (%v) and commit of the resynced heap failed: %w", err, cerr)
 	}
 	return fmt.Errorf("engine: write-through to store failed (update rolled back): %w", err)

@@ -31,6 +31,8 @@ func (db *Database) Save(path string) error {
 	if err != nil {
 		return err
 	}
+	// the whole snapshot is one transaction, committed before the close
+	txn := st.Begin()
 	for _, name := range db.Names() {
 		r, err := db.Rel(name)
 		if err != nil {
@@ -39,14 +41,14 @@ func (db *Database) Save(path string) error {
 			return err
 		}
 		def := r.Def()
-		rs, err := st.CreateRelation(store.RelationDef{
+		rs, err := st.CreateRelation(txn, store.RelationDef{
 			Name: def.Name, Schema: def.Schema, Order: def.Order,
 			FDs: def.FDs, MVDs: def.MVDs,
 		})
 		if err == nil {
 			rel := r.Relation()
 			for i := 0; i < rel.Len() && err == nil; i++ {
-				err = rs.Insert(rel.Tuple(i))
+				err = rs.Insert(txn, rel.Tuple(i))
 			}
 		}
 		if err != nil {
@@ -54,6 +56,11 @@ func (db *Database) Save(path string) error {
 			os.Remove(tmp)
 			return err
 		}
+	}
+	if err := st.Commit(txn); err != nil {
+		st.Close()
+		os.Remove(tmp)
+		return err
 	}
 	if err := st.Close(); err != nil {
 		os.Remove(tmp)
@@ -120,8 +127,9 @@ func Load(path string) (*Database, error) {
 	db := New()
 	for _, name := range st.Relations() {
 		rs, _ := st.Rel(name)
-		// read-only attach: no sink, and never writes back to the file
-		if err := db.attach(rs, false); err != nil {
+		// read-only attach (nil txn): no sink, and never writes back to
+		// the file
+		if err := db.attach(rs, nil); err != nil {
 			return nil, err
 		}
 	}

@@ -232,12 +232,12 @@ func RunStorageFootprint(w io.Writer, dir string, seed int64, students int) (C3R
 		if err != nil {
 			return storage.HeapStats{}, err
 		}
-		h, err := storage.CreateHeap(bp)
+		h, err := storage.CreateHeap(bp, nil) // no WAL: legacy non-transactional pool
 		if err != nil {
 			return storage.HeapStats{}, err
 		}
 		for i := 0; i < rel.Len(); i++ {
-			if _, err := h.Insert(encoding.EncodeTuple(rel.Tuple(i))); err != nil {
+			if _, err := h.Insert(nil, encoding.EncodeTuple(rel.Tuple(i))); err != nil {
 				return storage.HeapStats{}, err
 			}
 		}

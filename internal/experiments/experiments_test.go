@@ -266,3 +266,20 @@ func TestFig1DataSatisfiesMVD(t *testing.T) {
 	}
 	var _ *core.Relation = c
 }
+
+func TestRunConcurrent(t *testing.T) {
+	res, err := RunConcurrent(io.Discard, t.TempDir(), 3, 4, 20, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Error("concurrent run not equivalent to single-threaded oracle")
+	}
+	if res.Statements == 0 || res.WALBatches != res.Statements {
+		t.Errorf("accounting: %d statements vs %d batches", res.Statements, res.WALBatches)
+	}
+	if res.FsyncsPerStatement > 1 {
+		t.Errorf("group commit broken: %.3f fsyncs/statement", res.FsyncsPerStatement)
+	}
+	// merging itself is timing-dependent — only the ceiling is asserted
+}

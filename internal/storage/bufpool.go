@@ -14,11 +14,14 @@ type Frame struct {
 	page  Page
 	dirty bool
 	pins  int
+	owner *Txn          // uncommitted transaction that dirtied (or claimed) the page
 	elem  *list.Element // position in LRU list when unpinned
 }
 
 // Page returns the buffered page for in-place reads and writes. The
-// caller must hold a pin and call Unpin(dirty=true) after modifying.
+// caller must hold a pin, and a mutating caller must have pinned via
+// GetMut/NewPage with its transaction and call Unpin(dirty=true) after
+// modifying.
 func (fr *Frame) Page() *Page { return &fr.page }
 
 // PID returns the frame's page id.
@@ -41,24 +44,45 @@ type PoolStats struct {
 // unpinned frame and the pool (in WAL mode) should grow instead.
 var errNoCleanVictim = errors.New("storage: no clean eviction victim")
 
+// commitReq is one transaction waiting in the group-commit queue.
+type commitReq struct {
+	txn    *Txn
+	frames []*Frame
+	err    error
+	done   chan struct{}
+}
+
 // BufferPool caches pages with LRU eviction. Pinned frames are never
 // evicted. Without a WAL, dirty frames are written back on eviction and
-// on Flush (the legacy path). With a WAL attached the pool is
-// no-steal: a dirty page never reaches the data file before its batch
-// is committed to the log — eviction prefers clean frames and the pool
-// temporarily overflows its capacity when none exists.
+// on Flush (the legacy path, no transactions required). With a WAL
+// attached the pool is transactional and no-steal: every mutation
+// happens under a Txn, a dirty page never reaches the data file before
+// its transaction's batch is committed to the log, eviction prefers
+// clean frames, and the pool temporarily overflows its capacity when
+// none exists.
 type BufferPool struct {
-	mu       sync.Mutex
-	pager    *Pager
-	wal      *WAL // nil = legacy mode (no write-ahead protection)
-	capacity int
-	frames   map[uint32]*Frame
-	lru      *list.List // of *Frame, front = most recently unpinned
+	mu        sync.Mutex
+	ownerCond *sync.Cond // broadcast when frame ownership is released
+	pager     *Pager
+	wal       *WAL // nil = legacy mode (no write-ahead protection)
+	capacity  int
+	frames    map[uint32]*Frame
+	lru       *list.List // of *Frame, front = most recently unpinned
+
+	// group-commit scheduler: committing transactions enqueue under
+	// qmu; whoever holds leaderMu drains the queue and commits every
+	// queued transaction with a single WAL write and fsync. ckptMu
+	// excludes checkpoints while a commit is between its WAL append
+	// and its data-file write-through.
+	qmu      sync.Mutex
+	queue    []*commitReq
+	leaderMu sync.Mutex
+	ckptMu   sync.RWMutex
 
 	// allocate, when set, may return a recycled page id (from the
 	// store's free list) instead of growing the file. Called without
 	// bp.mu held: implementations may re-enter the pool.
-	allocate func() (uint32, bool)
+	allocate func(txn *Txn) (uint32, bool)
 
 	stats PoolStats
 }
@@ -68,18 +92,21 @@ func NewBufferPool(pager *Pager, capacity int) (*BufferPool, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("storage: buffer pool capacity %d < 1", capacity)
 	}
-	return &BufferPool{
+	bp := &BufferPool{
 		pager:    pager,
 		capacity: capacity,
 		frames:   make(map[uint32]*Frame, capacity),
 		lru:      list.New(),
-	}, nil
+	}
+	bp.ownerCond = sync.NewCond(&bp.mu)
+	return bp, nil
 }
 
-// AttachWAL switches the pool to write-ahead mode: Commit becomes the
-// only path by which dirty pages reach the data file, eviction is
-// no-steal, and checksum failures in Get are repaired from the log's
-// committed images when possible.
+// AttachWAL switches the pool to write-ahead mode: CommitTxn becomes
+// the only path by which dirty pages reach the data file, every
+// mutation must happen under a Txn, eviction is no-steal, and checksum
+// failures in Get are repaired from the log's committed images when
+// possible.
 func (bp *BufferPool) AttachWAL(w *WAL) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -87,8 +114,10 @@ func (bp *BufferPool) AttachWAL(w *WAL) {
 }
 
 // SetAllocator installs a recycled-page source consulted by NewPage
-// before the file is grown (the store's free list).
-func (bp *BufferPool) SetAllocator(fn func() (uint32, bool)) {
+// before the file is grown (the store's free list). The requesting
+// transaction is passed through so the implementation can attribute
+// its free-list mutations to it.
+func (bp *BufferPool) SetAllocator(fn func(txn *Txn) (uint32, bool)) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	bp.allocate = fn
@@ -119,12 +148,52 @@ func (bp *BufferPool) TakeStats() PoolStats {
 	return st
 }
 
-// Get pins the page into the pool, loading it if absent. A page read
-// from disk is checksum-verified and structurally validated; a checksum
-// failure is repaired from the WAL's committed image when one exists.
+// Get pins the page into the pool for reading, loading it if absent. A
+// page read from disk is checksum-verified and structurally validated;
+// a checksum failure is repaired from the WAL's committed image when
+// one exists.
 func (bp *BufferPool) Get(pid uint32) (*Frame, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	return bp.getLocked(pid)
+}
+
+// GetMut pins the page for mutation under txn: the frame is claimed
+// for the transaction, blocking while a different uncommitted
+// transaction owns it. In legacy (no-WAL) mode txn may be nil and
+// GetMut degenerates to Get.
+func (bp *BufferPool) GetMut(txn *Txn, pid uint32) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.wal != nil && txn == nil {
+		return nil, fmt.Errorf("storage: page %d mutated outside a transaction", pid)
+	}
+	for {
+		fr, err := bp.getLocked(pid)
+		if err != nil {
+			return nil, err
+		}
+		if txn == nil {
+			return fr, nil
+		}
+		if fr.owner == nil || fr.owner == txn {
+			fr.owner = txn
+			return fr, nil
+		}
+		// Owned by another transaction: drop our pin while waiting (a
+		// rollback may discard the frame entirely) and retry the
+		// lookup from scratch once the owner commits or rolls back.
+		// The owner's commit never waits on a claim, so the wait
+		// always terminates.
+		fr.pins--
+		if fr.pins == 0 {
+			fr.elem = bp.lru.PushFront(fr)
+		}
+		bp.ownerCond.Wait()
+	}
+}
+
+func (bp *BufferPool) getLocked(pid uint32) (*Frame, error) {
 	if fr, ok := bp.frames[pid]; ok {
 		bp.stats.Hits++
 		if fr.pins == 0 && fr.elem != nil {
@@ -169,14 +238,19 @@ func (bp *BufferPool) Get(pid uint32) (*Frame, error) {
 }
 
 // NewPage allocates a fresh page — recycling one from the allocator
-// hook when available — and returns it pinned and zero-initialized.
-func (bp *BufferPool) NewPage() (*Frame, error) {
+// hook when available — and returns it pinned, zero-initialized, and
+// (in WAL mode) dirty under txn.
+func (bp *BufferPool) NewPage(txn *Txn) (*Frame, error) {
 	bp.mu.Lock()
+	if bp.wal != nil && txn == nil {
+		bp.mu.Unlock()
+		return nil, fmt.Errorf("storage: page allocated outside a transaction")
+	}
 	alloc := bp.allocate
 	bp.mu.Unlock()
 	var pid uint32
 	if alloc != nil {
-		if p, ok := alloc(); ok {
+		if p, ok := alloc(txn); ok {
 			pid = p
 		}
 	}
@@ -194,13 +268,18 @@ func (bp *BufferPool) NewPage() (*Frame, error) {
 		if fr.pins > 0 {
 			return nil, fmt.Errorf("storage: recycled page %d still pinned", pid)
 		}
+		if fr.owner != nil && fr.owner != txn {
+			// the allocator hands a page to one transaction at a time,
+			// so a foreign owner here is a latching bug, not a wait
+			return nil, fmt.Errorf("storage: recycled page %d owned by another transaction", pid)
+		}
 		if fr.elem != nil {
 			bp.lru.Remove(fr.elem)
 			fr.elem = nil
 		}
 		fr.page.Init()
-		fr.dirty = true
 		fr.pins = 1
+		bp.markDirtyLocked(fr, txn)
 		return fr, nil
 	}
 	if err := bp.makeRoomLocked(); err != nil {
@@ -208,12 +287,24 @@ func (bp *BufferPool) NewPage() (*Frame, error) {
 	}
 	fr := &Frame{pid: pid, pins: 1}
 	fr.page.Init()
-	fr.dirty = true
 	bp.frames[pid] = fr
+	bp.markDirtyLocked(fr, txn)
 	return fr, nil
 }
 
-// Unpin releases one pin; dirty marks the frame as modified.
+func (bp *BufferPool) markDirtyLocked(fr *Frame, txn *Txn) {
+	fr.dirty = true
+	if txn != nil {
+		fr.owner = txn
+		txn.dirty[fr.pid] = fr
+	}
+}
+
+// Unpin releases one pin; dirty marks the frame as modified and records
+// it in the owning transaction's dirty set. In WAL mode a dirty unpin
+// requires the frame to have been pinned via GetMut/NewPage under a
+// transaction; a clean unpin of an unmodified claimed frame releases
+// the claim.
 func (bp *BufferPool) Unpin(fr *Frame, dirty bool) error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -221,10 +312,19 @@ func (bp *BufferPool) Unpin(fr *Frame, dirty bool) error {
 		return fmt.Errorf("storage: unpin of unpinned page %d", fr.pid)
 	}
 	if dirty {
-		fr.dirty = true
+		if bp.wal != nil && fr.owner == nil {
+			return fmt.Errorf("storage: dirty unpin of page %d outside a transaction", fr.pid)
+		}
+		bp.markDirtyLocked(fr, fr.owner)
 	}
 	fr.pins--
 	if fr.pins == 0 {
+		if !fr.dirty && fr.owner != nil {
+			// claimed but never modified: release the claim so the
+			// frame stays evictable and unblocks waiters
+			fr.owner = nil
+			bp.ownerCond.Broadcast()
+		}
 		fr.elem = bp.lru.PushFront(fr)
 	}
 	return nil
@@ -278,57 +378,181 @@ func (bp *BufferPool) evictLocked() error {
 	return nil
 }
 
-// Commit is the group-commit step: every dirty frame's image is
-// appended to the WAL as one batch (a single fsync), and only then are
-// the pages written through to the data file and marked clean. With no
-// dirty frames it is a no-op costing zero fsyncs.
-func (bp *BufferPool) Commit() error {
+// CommitTxn makes the transaction durable: its dirty pages are appended
+// to the WAL as one batch and, after the commit fsync, written through
+// to the data file and marked clean. Concurrently committing
+// transactions are merged — the first committer becomes the leader,
+// drains every queued transaction, and commits the whole group with a
+// single log write and a single fsync (leader/follower group commit),
+// so fsyncs per statement drop below one under load. A transaction with
+// no dirty pages costs nothing. After a successful commit the handle is
+// empty and may be reused.
+func (bp *BufferPool) CommitTxn(txn *Txn) error {
 	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	if bp.wal == nil {
-		return fmt.Errorf("storage: Commit on a pool without a WAL")
+		bp.mu.Unlock()
+		return fmt.Errorf("storage: CommitTxn on a pool without a WAL")
 	}
-	var frames []*Frame
-	for _, fr := range bp.frames {
-		if fr.dirty {
-			frames = append(frames, fr)
-		}
-	}
-	if len(frames) == 0 {
+	if len(txn.dirty) == 0 {
+		bp.mu.Unlock()
 		return nil
 	}
+	frames := make([]*Frame, 0, len(txn.dirty))
+	for _, fr := range txn.dirty {
+		frames = append(frames, fr)
+	}
+	bp.mu.Unlock()
 	sort.Slice(frames, func(i, j int) bool { return frames[i].pid < frames[j].pid })
-	batch := make([]WALPage, len(frames))
-	for i, fr := range frames {
-		fr.page.StampChecksum()
-		batch[i] = WALPage{PID: fr.pid, Img: &fr.page}
+
+	req := &commitReq{txn: txn, frames: frames, done: make(chan struct{})}
+	bp.qmu.Lock()
+	bp.queue = append(bp.queue, req)
+	bp.qmu.Unlock()
+
+	bp.leaderMu.Lock()
+	bp.qmu.Lock()
+	group := bp.queue
+	bp.queue = nil
+	bp.qmu.Unlock()
+	if len(group) > 0 {
+		// We are the leader for everything queued while the previous
+		// leader worked — possibly including our own request, possibly
+		// only others'.
+		bp.commitGroup(group)
 	}
-	if err := bp.wal.AppendBatch(batch); err != nil {
-		return err
-	}
-	for _, fr := range frames {
-		if err := bp.pager.Write(fr.pid, &fr.page); err != nil {
-			return err
+	bp.leaderMu.Unlock()
+	<-req.done // a previous leader may have committed us already
+	return req.err
+}
+
+// PendingCommits reports how many transactions are queued behind the
+// current group-commit leader (0 when the commit path is idle).
+func (bp *BufferPool) PendingCommits() int {
+	bp.qmu.Lock()
+	defer bp.qmu.Unlock()
+	return len(bp.queue)
+}
+
+// commitGroup commits every queued transaction as one WAL write and one
+// fsync, then writes their pages through to the data file. Page images
+// are stable while we read them: each frame is owned by a transaction
+// that is blocked in CommitTxn, and claims by other transactions wait
+// for the commit to finish.
+func (bp *BufferPool) commitGroup(group []*commitReq) {
+	bp.ckptMu.RLock()
+	batches := make([][]WALPage, len(group))
+	for i, req := range group {
+		batch := make([]WALPage, len(req.frames))
+		for j, fr := range req.frames {
+			fr.page.StampChecksum()
+			batch[j] = WALPage{PID: fr.pid, Img: &fr.page}
 		}
+		batches[i] = batch
+	}
+	if err := bp.wal.AppendGroup(batches); err != nil {
+		bp.ckptMu.RUnlock()
+		for _, req := range group {
+			req.err = err
+			close(req.done)
+		}
+		return
+	}
+	// The group is durable in the log; write the pages through. A
+	// write-through failure is surfaced AND the failed transaction's
+	// frames stay dirty and owned: the on-disk copies of its pages are
+	// the previous committed versions (checksum-valid, so the repair
+	// path would never fire), and marking them clean would let eviction
+	// silently serve that stale state. Kept dirty, the pages keep
+	// serving from the pool and a retried commit relogs and rewrites
+	// them (idempotent full-page redo).
+	for _, req := range group {
+		for _, fr := range req.frames {
+			if err := bp.pager.Write(fr.pid, &fr.page); err != nil && req.err == nil {
+				req.err = fmt.Errorf("storage: write-through after commit: %w", err)
+			}
+		}
+	}
+	bp.ckptMu.RUnlock()
+	bp.mu.Lock()
+	for _, req := range group {
+		if req.err != nil {
+			continue
+		}
+		for _, fr := range req.frames {
+			fr.dirty = false
+			fr.owner = nil
+		}
+		req.txn.dirty = make(map[uint32]*Frame)
+	}
+	bp.ownerCond.Broadcast()
+	bp.mu.Unlock()
+	for _, req := range group {
+		close(req.done)
+	}
+}
+
+// Rollback discards every page the transaction dirtied: the frames are
+// dropped from the pool, so the next read sees the last committed
+// version from disk (or the WAL's repair image) — the no-steal rule
+// guarantees nothing uncommitted ever reached the data file. Ownership
+// is released and waiters are woken. Callers must separately restore
+// any in-memory structures derived from the rolled-back pages; the
+// store layers that (see Store.Rollback). Rolling back while a page is
+// still pinned is a caller bug and is reported.
+func (bp *BufferPool) Rollback(txn *Txn) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var pinned []uint32
+	for pid, fr := range txn.dirty {
+		if fr.pins > 0 {
+			pinned = append(pinned, pid)
+			continue
+		}
+		if fr.elem != nil {
+			bp.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		delete(bp.frames, pid)
 		fr.dirty = false
+		fr.owner = nil
+	}
+	txn.dirty = make(map[uint32]*Frame)
+	bp.ownerCond.Broadcast()
+	if len(pinned) > 0 {
+		return fmt.Errorf("storage: rollback of transaction with pinned pages %v", pinned)
 	}
 	return nil
 }
 
-// Flush makes every dirty page durable and syncs the data file. With a
-// WAL attached it routes through Commit so the write-ahead invariant
-// holds even here; without one it writes pages back directly.
-func (bp *BufferPool) Flush() error {
+// Checkpoint fsyncs the data file and truncates the WAL back to its
+// header, excluding concurrent commits for the duration (a commit
+// between its log append and its data write-through must not see the
+// log reset under it). Dirty pages of uncommitted transactions are
+// untouched — they are buffered only and survive in memory.
+func (bp *BufferPool) Checkpoint() error {
 	bp.mu.Lock()
 	wal := bp.wal
 	bp.mu.Unlock()
-	if wal != nil {
-		if err := bp.Commit(); err != nil {
-			return err
-		}
-		return bp.pager.Sync()
+	if wal == nil {
+		return fmt.Errorf("storage: Checkpoint on a pool without a WAL")
 	}
+	bp.ckptMu.Lock()
+	defer bp.ckptMu.Unlock()
+	if err := bp.pager.Sync(); err != nil {
+		return err
+	}
+	return wal.Reset()
+}
+
+// Flush writes every dirty page back and syncs the data file — the
+// legacy path for pools without a WAL. A WAL-mode pool must use
+// CommitTxn/Checkpoint instead so the write-ahead invariant holds.
+func (bp *BufferPool) Flush() error {
 	bp.mu.Lock()
+	if bp.wal != nil {
+		bp.mu.Unlock()
+		return fmt.Errorf("storage: Flush on a WAL-mode pool (use CommitTxn and Checkpoint)")
+	}
 	for _, fr := range bp.frames {
 		if fr.dirty {
 			if err := bp.pager.Write(fr.pid, &fr.page); err != nil {

@@ -22,9 +22,10 @@ type HeapFile struct {
 	last  uint32 // last page (insertion target)
 }
 
-// CreateHeap starts a new heap file with one empty page.
-func CreateHeap(bp *BufferPool) (*HeapFile, error) {
-	fr, err := bp.NewPage()
+// CreateHeap starts a new heap file with one empty page, allocated
+// under txn (nil only for pools without a WAL).
+func CreateHeap(bp *BufferPool, txn *Txn) (*HeapFile, error) {
+	fr, err := bp.NewPage(txn)
 	if err != nil {
 		return nil, err
 	}
@@ -95,9 +96,9 @@ func (h *HeapFile) Pages() ([]uint32, error) {
 	return pids, nil
 }
 
-// Insert stores a record, growing the chain as needed.
-func (h *HeapFile) Insert(rec []byte) (RID, error) {
-	fr, err := h.bp.Get(h.last)
+// Insert stores a record under txn, growing the chain as needed.
+func (h *HeapFile) Insert(txn *Txn, rec []byte) (RID, error) {
+	fr, err := h.bp.GetMut(txn, h.last)
 	if err != nil {
 		return RID{}, err
 	}
@@ -107,7 +108,7 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 		fr.Page().Compact()
 		slot, err = fr.Page().Insert(rec)
 		if err == ErrPageFull {
-			nf, nerr := h.bp.NewPage()
+			nf, nerr := h.bp.NewPage(txn)
 			if nerr != nil {
 				h.bp.Unpin(fr, true)
 				return RID{}, nerr
@@ -151,9 +152,9 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 	return cp, h.bp.Unpin(fr, false)
 }
 
-// Delete tombstones the record at rid.
-func (h *HeapFile) Delete(rid RID) error {
-	fr, err := h.bp.Get(rid.Page)
+// Delete tombstones the record at rid under txn.
+func (h *HeapFile) Delete(txn *Txn, rid RID) error {
+	fr, err := h.bp.GetMut(txn, rid.Page)
 	if err != nil {
 		return err
 	}

@@ -202,7 +202,7 @@ func TestBufferPoolPinEvict(t *testing.T) {
 	pg, bp := newPool(t, 2)
 	var pids []uint32
 	for i := 0; i < 4; i++ {
-		fr, err := bp.NewPage()
+		fr, err := bp.NewPage(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,11 +233,11 @@ func TestBufferPoolPinEvict(t *testing.T) {
 
 func TestBufferPoolAllPinned(t *testing.T) {
 	_, bp := newPool(t, 1)
-	fr, err := bp.NewPage()
+	fr, err := bp.NewPage(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bp.NewPage(); err == nil {
+	if _, err := bp.NewPage(nil); err == nil {
 		t.Error("expected exhaustion error")
 	}
 	if err := bp.Unpin(fr, false); err != nil {
@@ -246,7 +246,7 @@ func TestBufferPoolAllPinned(t *testing.T) {
 	if err := bp.Unpin(fr, false); err == nil {
 		t.Error("double unpin accepted")
 	}
-	if _, err := bp.NewPage(); err != nil {
+	if _, err := bp.NewPage(nil); err != nil {
 		t.Errorf("after unpin NewPage failed: %v", err)
 	}
 }
@@ -291,7 +291,7 @@ func TestPageValidate(t *testing.T) {
 	}
 	// a corrupt page read through the pool surfaces as a clean error
 	pg, bp := newPool(t, 2)
-	fr, err := bp.NewPage()
+	fr, err := bp.NewPage(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,12 +308,12 @@ func TestPageValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// evict the clean cached copy so the next Get re-reads from disk
-	fr2, err := bp.NewPage()
+	fr2, err := bp.NewPage(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bp.Unpin(fr2, false)
-	fr3, err := bp.NewPage()
+	fr3, err := bp.NewPage(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,14 +325,14 @@ func TestPageValidate(t *testing.T) {
 
 func TestHeapInsertGetDeleteScan(t *testing.T) {
 	_, bp := newPool(t, 8)
-	h, err := CreateHeap(bp)
+	h, err := CreateHeap(bp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var rids []RID
 	for i := 0; i < 300; i++ {
 		rec := []byte(fmt.Sprintf("record-%04d-%s", i, string(bytes.Repeat([]byte{'x'}, i%60))))
-		rid, err := h.Insert(rec)
+		rid, err := h.Insert(nil, rec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -361,7 +361,7 @@ func TestHeapInsertGetDeleteScan(t *testing.T) {
 	}
 	// delete a third
 	for i := 0; i < len(rids); i += 3 {
-		if err := h.Delete(rids[i]); err != nil {
+		if err := h.Delete(nil, rids[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -391,13 +391,13 @@ func TestHeapReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	bp, _ := NewBufferPool(pg, 4)
-	h, err := CreateHeap(bp)
+	h, err := CreateHeap(bp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	first := h.FirstPage()
 	for i := 0; i < 500; i++ {
-		if _, err := h.Insert([]byte(fmt.Sprintf("r%d", i))); err != nil {
+		if _, err := h.Insert(nil, []byte(fmt.Sprintf("r%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -424,7 +424,7 @@ func TestHeapReopen(t *testing.T) {
 		t.Errorf("reopened heap has %d records", st.LiveRecords)
 	}
 	// insertion continues at the end of the chain
-	if _, err := h2.Insert([]byte("after-reopen")); err != nil {
+	if _, err := h2.Insert(nil, []byte("after-reopen")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -474,7 +474,7 @@ func TestUint32Key(t *testing.T) {
 // verified by scan, across a small buffer pool (forcing evictions).
 func TestHeapRandomizedAgainstModel(t *testing.T) {
 	_, bp := newPool(t, 3)
-	h, err := CreateHeap(bp)
+	h, err := CreateHeap(bp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -484,7 +484,7 @@ func TestHeapRandomizedAgainstModel(t *testing.T) {
 	for step := 0; step < 2000; step++ {
 		if rng.Intn(3) != 0 || len(live) == 0 {
 			rec := fmt.Sprintf("v%d-%d", step, rng.Intn(1000))
-			rid, err := h.Insert([]byte(rec))
+			rid, err := h.Insert(nil, []byte(rec))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -493,7 +493,7 @@ func TestHeapRandomizedAgainstModel(t *testing.T) {
 		} else {
 			i := rng.Intn(len(live))
 			rid := live[i]
-			if err := h.Delete(rid); err != nil {
+			if err := h.Delete(nil, rid); err != nil {
 				t.Fatal(err)
 			}
 			delete(model, rid)

@@ -15,23 +15,34 @@ import (
 // crash recovery (docs/recovery.md). The WAL is a sidecar file holding
 // full-page redo images grouped into commit batches:
 //
-//	header  "NFRW" version(1) reserved(3)                       8 bytes
+//	header  "NFRW" version(1) reserved(3) dbid:uint64           16 bytes
 //	'P' pid:uint32 image:PageSize crc32c:uint32                 page image
 //	'C' seq:uint64 npages:uint32 crc32c:uint32                  commit
+//
+// dbid is the owning database's random identity, matched against the
+// id stored in the data file's catalog header so a mispaired or
+// shuffled data/sidecar pair is refused instead of replayed (version 1
+// had an 8-byte header without it).
 //
 // Ordering rule (the write-ahead invariant): every dirty page's image
 // is appended and the batch's commit record fsync'd BEFORE any of
 // those pages may be written to the data file. One batch = one
-// statement = one fsync — group commit. Recovery replays the latest
-// committed image of every page and discards a torn tail at the first
-// record that fails its CRC, is truncated, breaks the sequence, or
-// disagrees with its commit record's page count. Full page images make
-// redo idempotent: replaying an already-applied batch rewrites the same
-// bytes, so no per-page LSN is needed.
+// transaction, but one WRITE and one fsync may cover several batches:
+// AppendGroup concatenates the batches of concurrently committing
+// transactions (consecutive seqs) into a single append — merged group
+// commit, amortizing the fsync below one per transaction under load.
+// Recovery replays the latest committed image of every page and
+// discards a torn tail at the first record that fails its CRC, is
+// truncated, breaks the sequence, or disagrees with its commit
+// record's page count; a tail cut inside a merged write simply
+// recovers the prefix of whole batches, so crashes still land on
+// transaction boundaries. Full page images make redo idempotent:
+// replaying an already-applied batch rewrites the same bytes, so no
+// per-page LSN is needed.
 const (
 	walMagic      = "NFRW"
-	walVersion    = 1
-	walHeaderSize = 8
+	walVersion    = 2
+	walHeaderSize = 16
 
 	walRecPage   = 'P'
 	walRecCommit = 'C'
@@ -46,10 +57,14 @@ var ErrCorruptWAL = errors.New("storage: corrupt WAL")
 
 // WALStats counts WAL activity. Batches/PagesLogged/Fsyncs cover this
 // process's appends; Recovered* describe what open-time redo found.
+// Batches/Fsyncs is the group-commit merge factor (1.0 = no merging);
+// MaxGroupBatches is the largest number of transactions one fsync
+// covered.
 type WALStats struct {
-	Batches          int // committed batches appended
+	Batches          int // committed batches appended (one per transaction)
 	PagesLogged      int // page images appended
-	Fsyncs           int // commit fsyncs (one per AppendBatch)
+	Fsyncs           int // commit fsyncs (one per append group)
+	MaxGroupBatches  int // most batches merged into a single fsync
 	CheckpointFsyncs int // fsyncs spent truncating the log at checkpoints
 	RecoveredBatches int // committed batches found at open
 	RecoveredPages   int // page images in those batches (latest per batch)
@@ -65,14 +80,16 @@ type WALPage struct {
 // the first append, so opening a database read-only leaves no sidecar
 // behind. All methods are safe for concurrent use.
 type WAL struct {
-	mu     sync.Mutex
-	path   string
-	open   OpenFileFunc
-	f      File // nil until the file exists
-	size   int64
-	seq    uint64
-	images map[uint32]*Page // latest committed image per page since the last reset
-	stats  WALStats
+	mu      sync.Mutex
+	path    string
+	open    OpenFileFunc
+	f       File // nil until the file exists
+	size    int64
+	hdrSize int64 // 16 for v2 files; 8 when attached to a legacy v1 log
+	seq     uint64
+	dbid    uint64           // database identity (0 = unknown / unpaired)
+	images  map[uint32]*Page // latest committed image per page since the last reset
+	stats   WALStats
 }
 
 // OpenWAL attaches to the write-ahead log at path. An existing file is
@@ -83,7 +100,7 @@ func OpenWAL(path string, open OpenFileFunc) (*WAL, error) {
 	if open == nil {
 		open = OpenOSFile
 	}
-	w := &WAL{path: path, open: open, images: make(map[uint32]*Page)}
+	w := &WAL{path: path, open: open, hdrSize: walHeaderSize, images: make(map[uint32]*Page)}
 	f, err := open(path, false)
 	if errors.Is(err, fs.ErrNotExist) {
 		return w, nil
@@ -115,18 +132,31 @@ func (w *WAL) recover() error {
 	if n, err := w.f.ReadAt(buf, 0); err != nil && !(err == io.EOF && int64(n) == size) {
 		return err
 	}
-	validHdr := []byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], walVersion, 0, 0, 0}
-	hdr := buf
-	if size >= walHeaderSize {
-		hdr = buf[:walHeaderSize]
-	}
-	if size < walHeaderSize || !bytes.Equal(hdr, validHdr) {
-		// A header that is a zero-padded prefix of the valid one is a
-		// torn creation: the log's first fsync never completed, so no
-		// batch was ever promised durable — treat the log as empty. Any
-		// other header (alien magic, a future version) is corruption we
-		// must not guess at.
-		if !tornHeader(hdr, validHdr) {
+	// The first 8 header bytes are fixed; a v2 header carries the
+	// database id in bytes [8:16) (arbitrary, validated by the store
+	// against the data file's id). A legacy v1 log — 8-byte header, no
+	// id — is still readable so a database that crashed under the old
+	// format recovers after an upgrade; it just cannot be
+	// pairing-checked.
+	v1prefix := []byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], 1, 0, 0, 0}
+	prefix := []byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], walVersion, 0, 0, 0}
+	switch {
+	case size >= 8 && bytes.Equal(buf[:8], v1prefix):
+		w.hdrSize = 8
+	case size >= walHeaderSize && bytes.Equal(buf[:len(prefix)], prefix):
+		w.dbid = binary.LittleEndian.Uint64(buf[8:16])
+	default:
+		// A header that is a zero-padded prefix of the valid one (or a
+		// full prefix with a cut-short id region) is a torn creation:
+		// the log's first fsync never completed, so no batch was ever
+		// promised durable — treat the log as empty. Any other header
+		// (alien magic, a future version) is corruption we must not
+		// guess at.
+		hdr := buf
+		if size >= walHeaderSize {
+			hdr = buf[:walHeaderSize]
+		}
+		if !tornHeader(hdr, prefix) && !tornHeader(hdr, v1prefix) {
 			return fmt.Errorf("%w: bad header", ErrCorruptWAL)
 		}
 		if err := w.f.Truncate(0); err != nil {
@@ -135,8 +165,8 @@ func (w *WAL) recover() error {
 		w.size = 0
 		return nil
 	}
-	end := int64(walHeaderSize)
-	off := int64(walHeaderSize)
+	end := w.hdrSize
+	off := w.hdrSize
 	pending := make(map[uint32]*Page)
 	sawCommit := false
 scan:
@@ -201,20 +231,23 @@ scan:
 	return nil
 }
 
-// tornHeader reports whether hdr (any length) is a zero-padded proper
-// prefix of the valid WAL header — the only shapes a crash during the
-// header's first, never-fsync'd write can leave.
-func tornHeader(hdr, valid []byte) bool {
+// tornHeader reports whether hdr (any length up to walHeaderSize) is a
+// shape only a crash during the header's first, never-fsync'd write can
+// leave: a zero-padded proper prefix of the fixed 8 header bytes, or
+// the full fixed prefix with the 8-byte id region cut short.
+func tornHeader(hdr, prefix []byte) bool {
 	n := len(hdr)
-	if n > len(valid) {
-		n = len(valid)
+	if n > len(prefix) {
+		n = len(prefix)
 	}
 	i := 0
-	for i < n && hdr[i] == valid[i] {
+	for i < n && hdr[i] == prefix[i] {
 		i++
 	}
-	if i == len(valid) {
-		return false // a full valid header never reaches here
+	if i == len(prefix) {
+		// full fixed prefix: torn only if the id region is incomplete
+		// (a complete 16-byte header is handled as valid by the caller)
+		return len(hdr) < walHeaderSize
 	}
 	for _, b := range hdr[i:] {
 		if b != 0 {
@@ -228,7 +261,23 @@ func tornHeader(hdr, valid []byte) bool {
 // a commit record — and fsyncs once. After AppendBatch returns, the
 // batch is durable and its pages may be written to the data file.
 func (w *WAL) AppendBatch(pages []WALPage) error {
-	if len(pages) == 0 {
+	return w.AppendGroup([][]WALPage{pages})
+}
+
+// AppendGroup appends several transactions' commit batches — each its
+// own run of page images followed by a commit record with the next
+// sequence number — as ONE file write and ONE fsync. This is the merged
+// group commit: the batches become durable together, and because every
+// batch keeps its own commit record, recovery of a tail torn inside the
+// group still lands on a whole-batch (transaction) boundary. After
+// AppendGroup returns every batch is durable and its pages may be
+// written to the data file.
+func (w *WAL) AppendGroup(batches [][]WALPage) error {
+	n := 0
+	for _, pages := range batches {
+		n += len(pages)
+	}
+	if n == 0 {
 		return nil
 	}
 	w.mu.Lock()
@@ -244,26 +293,36 @@ func (w *WAL) AppendBatch(pages []WALPage) error {
 		hdr := make([]byte, walHeaderSize)
 		copy(hdr, walMagic)
 		hdr[4] = walVersion
+		binary.LittleEndian.PutUint64(hdr[8:16], w.dbid)
 		if _, err := w.f.WriteAt(hdr, 0); err != nil {
 			return err
 		}
 		w.size = walHeaderSize
 	}
-	buf := make([]byte, 0, len(pages)*walPageRecSize+walCommitRecSize)
-	for _, p := range pages {
-		rec := make([]byte, 0, walPageRecSize)
-		rec = append(rec, walRecPage)
-		rec = binary.LittleEndian.AppendUint32(rec, p.PID)
-		rec = append(rec, p.Img[:]...)
-		rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(rec, crcTable))
-		buf = append(buf, rec...)
+	buf := make([]byte, 0, n*walPageRecSize+len(batches)*walCommitRecSize)
+	seq := w.seq
+	nBatches := 0
+	for _, pages := range batches {
+		if len(pages) == 0 {
+			continue
+		}
+		for _, p := range pages {
+			rec := make([]byte, 0, walPageRecSize)
+			rec = append(rec, walRecPage)
+			rec = binary.LittleEndian.AppendUint32(rec, p.PID)
+			rec = append(rec, p.Img[:]...)
+			rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(rec, crcTable))
+			buf = append(buf, rec...)
+		}
+		seq++
+		nBatches++
+		commit := make([]byte, 0, walCommitRecSize)
+		commit = append(commit, walRecCommit)
+		commit = binary.LittleEndian.AppendUint64(commit, seq)
+		commit = binary.LittleEndian.AppendUint32(commit, uint32(len(pages)))
+		commit = binary.LittleEndian.AppendUint32(commit, crc32.Checksum(commit, crcTable))
+		buf = append(buf, commit...)
 	}
-	commit := make([]byte, 0, walCommitRecSize)
-	commit = append(commit, walRecCommit)
-	commit = binary.LittleEndian.AppendUint64(commit, w.seq+1)
-	commit = binary.LittleEndian.AppendUint32(commit, uint32(len(pages)))
-	commit = binary.LittleEndian.AppendUint32(commit, crc32.Checksum(commit, crcTable))
-	buf = append(buf, commit...)
 	if _, err := w.f.WriteAt(buf, w.size); err != nil {
 		return err
 	}
@@ -272,14 +331,37 @@ func (w *WAL) AppendBatch(pages []WALPage) error {
 	}
 	w.stats.Fsyncs++
 	w.size += int64(len(buf))
-	w.seq++
-	w.stats.Batches++
-	w.stats.PagesLogged += len(pages)
-	for _, p := range pages {
-		img := *p.Img
-		w.images[p.PID] = &img
+	w.seq = seq
+	w.stats.Batches += nBatches
+	if nBatches > w.stats.MaxGroupBatches {
+		w.stats.MaxGroupBatches = nBatches
+	}
+	w.stats.PagesLogged += n
+	for _, pages := range batches {
+		for _, p := range pages {
+			img := *p.Img
+			w.images[p.PID] = &img
+		}
 	}
 	return nil
+}
+
+// SetDBID records the owning database's identity; it is stamped into
+// the header when the log file is (re)created. The store sets it after
+// reading or initializing the data file's catalog header.
+func (w *WAL) SetDBID(id uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.dbid = id
+}
+
+// DBID returns the database id read from an existing log's header (or
+// previously set); 0 means unknown — a log created before the id was
+// introduced, or by a caller that never set one.
+func (w *WAL) DBID() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dbid
 }
 
 // CommittedImages returns the latest committed image of every page
@@ -329,11 +411,11 @@ func (w *WAL) Reset() error {
 	if w.f == nil {
 		return nil
 	}
-	if w.size > walHeaderSize {
-		if err := w.f.Truncate(walHeaderSize); err != nil {
+	if w.size > w.hdrSize {
+		if err := w.f.Truncate(w.hdrSize); err != nil {
 			return err
 		}
-		w.size = walHeaderSize
+		w.size = w.hdrSize
 		if err := w.f.Sync(); err != nil {
 			return err
 		}

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -222,7 +224,8 @@ func TestChecksumRepairFromWAL(t *testing.T) {
 	}
 	bp.AttachWAL(w)
 
-	fr, err := bp.NewPage()
+	txn := bp.Begin()
+	fr, err := bp.NewPage(txn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +236,7 @@ func TestChecksumRepairFromWAL(t *testing.T) {
 	if err := bp.Unpin(fr, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := bp.Commit(); err != nil {
+	if err := bp.CommitTxn(txn); err != nil {
 		t.Fatal(err)
 	}
 
@@ -251,26 +254,20 @@ func TestChecksumRepairFromWAL(t *testing.T) {
 	}
 	f.Close()
 
-	// evict the clean cached copy so Get must re-read from disk
-	for i := 0; i < 2; i++ {
-		nf, err := bp.NewPage()
+	// evict the clean cached copy so Get must re-read from disk: filler
+	// pages (committed so they are clean and evictable) push it out
+	for i := 0; i < 4; i++ {
+		ftxn := bp.Begin()
+		nf, err := bp.NewPage(ftxn)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := bp.Unpin(nf, false); err != nil {
 			t.Fatal(err)
 		}
-	}
-	if err := bp.Commit(); err != nil { // clean the filler pages so the victim can be evicted
-		t.Fatal(err)
-	}
-	for i := 0; i < 2; i++ {
-		nf, err := bp.NewPage()
-		if err != nil {
+		if err := bp.CommitTxn(ftxn); err != nil {
 			t.Fatal(err)
 		}
-		bp.Unpin(nf, false)
-		bp.Commit()
 	}
 
 	fr2, err := bp.Get(pid)
@@ -302,12 +299,71 @@ func TestChecksumRepairFromWAL(t *testing.T) {
 	f.WriteAt(junk, int64(pid-1)*PageSize+500)
 	f.Close()
 	// evict again
-	for i := 0; i < 2; i++ {
-		nf, _ := bp.NewPage()
+	for i := 0; i < 4; i++ {
+		ftxn := bp.Begin()
+		nf, _ := bp.NewPage(ftxn)
 		bp.Unpin(nf, false)
-		bp.Commit()
+		bp.CommitTxn(ftxn)
 	}
 	if _, err := bp.Get(pid); err == nil {
 		t.Fatal("torn page with no WAL image loaded without error")
 	}
 }
+
+// TestWALReadsLegacyV1: a database that crashed under the version-1
+// WAL format (8-byte header, no database id) must still recover after
+// the upgrade — its batches replay and checkpoints truncate to the v1
+// header size.
+func TestWALReadsLegacyV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.wal")
+	img := pageWithRecord(t, "legacy")
+	// hand-build a v1 log: header + one P record + one C record
+	var buf []byte
+	buf = append(buf, 'N', 'F', 'R', 'W', 1, 0, 0, 0)
+	rec := []byte{'P'}
+	rec = appendLE32(rec, 7)
+	rec = append(rec, img[:]...)
+	rec = appendLE32(rec, crcOf(rec))
+	buf = append(buf, rec...)
+	commit := []byte{'C'}
+	commit = appendLE64(commit, 1)
+	commit = appendLE32(commit, 1)
+	commit = appendLE32(commit, crcOf(commit))
+	buf = append(buf, commit...)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(path, nil)
+	if err != nil {
+		t.Fatalf("v1 log refused: %v", err)
+	}
+	defer w.Close()
+	if st := w.Stats(); st.RecoveredBatches != 1 || st.RecoveredPages != 1 {
+		t.Fatalf("v1 recovery stats = %+v", st)
+	}
+	got, ok := w.Image(7)
+	if !ok {
+		t.Fatal("v1 image missing")
+	}
+	if rec, err := got.Get(0); err != nil || string(rec) != "legacy" {
+		t.Fatalf("v1 image content = %q, %v", rec, err)
+	}
+	if w.DBID() != 0 {
+		t.Fatalf("v1 log reports dbid %x, want 0 (unknown)", w.DBID())
+	}
+	// appends continue and a checkpoint truncates to the v1 header
+	if err := w.AppendBatch([]WALPage{{9, pageWithRecord(t, "after")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 8 {
+		t.Fatalf("v1 log size after reset = %d, want 8", w.Size())
+	}
+}
+
+func crcOf(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+func appendLE32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendLE64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }

@@ -21,7 +21,8 @@ func buildDB(t *testing.T) (string, int64) {
 		t.Fatal(err)
 	}
 	def := testDef(t)
-	rs, err := st.CreateRelation(def)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,9 +32,12 @@ func buildDB(t *testing.T) (string, int64) {
 	})
 	canon, _ := e.R1.Canonical(def.Order)
 	for i := 0; i < canon.Len(); i++ {
-		if err := rs.Insert(canon.Tuple(i)); err != nil {
+		if err := rs.Insert(txn, canon.Tuple(i)); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
@@ -211,17 +215,21 @@ func TestReopenDuplicateRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	def := testDef(t)
-	rs, err := st.CreateRelation(def)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tp := tupleOf([][]string{{"c1"}, {"b1"}, {"s1"}}, def.Order)
 	// bypass the indexes: write the same encoded tuple twice at the
 	// heap level
-	if err := rs.Insert(tp); err != nil {
+	if err := rs.Insert(txn, tp); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rs.heap.Insert(encoding.EncodeTuple(tp)); err != nil {
+	if _, err := rs.heap.Insert(txn, encoding.EncodeTuple(tp)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(txn); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// crashedPair builds a database at path with one committed tuple and
+// "crashes" it (Discard), leaving the WAL sidecar with committed
+// batches — the shape recovery normally trusts.
+func crashedPair(t *testing.T, path string) {
+	t.Helper()
+	st, err := Open(path, Options{CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := testDef(t)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Insert(txn, tupleOf([][]string{{"c1"}, {"b1"}, {"s1"}}, def.Order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	if st.DBID() == 0 {
+		t.Fatal("fresh database has no id")
+	}
+	st.Discard() // crash: sidecar survives with its batches
+}
+
+// TestMispairedWALRefused: a data file opened next to another
+// database's WAL sidecar must refuse with ErrMispaired — replaying the
+// wrong log would splice foreign pages into the file. Covers both
+// directions of a shuffled pair and the copied-data-file case.
+func TestMispairedWALRefused(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.nfrs")
+	b := filepath.Join(dir, "b.nfrs")
+	crashedPair(t, a)
+	crashedPair(t, b)
+
+	cp := func(src, dst string) {
+		t.Helper()
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// shuffled pair: a's data + b's sidecar (and vice versa)
+	shuffled := filepath.Join(dir, "shuffled.nfrs")
+	cp(a, shuffled)
+	cp(b+".wal", shuffled+".wal")
+	if _, err := Open(shuffled, Options{}); !errors.Is(err, ErrMispaired) {
+		t.Fatalf("shuffled pair opened with err=%v, want ErrMispaired", err)
+	}
+
+	// copied data file dropped next to an unrelated sidecar
+	copied := filepath.Join(dir, "copied.nfrs")
+	cp(b, copied)
+	cp(a+".wal", copied+".wal")
+	if _, err := Open(copied, Options{}); !errors.Is(err, ErrMispaired) {
+		t.Fatalf("copied pair opened with err=%v, want ErrMispaired", err)
+	}
+
+	// the matched pairs still recover normally
+	for _, path := range []string{a, b} {
+		st, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("matched pair %s refused: %v", path, err)
+		}
+		rs, ok := st.Rel("R1")
+		if !ok {
+			t.Fatal("relation lost across recovery")
+		}
+		if rs.Len() != 1 {
+			t.Fatalf("recovered %d tuples, want 1", rs.Len())
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStaleWALFromOldIncarnationRefused: delete a database, recreate it
+// at the same path (new id), then restore the OLD incarnation's sidecar
+// — recovery must refuse rather than replay pages from the previous
+// life of the file.
+func TestStaleWALFromOldIncarnationRefused(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.nfrs")
+	crashedPair(t, path)
+	oldWAL, err := os.ReadFile(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// recover cleanly (removes the sidecar), then start a new
+	// incarnation from scratch
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	crashedPair(t, path)
+	// swap in the first incarnation's log
+	if err := os.WriteFile(path+".wal", oldWAL, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrMispaired) {
+		t.Fatalf("stale-incarnation sidecar opened with err=%v, want ErrMispaired", err)
+	}
+}
+
+// TestDBIDStableAcrossReopen: the id is minted once at initialization
+// and survives clean closes, reopens, and crash recovery.
+func TestDBIDStableAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.nfrs")
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.DBID()
+	if id == 0 {
+		t.Fatal("no database id minted")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.DBID() != id {
+		t.Fatalf("id changed across reopen: %016x != %016x", st2.DBID(), id)
+	}
+}

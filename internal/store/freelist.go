@@ -11,9 +11,19 @@ import (
 // 4-byte little-endian page ids of reclaimable pages (a dropped
 // relation's chain). It is durable like any other page: pushes and pops
 // mutate buffered pages that ride in the same commit batch as the
-// statement that caused them, so a crash can never disagree with the
+// transaction that caused them, so a crash can never disagree with the
 // catalog about who owns a page. An in-memory mirror (pid + record id)
 // avoids rescanning the chain on every allocation.
+//
+// Because the free list is shared between concurrent transactions, its
+// use is transaction-scoped: the first push or pop by a transaction
+// takes ownership (Store.freeOwner) until that transaction commits.
+// Another transaction's push waits; another transaction's pop falls
+// through to growing the file instead (recycling is an optimization,
+// never worth blocking an allocation on). Without this, a page freed
+// by an uncommitted drop could be recycled into another transaction's
+// relation and committed first — a crash between the two commits would
+// leave the page owned by both the old chain and the new one.
 
 // freeRoot is the page id of the free-list heap's first page.
 const freeRoot = 2
@@ -26,8 +36,8 @@ type freeEntry struct {
 
 // initFreeList creates the free-list heap in a fresh file; it must land
 // on page freeRoot.
-func (s *Store) initFreeList() error {
-	fh, err := storage.CreateHeap(s.bp)
+func (s *Store) initFreeList(txn *Txn) error {
+	fh, err := storage.CreateHeap(s.bp, txn)
 	if err != nil {
 		return err
 	}
@@ -66,16 +76,22 @@ func (s *Store) loadFreeList() error {
 	return badRec
 }
 
-// freePages appends the given page ids to the free list. Called with
-// s.mu held on the drop path; failures leave the remaining pages
-// orphaned (the pre-free-list behaviour), never double-owned.
-func (s *Store) freePages(pids []uint32) error {
+// freePages appends the given page ids to the free list under txn,
+// waiting for the free list's current owner (if another transaction) to
+// commit first. Called with s.mu held on the drop path; failures leave
+// the remaining pages orphaned (the pre-free-list behaviour), never
+// double-owned.
+func (s *Store) freePages(txn *Txn, pids []uint32) error {
 	s.freeMu.Lock()
 	defer s.freeMu.Unlock()
+	for s.freeOwner != nil && s.freeOwner != txn {
+		s.freeCond.Wait()
+	}
+	s.freeOwner = txn
 	for _, pid := range pids {
 		var rec [4]byte
 		binary.LittleEndian.PutUint32(rec[:], pid)
-		rid, err := s.freeHeap.Insert(rec[:])
+		rid, err := s.freeHeap.Insert(txn, rec[:])
 		if err != nil {
 			return err
 		}
@@ -84,25 +100,46 @@ func (s *Store) freePages(pids []uint32) error {
 	return nil
 }
 
-// recycle pops one free page for reuse; it is the buffer pool's
-// allocator hook. TryLock: the free list's own heap operations may
-// allocate pages (growing the chain), and that re-entrant allocation
-// must fall through to the pager rather than deadlock.
-func (s *Store) recycle() (uint32, bool) {
+// recycle pops one free page for reuse under txn; it is the buffer
+// pool's allocator hook. TryLock: the free list's own heap operations
+// may allocate pages (growing the chain), and that re-entrant
+// allocation must fall through to the pager rather than deadlock. A
+// free list owned by a different uncommitted transaction also falls
+// through — its entries may vanish if that transaction is a drop that
+// never commits, so they are not safe to hand out yet.
+func (s *Store) recycle(txn *Txn) (uint32, bool) {
 	if !s.freeMu.TryLock() {
 		return 0, false
 	}
 	defer s.freeMu.Unlock()
+	if s.freeOwner != nil && s.freeOwner != txn {
+		return 0, false
+	}
 	n := len(s.free)
 	if n == 0 {
 		return 0, false
 	}
+	if txn == nil {
+		return 0, false
+	}
+	s.freeOwner = txn
 	e := s.free[n-1]
-	if err := s.freeHeap.Delete(e.rid); err != nil {
+	if err := s.freeHeap.Delete(txn, e.rid); err != nil {
 		return 0, false
 	}
 	s.free = s.free[:n-1]
 	return e.pid, true
+}
+
+// releaseFree hands the free list back after txn commits (no-op when
+// txn never touched it).
+func (s *Store) releaseFree(txn *Txn) {
+	s.freeMu.Lock()
+	if s.freeOwner == txn {
+		s.freeOwner = nil
+		s.freeCond.Broadcast()
+	}
+	s.freeMu.Unlock()
 }
 
 // FreePages returns the number of pages currently on the free list.

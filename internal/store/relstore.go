@@ -21,9 +21,14 @@ import (
 //     (determinant) component, so point lookups by determinant value
 //     (the NFR analogue of a key probe) avoid scanning the heap.
 //
-// RelStore implements update.Sink; because the sink interface cannot
-// return errors mid-algorithm, write failures are latched and surfaced
-// via Err.
+// RelStore implements update.BatchSink; because the sink interface
+// cannot return errors mid-algorithm, write failures are latched and
+// surfaced via Err. Each StatementBegin/StatementEnd bracket is one
+// transaction: the statement's writes accumulate under a Txn begun at
+// the bracket's start and group-commit at its end, so statements on
+// different relations commit concurrently (and merge into shared
+// fsyncs). The engine serializes statements per relation, so at most
+// one statement transaction is open per RelStore at a time.
 type RelStore struct {
 	st     *Store
 	def    RelationDef
@@ -34,6 +39,7 @@ type RelStore struct {
 	rids  *storage.HashIndex // tuple key -> RID
 	fixed *storage.HashIndex // determinant atom -> RID
 	count int
+	cur   *Txn  // open statement transaction (between brackets)
 	err   error // first write-through failure
 }
 
@@ -112,11 +118,16 @@ func (r *RelStore) unindexTuple(t tuple.Tuple, rid storage.RID) {
 	r.count--
 }
 
-// Insert appends one canonical tuple to the heap and indexes it.
-func (r *RelStore) Insert(t tuple.Tuple) error {
+// Insert appends one canonical tuple to the heap under txn and indexes
+// it.
+func (r *RelStore) Insert(txn *Txn, t tuple.Tuple) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	rid, err := r.heap.Insert(encoding.EncodeTuple(t))
+	return r.insertLocked(txn, t)
+}
+
+func (r *RelStore) insertLocked(txn *Txn, t tuple.Tuple) error {
+	rid, err := r.heap.Insert(txn, encoding.EncodeTuple(t))
 	if err != nil {
 		return err
 	}
@@ -124,17 +135,21 @@ func (r *RelStore) Insert(t tuple.Tuple) error {
 	return nil
 }
 
-// Remove deletes the record holding the exact tuple t.
-func (r *RelStore) Remove(t tuple.Tuple) error {
+// Remove deletes the record holding the exact tuple t under txn.
+func (r *RelStore) Remove(txn *Txn, t tuple.Tuple) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.removeLocked(txn, t)
+}
+
+func (r *RelStore) removeLocked(txn *Txn, t tuple.Tuple) error {
 	key := []byte(t.Key())
 	rids := r.rids.Get(key)
 	if len(rids) == 0 {
 		return fmt.Errorf("store: tuple not found in %q: %s", r.def.Name, t)
 	}
 	rid := rids[0]
-	if err := r.heap.Delete(rid); err != nil {
+	if err := r.heap.Delete(txn, rid); err != nil {
 		return err
 	}
 	r.unindexTuple(t, rid)
@@ -142,49 +157,109 @@ func (r *RelStore) Remove(t tuple.Tuple) error {
 }
 
 // TupleAdded implements update.Sink: write-through of a composition
-// result. Errors are latched (see Err).
+// result under the open statement transaction. Errors are latched (see
+// Err).
 func (r *RelStore) TupleAdded(t tuple.Tuple) {
-	if err := r.Insert(t); err != nil {
-		r.setErr(err)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		r.setErrLocked(fmt.Errorf("store: write-through to %q outside a statement", r.def.Name))
+		return
+	}
+	if err := r.insertLocked(r.cur, t); err != nil {
+		r.setErrLocked(err)
 	}
 }
 
 // TupleRemoved implements update.Sink: write-through of a decomposition
-// victim. Errors are latched (see Err).
+// victim under the open statement transaction. Errors are latched (see
+// Err).
 func (r *RelStore) TupleRemoved(t tuple.Tuple) {
-	if err := r.Remove(t); err != nil {
-		r.setErr(err)
-	}
-}
-
-// StatementBegin implements update.BatchSink. The adds and drops of one
-// Section-4 statement accumulate as dirty buffered pages; nothing
-// reaches the data file yet (the pool is no-steal).
-func (r *RelStore) StatementBegin() {}
-
-// StatementEnd implements update.BatchSink: the group-commit point. All
-// pages the statement dirtied go to the WAL as one batch with a single
-// fsync, then through to the data file. Errors are latched (see Err) so
-// the engine's rollback path can surface them.
-//
-// A statement whose write-through already failed mid-stream is NOT
-// committed: its half-applied pages stay buffered (the pool is
-// no-steal, so they cannot leak to disk), the engine's rollback then
-// repairs them in place via Replace, and the repaired state commits as
-// one batch — a crash anywhere in between recovers the pre-statement
-// state, never a mix.
-func (r *RelStore) StatementEnd() {
-	if r.Err() != nil {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		r.setErrLocked(fmt.Errorf("store: write-through to %q outside a statement", r.def.Name))
 		return
 	}
-	if err := r.st.Commit(); err != nil {
-		r.setErr(err)
+	if err := r.removeLocked(r.cur, t); err != nil {
+		r.setErrLocked(err)
 	}
 }
 
-// Commit forces a group commit outside a maintainer statement — the
-// engine uses it after resynchronizing the heap on a rollback.
-func (r *RelStore) Commit() error { return r.st.Commit() }
+// StatementBegin implements update.BatchSink: the start of one
+// statement transaction. The adds and drops of one Section-4 statement
+// accumulate as dirty buffered pages in the transaction's dirty set;
+// nothing reaches the data file yet (the pool is no-steal). A still-
+// open transaction from a failed statement is reused so the engine's
+// rollback repairs land in the same atomic batch.
+func (r *RelStore) StatementBegin() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		r.cur = r.st.Begin()
+	}
+}
+
+// StatementEnd implements update.BatchSink: the group-commit point. All
+// pages the statement dirtied go to the WAL as one batch — merged with
+// concurrently committing statements on other relations into a single
+// fsync — then through to the data file. Errors are latched (see Err)
+// so the engine's rollback path can surface them.
+//
+// A statement whose write-through already failed mid-stream is NOT
+// committed: its half-applied pages stay buffered under the still-open
+// transaction (the pool is no-steal, so they cannot leak to disk), the
+// engine's rollback then repairs them in place via Replace, and the
+// repaired state commits as one batch — a crash anywhere in between
+// recovers the pre-statement state, never a mix.
+func (r *RelStore) StatementEnd() {
+	r.mu.Lock()
+	txn := r.cur
+	failed := r.err != nil
+	r.mu.Unlock()
+	if failed || txn == nil {
+		return
+	}
+	err := r.st.Commit(txn)
+	r.mu.Lock()
+	if err != nil {
+		if r.err == nil {
+			r.err = err
+		}
+	} else {
+		r.cur = nil
+	}
+	r.mu.Unlock()
+}
+
+// CommitStatement force-commits the open statement transaction outside
+// the maintainer brackets — the engine uses it after resynchronizing
+// the heap on a rollback. A no-op when no statement transaction is
+// open.
+func (r *RelStore) CommitStatement() error {
+	r.mu.Lock()
+	txn := r.cur
+	r.mu.Unlock()
+	if txn == nil {
+		return nil
+	}
+	if err := r.st.Commit(txn); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.cur = nil
+	r.mu.Unlock()
+	return nil
+}
+
+// StatementTxn returns the open statement transaction (nil between
+// statements). The engine's rollback path uses it to repair the heap
+// within the same atomic batch as the failed statement.
+func (r *RelStore) StatementTxn() *Txn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}
 
 // ResetErr clears the latched write-through failure. Callers must
 // first restore heap↔memory consistency (see Replace); the engine's
@@ -197,10 +272,14 @@ func (r *RelStore) ResetErr() {
 
 func (r *RelStore) setErr(err error) {
 	r.mu.Lock()
+	r.setErrLocked(err)
+	r.mu.Unlock()
+}
+
+func (r *RelStore) setErrLocked(err error) {
 	if r.err == nil {
 		r.err = err
 	}
-	r.mu.Unlock()
 }
 
 // scanRaw decodes every live record in chain order, reporting rids.
@@ -281,25 +360,26 @@ func (r *RelStore) HeapStats() (storage.HeapStats, error) {
 }
 
 // Replace atomically (with respect to this process) swaps the stored
-// content for the given relation: every live record is tombstoned and
-// rel's tuples are inserted fresh. Used by the engine when the stored
-// form has drifted from the canonical form it maintains.
-func (r *RelStore) Replace(rel *core.Relation) error {
-	if err := r.clear(); err != nil {
+// content for the given relation under txn: every live record is
+// tombstoned and rel's tuples are inserted fresh. Used by the engine
+// when the stored form has drifted from the canonical form it
+// maintains.
+func (r *RelStore) Replace(txn *Txn, rel *core.Relation) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.clearLocked(txn); err != nil {
 		return err
 	}
 	for i := 0; i < rel.Len(); i++ {
-		if err := r.Insert(rel.Tuple(i)); err != nil {
+		if err := r.insertLocked(txn, rel.Tuple(i)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// clear tombstones every live record (used by DropRelation).
-func (r *RelStore) clear() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// clearLocked tombstones every live record.
+func (r *RelStore) clearLocked(txn *Txn) error {
 	var rids []storage.RID
 	if err := r.heap.Scan(func(rid storage.RID, _ []byte) bool {
 		rids = append(rids, rid)
@@ -308,7 +388,7 @@ func (r *RelStore) clear() error {
 		return err
 	}
 	for _, rid := range rids {
-		if err := r.heap.Delete(rid); err != nil {
+		if err := r.heap.Delete(txn, rid); err != nil {
 			return err
 		}
 	}

@@ -7,8 +7,9 @@
 // sidecar (<path>.wal):
 //
 //	page 1    catalog heap chain — record 0 is the header
-//	          (magic "NFRS" + format version), every further live
-//	          record is one relation definition + its heap root
+//	          (magic "NFRS" + format version + database id), every
+//	          further live record is one relation definition + its
+//	          heap root
 //	page 2    free-list heap chain — 4-byte page ids reclaimable
 //	          from dropped relations (see freelist.go)
 //	page *    per-relation heap chains of encoding.EncodeTuple records
@@ -16,14 +17,20 @@
 // The store is the durability half of the engine's "realization view"
 // (paper Section 5): the engine keeps the canonical form in memory for
 // the Section-4 update algorithms and writes every tuple mutation
-// through via the update.Sink interface; Commit groups a statement's
-// dirty pages into one WAL batch with a single fsync, and opening a
+// through via the update.Sink interface. Mutations are transactional:
+// Begin hands out a Txn, every write is attributed to one, and
+// Commit(txn) groups exactly that transaction's dirty pages into one
+// WAL batch — concurrently committing transactions are merged into a
+// single log write and fsync by the buffer pool's group-commit
+// scheduler, so independent statements commit in parallel. Opening a
 // crashed file replays committed batches and discards torn tails. See
 // docs/storage.md for the layer diagram and docs/recovery.md for the
 // recovery protocol.
 package store
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -39,7 +46,9 @@ var Magic = [4]byte{'N', 'F', 'R', 'S'}
 // FormatVersion is the current paged file format version. Version 2
 // added the page-header checksum field, the free-list page, and the WAL
 // sidecar; version-1 files predate the checksum field and are not
-// readable.
+// readable. The 8-byte database id appended to the header record is a
+// backward-compatible version-2 extension (headers without it are
+// accepted but cannot be pairing-checked).
 const FormatVersion = 2
 
 // DefaultPoolPages is the buffer-pool capacity used when Options does
@@ -54,8 +63,21 @@ const DefaultCheckpointBytes = 4 << 20
 // database file (truncation, torn pages, garbage records).
 var ErrCorrupt = errors.New("store: corrupt database file")
 
+// ErrMispaired is returned when the data file and the WAL sidecar next
+// to it carry different database ids — a shuffled, copied, or
+// hand-restored pair. Replaying the wrong log would splice another
+// database's pages into this one, so the open is refused.
+var ErrMispaired = errors.New("store: data file and WAL sidecar belong to different databases")
+
 // catalogRoot is the page id of the catalog heap's first page.
 const catalogRoot = 1
+
+// Txn is the store's transaction handle — the unit a statement's
+// writes are grouped under and committed as one WAL batch. It is the
+// buffer pool's handle verbatim; all store APIs that mutate pages take
+// one, and Store.Commit (never the pool directly) commits it so the
+// free-list ownership and checkpoint bookkeeping stay correct.
+type Txn = storage.Txn
 
 // Options tunes a Store.
 type Options struct {
@@ -85,12 +107,23 @@ type Store struct {
 	walPath string
 	remove  func(string) error
 	ckptAt  int64
+	dbid    uint64
 	catalog *storage.HeapFile
 	rels    map[string]*RelStore
 
-	freeMu   sync.Mutex
-	freeHeap *storage.HeapFile
-	free     []freeEntry
+	// The free list is shared mutable state between concurrent
+	// transactions, so it has a transaction-scoped owner: the first
+	// push/pop by a transaction takes ownership until that transaction
+	// commits, and other transactions' free-list operations wait (or,
+	// for recycling, fall through to growing the file). This keeps a
+	// dropped chain's pages from being handed to another transaction
+	// before the drop is durable — across a crash the catalog and the
+	// free list can never disagree about who owns a page.
+	freeMu    sync.Mutex
+	freeCond  *sync.Cond
+	freeOwner *Txn
+	freeHeap  *storage.HeapFile
+	free      []freeEntry
 
 	openStats storage.PoolStats
 }
@@ -99,10 +132,12 @@ type Store struct {
 // file when it does not exist (or is empty). Opening is also the
 // recovery point: committed batches found in the WAL sidecar are
 // replayed into the data file (healing torn pages and lost tails) and
-// the log's torn tail, if any, is discarded — see docs/recovery.md. On
-// an existing file the catalog is then read and every relation's hash
-// indexes are rebuilt from its heap (the classic rebuild-on-start
-// design: the heap and the log are the only durable structures).
+// the log's torn tail, if any, is discarded — see docs/recovery.md. A
+// sidecar whose header carries a different database id than the data
+// file is refused (ErrMispaired) before any replay. On an existing
+// file the catalog is then read and every relation's hash indexes are
+// rebuilt from its heap (the classic rebuild-on-start design: the heap
+// and the log are the only durable structures).
 func Open(path string, opts Options) (*Store, error) {
 	if opts.PoolPages <= 0 {
 		opts.PoolPages = DefaultPoolPages
@@ -168,6 +203,19 @@ func Open(path string, opts Options) (*Store, error) {
 		return nil, err
 	}
 
+	// Pairing check, BEFORE any replay: if both the data file's header
+	// (readable without the log) and the sidecar carry a database id
+	// and they differ, the sidecar belongs to another database and
+	// replaying it would corrupt this one. A data file whose page 1 is
+	// torn skips the probe — only its own WAL can repair it, which is
+	// exactly what a legitimate crash pairing looks like.
+	if dataID := probeDBID(pg); dataID != 0 && wal.DBID() != 0 && dataID != wal.DBID() {
+		pg.Close()
+		closeWAL()
+		return nil, fmt.Errorf("%w: data file id %016x, sidecar id %016x",
+			ErrMispaired, dataID, wal.DBID())
+	}
+
 	// Redo: apply the latest committed image of every logged page, then
 	// checkpoint the log. Idempotent — a crash mid-replay just replays
 	// again on the next open.
@@ -208,6 +256,7 @@ func Open(path string, opts Options) (*Store, error) {
 		remove: remove, ckptAt: ckptAt,
 		rels: make(map[string]*RelStore),
 	}
+	s.freeCond = sync.NewCond(&s.freeMu)
 	if pg.NumPages() == 0 {
 		if err := s.initFile(); err != nil {
 			s.Discard()
@@ -223,6 +272,14 @@ func Open(path string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	// The catalog header is now authoritative; future sidecar
+	// (re)creations carry this database's id.
+	if s.dbid != 0 && wal.DBID() != 0 && s.dbid != wal.DBID() {
+		s.Discard()
+		return nil, fmt.Errorf("%w: data file id %016x, sidecar id %016x",
+			ErrMispaired, s.dbid, wal.DBID())
+	}
+	wal.SetDBID(s.dbid)
 	// Recycling starts only now: nothing above may hand out free pages,
 	// and the open-phase I/O is bucketed away from steady-state stats.
 	bp.SetAllocator(s.recycle)
@@ -230,10 +287,61 @@ func Open(path string, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// probeDBID best-effort reads the database id from the catalog header
+// record (page 1, slot 0) without the buffer pool, returning 0 when the
+// page is missing, torn, or predates the id extension. Used by the
+// open-time pairing check, which must run before WAL replay.
+func probeDBID(pg *storage.Pager) uint64 {
+	if pg.NumPages() < catalogRoot {
+		return 0
+	}
+	var p storage.Page
+	if pg.Read(catalogRoot, &p) != nil {
+		return 0
+	}
+	if p.VerifyChecksum() != nil || p.Validate() != nil {
+		return 0
+	}
+	rec, err := p.Get(0)
+	if err != nil || len(rec) != headerRecordLen || string(rec[:4]) != string(Magic[:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(rec[5:])
+}
+
+// headerRecordLen is the catalog header record's size with the database
+// id extension; legacy headers are legacyHeaderLen bytes.
+const (
+	legacyHeaderLen = 5
+	headerRecordLen = 13
+)
+
+// newDBID draws a random nonzero database identity.
+func newDBID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			// ids only gate the pairing check; a degraded source must
+			// not block database creation
+			return 1
+		}
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}
+
+// Begin starts a transaction. Transactions are single-goroutine; every
+// mutating store call takes one, and Store.Commit makes its writes
+// durable as one atomic batch.
+func (s *Store) Begin() *Txn { return s.bp.Begin() }
+
 // initFile lays out a fresh database: the catalog heap with its header
-// record and the free-list heap, committed and checkpointed.
+// record (carrying a fresh random database id) and the free-list heap,
+// committed and checkpointed.
 func (s *Store) initFile() error {
-	cat, err := storage.CreateHeap(s.bp)
+	txn := s.Begin()
+	cat, err := storage.CreateHeap(s.bp, txn)
 	if err != nil {
 		return err
 	}
@@ -241,11 +349,19 @@ func (s *Store) initFile() error {
 		return fmt.Errorf("store: catalog heap allocated at page %d, want %d", cat.FirstPage(), catalogRoot)
 	}
 	s.catalog = cat
+	s.dbid = newDBID()
+	// stamp the sidecar before the first commit creates it, so its
+	// header carries the id from byte one
+	s.wal.SetDBID(s.dbid)
 	hdr := append(append([]byte{}, Magic[:]...), FormatVersion)
-	if _, err := cat.Insert(hdr); err != nil {
+	hdr = binary.LittleEndian.AppendUint64(hdr, s.dbid)
+	if _, err := cat.Insert(txn, hdr); err != nil {
 		return err
 	}
-	if err := s.initFreeList(); err != nil {
+	if err := s.initFreeList(txn); err != nil {
+		return err
+	}
+	if err := s.Commit(txn); err != nil {
 		return err
 	}
 	return s.Flush()
@@ -268,13 +384,17 @@ func (s *Store) loadCatalog() error {
 		}
 		switch rec[0] {
 		case Magic[0]:
-			if len(rec) != 5 || string(rec[:4]) != string(Magic[:]) {
+			if (len(rec) != legacyHeaderLen && len(rec) != headerRecordLen) ||
+				string(rec[:4]) != string(Magic[:]) {
 				err = fmt.Errorf("%w: bad header record", ErrCorrupt)
 				return false
 			}
 			if rec[4] != FormatVersion {
 				err = fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, rec[4])
 				return false
+			}
+			if len(rec) == headerRecordLen {
+				s.dbid = binary.LittleEndian.Uint64(rec[5:])
 			}
 			sawHeader = true
 			return true
@@ -314,10 +434,10 @@ func (s *Store) loadCatalog() error {
 	return nil
 }
 
-// CreateRelation registers a new empty relation: a fresh heap chain
-// plus a catalog record pointing at it. The caller owns the commit
-// boundary (the engine commits once per statement).
-func (s *Store) CreateRelation(def RelationDef) (*RelStore, error) {
+// CreateRelation registers a new empty relation under txn: a fresh heap
+// chain plus a catalog record pointing at it. The caller owns the
+// commit boundary (the engine commits once per statement).
+func (s *Store) CreateRelation(txn *Txn, def RelationDef) (*RelStore, error) {
 	if err := def.validate(); err != nil {
 		return nil, err
 	}
@@ -326,11 +446,11 @@ func (s *Store) CreateRelation(def RelationDef) (*RelStore, error) {
 	if _, dup := s.rels[def.Name]; dup {
 		return nil, fmt.Errorf("store: relation %q already exists", def.Name)
 	}
-	heap, err := storage.CreateHeap(s.bp)
+	heap, err := storage.CreateHeap(s.bp, txn)
 	if err != nil {
 		return nil, err
 	}
-	rid, err := s.catalog.Insert(encodeCatalogRecord(def, heap.FirstPage()))
+	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(def, heap.FirstPage()))
 	if err != nil {
 		return nil, err
 	}
@@ -339,12 +459,16 @@ func (s *Store) CreateRelation(def RelationDef) (*RelStore, error) {
 	return rs, nil
 }
 
-// DropRelation removes a relation: its catalog record is tombstoned and
-// its heap chain's pages are pushed onto the free list for reuse.
-// Failures before the catalog delete leave the relation intact; a
-// free-list failure after it degrades to orphaned pages (never
-// double-owned pages or a dangling catalog entry).
-func (s *Store) DropRelation(name string) error {
+// DropRelation removes a relation's durable state under txn: its
+// catalog record is tombstoned and its heap chain's pages are pushed
+// onto the free list for reuse — all in the same transaction, so
+// across a crash the catalog and the free list agree. The in-memory
+// catalog entry is kept until CompleteDrop, so a failed commit can be
+// rolled back (Rollback) with the relation fully intact. Failures
+// before the catalog delete leave the relation untouched; a free-list
+// failure after it degrades to orphaned pages (never double-owned
+// pages or a dangling catalog entry).
+func (s *Store) DropRelation(txn *Txn, name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rs, ok := s.rels[name]
@@ -355,16 +479,64 @@ func (s *Store) DropRelation(name string) error {
 	if err != nil {
 		return err
 	}
-	if err := s.catalog.Delete(rs.catRID); err != nil {
+	if err := s.catalog.Delete(txn, rs.catRID); err != nil {
 		return err
 	}
-	delete(s.rels, name)
-	if err := s.freePages(pids); err != nil {
+	if err := s.freePages(txn, pids); err != nil {
 		// the relation is gone either way; the unfreed pages leak until
 		// the next Save snapshot compacts the file
 		return nil
 	}
 	return nil
+}
+
+// CompleteDrop removes the in-memory catalog entry of a dropped
+// relation — call it after the drop's transaction committed.
+func (s *Store) CompleteDrop(name string) {
+	s.mu.Lock()
+	delete(s.rels, name)
+	s.mu.Unlock()
+}
+
+// Rollback discards the transaction's uncommitted page mutations: its
+// dirty frames are dropped from the pool (the next read sees the last
+// committed state — no-steal guarantees nothing uncommitted reached
+// the file) and, if the transaction owned the free list, the in-memory
+// mirror is rebuilt from the (now rolled-back) free-list heap so
+// entries the transaction pushed or popped are forgotten or restored.
+// The error paths of engine.Create/Drop use it so a failed commit can
+// never wedge page ownership or leak half-applied catalog state.
+func (s *Store) Rollback(txn *Txn) error {
+	err := s.bp.Rollback(txn)
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	if s.freeOwner != txn {
+		return err
+	}
+	s.freeOwner = nil
+	s.freeCond.Broadcast()
+	s.free = s.free[:0]
+	if scanErr := s.freeHeap.Scan(func(rid storage.RID, rec []byte) bool {
+		if len(rec) == 4 {
+			s.free = append(s.free, freeEntry{pid: binary.LittleEndian.Uint32(rec), rid: rid})
+		}
+		return true
+	}); scanErr != nil && err == nil {
+		err = scanErr
+	}
+	return err
+}
+
+// AbortCreate unwinds a CreateRelation whose commit failed: the
+// in-memory catalog entry is forgotten and the transaction's pages are
+// rolled back. Pages the pager allocated for the aborted heap leak
+// (unreferenced, checksum-valid) until a Save snapshot compacts the
+// file — the same bounded cost as any uncommitted allocation.
+func (s *Store) AbortCreate(txn *Txn, name string) error {
+	s.mu.Lock()
+	delete(s.rels, name)
+	s.mu.Unlock()
+	return s.Rollback(txn)
 }
 
 // Rel looks up a relation store by name.
@@ -386,13 +558,17 @@ func (s *Store) Relations() []string {
 	return out
 }
 
-// Commit groups every dirty buffered page into one WAL batch (a single
-// fsync) and writes the pages through to the data file — the
-// group-commit boundary the engine invokes once per statement. When the
-// log has grown past the checkpoint threshold the commit is followed by
-// an automatic checkpoint.
-func (s *Store) Commit() error {
-	if err := s.bp.Commit(); err != nil {
+// Commit makes the transaction durable: its dirty pages go to the WAL
+// as one batch, merged with concurrently committing transactions into
+// a single log write and fsync (leader/follower group commit), then
+// write through to the data file. The transaction's free-list
+// ownership, if any, is released. When the log has grown past the
+// checkpoint threshold the commit is followed by an automatic
+// checkpoint.
+func (s *Store) Commit(txn *Txn) error {
+	err := s.bp.CommitTxn(txn)
+	s.releaseFree(txn)
+	if err != nil {
 		return err
 	}
 	if s.ckptAt > 0 && s.wal.Size() >= s.ckptAt {
@@ -401,21 +577,18 @@ func (s *Store) Commit() error {
 	return nil
 }
 
-// Flush is the checkpoint: commit any dirty pages, sync the data file,
-// and reset the log (whose batches are now redundant).
+// Flush is the checkpoint: sync the data file and reset the log (whose
+// committed batches are now redundant). Uncommitted transactions'
+// pages are untouched — they are buffered only, and become durable at
+// their own Commit.
 func (s *Store) Flush() error {
-	if err := s.bp.Commit(); err != nil {
-		return err
-	}
-	if err := s.pager.Sync(); err != nil {
-		return err
-	}
-	return s.wal.Reset()
+	return s.bp.Checkpoint()
 }
 
 // Close checkpoints and closes the underlying files. After a clean
 // close the WAL sidecar is removed — its absence marks a clean
-// shutdown, and Save snapshots leave no sidecar behind.
+// shutdown, and Save snapshots leave no sidecar behind. Transactions
+// still open at Close are discarded, not committed.
 func (s *Store) Close() error {
 	if err := s.Flush(); err != nil {
 		s.wal.Close()
@@ -442,6 +615,10 @@ func (s *Store) Discard() error {
 	return s.pager.Close()
 }
 
+// DBID returns the database's identity (0 for legacy files that
+// predate the id extension).
+func (s *Store) DBID() uint64 { return s.dbid }
+
 // PoolStats reports the shared buffer pool's (hits, misses, evictions)
 // accumulated since Open returned; open-time I/O (recovery replay,
 // catalog load, index rebuild) is bucketed separately in OpenIOStats.
@@ -457,7 +634,8 @@ func (s *Store) AllPoolStats() storage.PoolStats { return s.bp.Snapshot() }
 func (s *Store) OpenIOStats() storage.PoolStats { return s.openStats }
 
 // WALStats reports write-ahead-log activity, including what open-time
-// recovery replayed.
+// recovery replayed and how many transactions the group-commit
+// scheduler merged per fsync.
 func (s *Store) WALStats() storage.WALStats { return s.wal.Stats() }
 
 // NumPages returns the number of allocated pages in the file.

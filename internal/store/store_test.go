@@ -31,11 +31,12 @@ func TestCreateInsertScanReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	def := testDef(t)
-	rs, err := st.CreateRelation(def)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.CreateRelation(def); err == nil {
+	if _, err := st.CreateRelation(txn, def); err == nil {
 		t.Error("duplicate relation accepted")
 	}
 	e := workload.GenEnrollment(3, workload.EnrollmentParams{
@@ -44,9 +45,12 @@ func TestCreateInsertScanReopen(t *testing.T) {
 	})
 	canon, _ := e.R1.Canonical(def.Order)
 	for i := 0; i < canon.Len(); i++ {
-		if err := rs.Insert(canon.Tuple(i)); err != nil {
+		if err := rs.Insert(txn, canon.Tuple(i)); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
 	}
 	if rs.Len() != canon.Len() {
 		t.Fatalf("Len = %d, want %d", rs.Len(), canon.Len())
@@ -91,14 +95,18 @@ func TestCreateInsertScanReopen(t *testing.T) {
 	}
 	// the rebuilt primary index supports removal
 	victim := canon.Tuple(0)
-	if err := rs2.Remove(victim); err != nil {
+	txn2 := st2.Begin()
+	if err := rs2.Remove(txn2, victim); err != nil {
 		t.Fatal(err)
 	}
 	if rs2.Len() != canon.Len()-1 {
 		t.Fatalf("Len after remove = %d", rs2.Len())
 	}
-	if err := rs2.Remove(victim); err == nil {
+	if err := rs2.Remove(txn2, victim); err == nil {
 		t.Error("double remove accepted")
+	}
+	if err := st2.Commit(txn2); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -110,7 +118,8 @@ func TestLookupFixed(t *testing.T) {
 	}
 	defer st.Close()
 	def := testDef(t) // fixed (last-nested) attribute is Student
-	rs, err := st.CreateRelation(def)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,9 +127,12 @@ func TestLookupFixed(t *testing.T) {
 	t1 := tupleOf([][]string{{"c1", "c2"}, {"b1"}, {"s1"}}, def.Order)
 	t2 := tupleOf([][]string{{"c3"}, {"b2"}, {"s2", "s3"}}, def.Order)
 	for _, tp := range []tuple.Tuple{t1, t2} {
-		if err := rs.Insert(tp); err != nil {
+		if err := rs.Insert(txn, tp); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
 	}
 	hits, err := rs.LookupFixed(value.NewString("s1"))
 	if err != nil {
@@ -143,7 +155,11 @@ func TestLookupFixed(t *testing.T) {
 		t.Fatalf("LookupFixed(s9) = %v", hits)
 	}
 	// removal unindexes every member atom
-	if err := rs.Remove(t2); err != nil {
+	txn2 := st.Begin()
+	if err := rs.Remove(txn2, t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(txn2); err != nil {
 		t.Fatal(err)
 	}
 	if hits, _ := rs.LookupFixed(value.NewString("s3")); len(hits) != 0 {
@@ -169,17 +185,26 @@ func TestDropRelation(t *testing.T) {
 		t.Fatal(err)
 	}
 	def := testDef(t)
-	rs, err := st.CreateRelation(def)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rs.Insert(tupleOf([][]string{{"c1"}, {"b1"}, {"s1"}}, def.Order)); err != nil {
+	if err := rs.Insert(txn, tupleOf([][]string{{"c1"}, {"b1"}, {"s1"}}, def.Order)); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.DropRelation("R1"); err != nil {
+	if err := st.Commit(txn); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.DropRelation("R1"); err == nil {
+	txn2 := st.Begin()
+	if err := st.DropRelation(txn2, "R1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(txn2); err != nil {
+		t.Fatal(err)
+	}
+	st.CompleteDrop("R1")
+	if err := st.DropRelation(st.Begin(), "R1"); err == nil {
 		t.Error("double drop accepted")
 	}
 	if err := st.Close(); err != nil {
@@ -202,11 +227,12 @@ func TestCreateRelationValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	if _, err := st.CreateRelation(RelationDef{}); err == nil {
+	txn := st.Begin()
+	if _, err := st.CreateRelation(txn, RelationDef{}); err == nil {
 		t.Error("empty def accepted")
 	}
 	s := schema.MustOf("A", "B")
-	if _, err := st.CreateRelation(RelationDef{Name: "r", Schema: s, Order: schema.Permutation{0}}); err == nil {
+	if _, err := st.CreateRelation(txn, RelationDef{Name: "r", Schema: s, Order: schema.Permutation{0}}); err == nil {
 		t.Error("bad order accepted")
 	}
 }

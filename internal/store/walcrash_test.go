@@ -6,6 +6,7 @@ import (
 	"io/fs"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/storage"
@@ -44,12 +45,17 @@ func (op memOp) cost() int64 {
 }
 
 // memFS is an in-memory filesystem implementing the store's OpenFile
-// hook, with a journal of all mutations while recording.
+// hook, with a journal of all mutations while recording. syncHook, when
+// set, runs at the start of every Sync (outside the lock) — the
+// merged-commit crash test uses it to gate a leader's fsync while
+// followers pile into the commit queue.
 type memFS struct {
 	mu        sync.Mutex
 	files     map[string][]byte
 	journal   []memOp
 	recording bool
+	syncHook  func(name string)
+	failSyncs int // >0: the next N Syncs fail (injected commit errors)
 }
 
 func newMemFS() *memFS { return &memFS{files: map[string][]byte{}} }
@@ -146,7 +152,17 @@ func (f *memFile) Truncate(size int64) error {
 
 func (f *memFile) Sync() error {
 	f.fs.mu.Lock()
+	hook := f.fs.syncHook
+	f.fs.mu.Unlock()
+	if hook != nil {
+		hook(f.name)
+	}
+	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
+	if f.fs.failSyncs > 0 {
+		f.fs.failSyncs--
+		return fmt.Errorf("memfs: injected sync failure on %s", f.name)
+	}
 	f.fs.record(memOp{name: f.name, kind: 's'})
 	return nil
 }
@@ -255,10 +271,11 @@ func crashState(base map[string][]byte, journal []memOp, k int64, reordered bool
 	return files
 }
 
-// loadCanon opens the database in the given filesystem state and
-// returns relation R1's canonical form. Opening runs recovery; it must
-// never fail and must leave every data page checksum-valid.
-func loadCanon(t *testing.T, files map[string][]byte, label string) *core.Relation {
+// loadState opens the database in the given filesystem state and
+// returns the canonical form of every named relation. Opening runs
+// recovery; it must never fail and must leave every data page
+// checksum-valid.
+func loadState(t *testing.T, files map[string][]byte, label string, names ...string) map[string]*core.Relation {
 	t.Helper()
 	fs := &memFS{files: files}
 	st, err := Open("db", Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove, CheckpointBytes: -1})
@@ -266,13 +283,17 @@ func loadCanon(t *testing.T, files map[string][]byte, label string) *core.Relati
 		t.Fatalf("%s: recovery failed: %v", label, err)
 	}
 	defer st.Discard()
-	rs, ok := st.Rel("R1")
-	if !ok {
-		t.Fatalf("%s: relation lost", label)
-	}
-	rel, err := rs.Load()
-	if err != nil {
-		t.Fatalf("%s: load failed: %v", label, err)
+	out := make(map[string]*core.Relation, len(names))
+	for _, name := range names {
+		rs, ok := st.Rel(name)
+		if !ok {
+			t.Fatalf("%s: relation %s lost", label, name)
+		}
+		rel, err := rs.Load()
+		if err != nil {
+			t.Fatalf("%s: load of %s failed: %v", label, name, err)
+		}
+		out[name] = rel
 	}
 	// every page of the recovered data file is checksum-valid
 	data := fs.files["db"]
@@ -286,7 +307,13 @@ func loadCanon(t *testing.T, files map[string][]byte, label string) *core.Relati
 			t.Fatalf("%s: page %d of recovered file: %v", label, pid+1, err)
 		}
 	}
-	return rel
+	return out
+}
+
+// loadCanon is loadState for the single relation R1.
+func loadCanon(t *testing.T, files map[string][]byte, label string) *core.Relation {
+	t.Helper()
+	return loadState(t, files, label, "R1")["R1"]
 }
 
 // TestCrashRecoveryEveryOffset is the acceptance harness: two
@@ -304,7 +331,8 @@ func TestCrashRecoveryEveryOffset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.CreateRelation(def); err != nil {
+	setup := st.Begin()
+	if _, err := st.CreateRelation(setup, def); err != nil {
 		t.Fatal(err)
 	}
 	e := workload.GenEnrollment(5, workload.EnrollmentParams{
@@ -314,7 +342,7 @@ func TestCrashRecoveryEveryOffset(t *testing.T) {
 	canon, _ := e.R1.Canonical(def.Order)
 	rs, _ := st.Rel(def.Name)
 	for i := 0; i < canon.Len(); i++ {
-		if err := rs.Insert(canon.Tuple(i)); err != nil {
+		if err := rs.Insert(setup, canon.Tuple(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -330,9 +358,12 @@ func TestCrashRecoveryEveryOffset(t *testing.T) {
 		tp := tupleOf([][]string{
 			{fmt.Sprintf("%s-%d", pad, i)}, {"padclub"}, {fmt.Sprintf("pads%d", i)},
 		}, def.Order)
-		if err := rs.Insert(tp); err != nil {
+		if err := rs.Insert(setup, tp); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := st.Commit(setup); err != nil {
+		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
@@ -354,16 +385,18 @@ func TestCrashRecoveryEveryOffset(t *testing.T) {
 	}
 	fs.startRecording()
 	// statement 1: a mixed add/remove batch dirtying several pages
-	// (victims from both ends of the heap chain), one group commit
+	// (victims from both ends of the heap chain), one transaction, one
+	// group commit
+	stmt1 := st2.Begin()
 	for _, victim := range []int{0, pre.Len() - 1} {
-		if err := rs2.Remove(pre.Tuple(victim)); err != nil {
+		if err := rs2.Remove(stmt1, pre.Tuple(victim)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := rs2.Insert(tupleOf([][]string{{"zc1", "zc2"}, {"zb1"}, {"zs1"}}, def.Order)); err != nil {
+	if err := rs2.Insert(stmt1, tupleOf([][]string{{"zc1", "zc2"}, {"zb1"}, {"zs1"}}, def.Order)); err != nil {
 		t.Fatal(err)
 	}
-	if err := st2.Commit(); err != nil {
+	if err := st2.Commit(stmt1); err != nil {
 		t.Fatal(err)
 	}
 	mark1 := int64(0)
@@ -375,13 +408,14 @@ func TestCrashRecoveryEveryOffset(t *testing.T) {
 		t.Fatal(err)
 	}
 	// statement 2: another add/remove batch
-	if err := rs2.Insert(tupleOf([][]string{{"zc3"}, {"zb2", "zb3"}, {"zs2"}}, def.Order)); err != nil {
+	stmt2 := st2.Begin()
+	if err := rs2.Insert(stmt2, tupleOf([][]string{{"zc3"}, {"zb2", "zb3"}, {"zs2"}}, def.Order)); err != nil {
 		t.Fatal(err)
 	}
-	if err := rs2.Remove(mid.Tuple(1)); err != nil {
+	if err := rs2.Remove(stmt2, mid.Tuple(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := st2.Commit(); err != nil {
+	if err := st2.Commit(stmt2); err != nil {
 		t.Fatal(err)
 	}
 	post, err := rs2.Load()
@@ -442,7 +476,11 @@ func TestCrashRecoveryAcrossCheckpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.CreateRelation(def); err != nil {
+	setup := st.Begin()
+	if _, err := st.CreateRelation(setup, def); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(setup); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -466,10 +504,11 @@ func TestCrashRecoveryAcrossCheckpoints(t *testing.T) {
 		tp := tupleOf([][]string{
 			{fmt.Sprintf("c%d", i)}, {fmt.Sprintf("b%d", i)}, {fmt.Sprintf("s%d", i)},
 		}, def.Order)
-		if err := rs2.Insert(tp); err != nil {
+		stmt := st2.Begin()
+		if err := rs2.Insert(stmt, tp); err != nil {
 			t.Fatal(err)
 		}
-		if err := st2.Commit(); err != nil { // checkpoints every time (threshold 1)
+		if err := st2.Commit(stmt); err != nil { // checkpoints every time (threshold 1)
 			t.Fatal(err)
 		}
 		rel, err := rs2.Load()
@@ -527,12 +566,16 @@ func TestRaggedTailWithEmptyWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := st.CreateRelation(def)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := tupleOf([][]string{{"c1"}, {"b1"}, {"s1"}}, def.Order)
-	if err := rs.Insert(want); err != nil {
+	if err := rs.Insert(txn, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(txn); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -577,24 +620,27 @@ func TestStatementEndSkipsCommitOnLatchedError(t *testing.T) {
 	}
 	defer st.Close()
 	def := testDef(t)
-	rs, err := st.CreateRelation(def)
+	ctxn := st.Begin()
+	rs, err := st.CreateRelation(ctxn, def)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Commit(); err != nil {
+	if err := st.Commit(ctxn); err != nil {
 		t.Fatal(err)
 	}
 	before := st.WALStats().Batches
+	rs.StatementBegin()
 	rs.TupleAdded(tupleOf([][]string{{"c1"}, {"b1"}, {"s1"}}, def.Order))
 	rs.setErr(fmt.Errorf("injected mid-statement failure"))
 	rs.StatementEnd()
 	if got := st.WALStats().Batches; got != before {
 		t.Fatalf("StatementEnd committed a failed statement: %d batches, want %d", got, before)
 	}
-	// after the engine-style repair (ResetErr + explicit Commit) the
-	// buffered pages commit as one batch
+	// after the engine-style repair (ResetErr + explicit commit of the
+	// still-open statement transaction) the buffered pages commit as
+	// one batch
 	rs.ResetErr()
-	if err := rs.Commit(); err != nil {
+	if err := rs.CommitStatement(); err != nil {
 		t.Fatal(err)
 	}
 	if got := st.WALStats().Batches; got != before+1 {
@@ -613,7 +659,8 @@ func TestDropRelationReclaimsPages(t *testing.T) {
 		t.Fatal(err)
 	}
 	def := testDef(t)
-	rs, err := st.CreateRelation(def)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -623,23 +670,25 @@ func TestDropRelationReclaimsPages(t *testing.T) {
 	})
 	canon, _ := e.R1.Canonical(def.Order)
 	for i := 0; i < canon.Len(); i++ {
-		if err := rs.Insert(canon.Tuple(i)); err != nil {
+		if err := rs.Insert(txn, canon.Tuple(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := st.Commit(); err != nil {
+	if err := st.Commit(txn); err != nil {
 		t.Fatal(err)
 	}
 	pages := st.NumPages()
-	if err := st.DropRelation(def.Name); err != nil {
+	drop := st.Begin()
+	if err := st.DropRelation(drop, def.Name); err != nil {
 		t.Fatal(err)
 	}
 	if st.FreePages() == 0 {
 		t.Fatal("drop reclaimed no pages")
 	}
-	if err := st.Commit(); err != nil {
+	if err := st.Commit(drop); err != nil {
 		t.Fatal(err)
 	}
+	st.CompleteDrop(def.Name)
 	freed := st.FreePages()
 
 	// free list survives reopen
@@ -658,16 +707,17 @@ func TestDropRelationReclaimsPages(t *testing.T) {
 	// barely grows
 	def2 := def
 	def2.Name = "R2"
-	rs2, err := st2.CreateRelation(def2)
+	txn2 := st2.Begin()
+	rs2, err := st2.CreateRelation(txn2, def2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < canon.Len(); i++ {
-		if err := rs2.Insert(canon.Tuple(i)); err != nil {
+		if err := rs2.Insert(txn2, canon.Tuple(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := st2.Commit(); err != nil {
+	if err := st2.Commit(txn2); err != nil {
 		t.Fatal(err)
 	}
 	if grown := st2.NumPages() - pages; grown > 2 {
@@ -696,16 +746,20 @@ func TestOpenStatsBucketedSeparately(t *testing.T) {
 		t.Fatal(err)
 	}
 	def := testDef(t)
-	rs, _ := st.CreateRelation(def)
+	txn := st.Begin()
+	rs, _ := st.CreateRelation(txn, def)
 	e := workload.GenEnrollment(5, workload.EnrollmentParams{
 		Students: 30, CoursePool: 10, ClubPool: 4, SemesterPool: 3,
 		CoursesPerStudent: 3, ClubsPerStudent: 2,
 	})
 	canon, _ := e.R1.Canonical(def.Order)
 	for i := 0; i < canon.Len(); i++ {
-		if err := rs.Insert(canon.Tuple(i)); err != nil {
+		if err := rs.Insert(txn, canon.Tuple(i)); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
@@ -729,5 +783,290 @@ func TestOpenStatsBucketedSeparately(t *testing.T) {
 	}
 	if h, m, _ := st2.PoolStats(); h+m == 0 {
 		t.Fatal("steady-state counters did not move after a scan")
+	}
+}
+
+// TestCrashRecoveryMergedCommit crashes inside a MERGED commit batch:
+// transaction T1's fsync is gated while T2 and T3 pile into the commit
+// queue, so T2+T3 become one WAL write and one fsync. A crash at every
+// byte offset of the journal must recover a prefix of the commit order
+// (T2's batch precedes T3's inside the merged write) — always whole
+// transactions, never a mix.
+func TestCrashRecoveryMergedCommit(t *testing.T) {
+	fs := newMemFS()
+	opts := Options{PoolPages: 16, OpenFile: fs.open, RemoveFile: fs.remove, CheckpointBytes: -1}
+
+	// base: three one-tuple relations, cleanly closed
+	st, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"R1", "R2", "R3"}
+	setup := st.Begin()
+	for i, name := range names {
+		def := testDef(t)
+		def.Name = name
+		rs, err := st.CreateRelation(setup, def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := tupleOf([][]string{
+			{fmt.Sprintf("c%d", i)}, {fmt.Sprintf("b%d", i)}, {fmt.Sprintf("s%d", i)},
+		}, def.Order)
+		if err := rs.Insert(setup, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base := fs.snapshot()
+
+	st2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := testDef(t).Order
+	relOf := func(name string) *RelStore {
+		rs, ok := st2.Rel(name)
+		if !ok {
+			t.Fatalf("relation %s missing", name)
+		}
+		return rs
+	}
+	snap := func() map[string]*core.Relation {
+		out := map[string]*core.Relation{}
+		for _, name := range names {
+			rel, err := relOf(name).Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[name] = rel
+		}
+		return out
+	}
+	s0 := snap()
+
+	// gate the first WAL fsync (T1's) until told to proceed
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	fs.syncHook = func(string) {
+		once.Do(func() {
+			close(entered)
+			<-gate
+		})
+	}
+
+	fs.startRecording()
+	errs := make(chan error, 3)
+	t1 := st2.Begin()
+	if err := relOf("R1").Insert(t1, tupleOf([][]string{{"x1"}, {"y1"}, {"z1"}}, order)); err != nil {
+		t.Fatal(err)
+	}
+	go func() { errs <- st2.Commit(t1) }()
+	<-entered // T1's leader is inside its fsync, holding the commit lock
+
+	t2 := st2.Begin()
+	if err := relOf("R2").Insert(t2, tupleOf([][]string{{"x2"}, {"y2"}, {"z2"}}, order)); err != nil {
+		t.Fatal(err)
+	}
+	go func() { errs <- st2.Commit(t2) }()
+	waitPending := func(n int) {
+		t.Helper()
+		for i := 0; i < 10000; i++ {
+			if st2.bp.PendingCommits() == n {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		t.Fatalf("commit queue never reached %d", n)
+	}
+	waitPending(1)
+	t3 := st2.Begin()
+	if err := relOf("R3").Insert(t3, tupleOf([][]string{{"x3"}, {"y3"}, {"z3"}}, order)); err != nil {
+		t.Fatal(err)
+	}
+	go func() { errs <- st2.Commit(t3) }()
+	waitPending(2)
+	close(gate) // release T1; the next leader drains T2+T3 as one group
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.syncHook = nil
+	journal := fs.stopRecording()
+
+	ws := st2.WALStats()
+	if ws.Batches != 3 || ws.Fsyncs != 2 || ws.MaxGroupBatches < 2 {
+		t.Fatalf("commit did not merge: %d batches / %d fsyncs / max group %d",
+			ws.Batches, ws.Fsyncs, ws.MaxGroupBatches)
+	}
+
+	// expected recovery states: the chain of whole-transaction prefixes
+	s1 := snap() // T1+T2+T3 applied in memory — derive intermediate states below
+	st2.Discard()
+	// s0 = base; sA = +T1; sB = +T1+T2; s1 = +T1+T2+T3
+	add := func(m map[string]*core.Relation, name, c, b, s string) map[string]*core.Relation {
+		out := map[string]*core.Relation{}
+		for k, v := range m {
+			out[k] = v
+		}
+		rel := core.NewRelation(out[name].Schema())
+		for i := 0; i < out[name].Len(); i++ {
+			rel.Add(out[name].Tuple(i))
+		}
+		rel.Add(tupleOf([][]string{{c}, {b}, {s}}, order))
+		out[name] = rel
+		return out
+	}
+	sA := add(s0, "R1", "x1", "y1", "z1")
+	sB := add(sA, "R2", "x2", "y2", "z2")
+	sC := add(sB, "R3", "x3", "y3", "z3")
+	for _, name := range names {
+		if !sC[name].Equal(s1[name]) {
+			t.Fatalf("derived final state of %s diverges from live state", name)
+		}
+	}
+	chain := []map[string]*core.Relation{s0, sA, sB, sC}
+
+	total := int64(0)
+	for _, op := range journal {
+		total += op.cost()
+	}
+	t.Logf("merged-commit journal: %d ops, %d bytes", len(journal), total)
+	matches := func(got, want map[string]*core.Relation) bool {
+		for _, name := range names {
+			if !got[name].Equal(want[name]) {
+				return false
+			}
+		}
+		return true
+	}
+	for k := int64(0); k <= total; k++ {
+		for _, reordered := range []bool{false, true} {
+			label := fmt.Sprintf("merged k=%d reordered=%v", k, reordered)
+			got := loadState(t, crashState(base, journal, k, reordered), label, names...)
+			ok := false
+			for _, want := range chain {
+				if matches(got, want) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("%s: recovered state is not a whole-transaction prefix", label)
+			}
+		}
+	}
+}
+
+// TestFailedCommitDoesNotWedge: a commit whose fsync fails must be
+// recoverable — AbortCreate/Rollback release the failed transaction's
+// page ownership, so later transactions (which claim the same catalog
+// and free-list pages) proceed instead of blocking forever, and the
+// store's in-memory state matches the durable state.
+func TestFailedCommitDoesNotWedge(t *testing.T) {
+	fs := newMemFS()
+	opts := Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove, CheckpointBytes: -1}
+	st, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := testDef(t)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Insert(txn, tupleOf([][]string{{"c1"}, {"b1"}, {"s1"}}, def.Order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+
+	// failed CREATE: commit error, abort, then the same create succeeds
+	fs.mu.Lock()
+	fs.failSyncs = 1
+	fs.mu.Unlock()
+	def2 := def
+	def2.Name = "R2"
+	ctxn := st.Begin()
+	if _, err := st.CreateRelation(ctxn, def2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(ctxn); err == nil {
+		t.Fatal("injected sync failure did not surface")
+	}
+	if err := st.AbortCreate(ctxn, def2.Name); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		retry := st.Begin()
+		rs2, err := st.CreateRelation(retry, def2)
+		if err == nil {
+			err = rs2.Insert(retry, tupleOf([][]string{{"c2"}, {"b2"}, {"s2"}}, def.Order))
+		}
+		if err == nil {
+			err = st.Commit(retry)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("create after aborted create failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("create after aborted create blocked — catalog page ownership wedged")
+	}
+
+	// failed DROP: commit error, rollback, relation stays fully usable
+	fs.mu.Lock()
+	fs.failSyncs = 1
+	fs.mu.Unlock()
+	dtxn := st.Begin()
+	if err := st.DropRelation(dtxn, def.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(dtxn); err == nil {
+		t.Fatal("injected sync failure did not surface on drop")
+	}
+	if err := st.Rollback(dtxn); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Rel(def.Name); !ok {
+		t.Fatal("relation vanished after rolled-back drop")
+	}
+	wtxn := st.Begin()
+	if err := rs.Insert(wtxn, tupleOf([][]string{{"c3"}, {"b3"}, {"s3"}}, def.Order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(wtxn); err != nil {
+		t.Fatalf("write after rolled-back drop failed: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// durable state: R1 (2 tuples) and R2 (1 tuple) both present
+	st2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	r1, ok := st2.Rel("R1")
+	if !ok || r1.Len() != 2 {
+		t.Fatalf("R1 wrong after reopen: ok=%v len=%d", ok, r1.Len())
+	}
+	r2, ok := st2.Rel("R2")
+	if !ok || r2.Len() != 1 {
+		t.Fatalf("R2 wrong after reopen: ok=%v", ok)
 	}
 }

@@ -65,13 +65,18 @@ type Sink interface {
 }
 
 // BatchSink is an optional Sink extension for storage layers that group
-// a whole statement's mutations into one durable batch. A single
-// Insert/Delete statement can compose and decompose many NFR tuples —
-// often touching the same page repeatedly — so a sink that made each
-// mutation durable on its own would pay one fsync per tuple. The
-// maintainer brackets the mutation stream of each changing statement
-// with StatementBegin/StatementEnd; the store commits the accumulated
-// batch at StatementEnd with a single fsync (group commit).
+// a whole statement's mutations into one durable, atomic transaction.
+// A single Insert/Delete statement can compose and decompose many NFR
+// tuples — often touching the same page repeatedly — so a sink that
+// made each mutation durable on its own would pay one fsync per tuple.
+// The maintainer brackets the mutation stream of each changing
+// statement with StatementBegin/StatementEnd; the bracket IS the
+// transaction boundary: the store begins a transaction at
+// StatementBegin, attributes every TupleAdded/TupleRemoved write to it,
+// and commits it at StatementEnd as one WAL batch. Concurrent
+// statements on other relations are separate transactions whose
+// commits the store merges into shared fsyncs (group commit), so the
+// amortized cost drops below one fsync per statement under load.
 type BatchSink interface {
 	Sink
 	StatementBegin()
