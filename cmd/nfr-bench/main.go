@@ -78,6 +78,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
+		if err := runConcurrentTx(w, clients, perClient); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	case "disk":
 		if err := inTempDir("nfr-bench-disk", func(dir string) error {
 			res, err := experiments.RunDiskEngine(w, dir, 61, 250, 32)
@@ -136,6 +140,45 @@ func runConcurrent(w *os.File, clients, perClient int) error {
 	}
 	return fmt.Errorf("no merged commits across %d attempts: %.3f fsyncs/statement (want < 1 with %d clients)",
 		attempts, last.FsyncsPerStatement, clients)
+}
+
+// runConcurrentTx runs the multi-statement transaction leg: clients
+// goroutines each committing explicit transactions of 4 statements.
+// Bars: oracle equivalence, and at most one fsync per TRANSACTION (a
+// transaction's statements share one WAL batch by construction); with
+// enough clients the merged group commit should spend strictly less,
+// retried a couple of times because merging depends on commit timing.
+func runConcurrentTx(w *os.File, clients, perClient int) error {
+	const attempts = 3
+	stmtsPerTx := 4
+	txs := perClient / stmtsPerTx
+	if txs < 1 {
+		txs = 1
+	}
+	var last experiments.ConcurrentTxResult
+	for i := 0; i < attempts; i++ {
+		var res experiments.ConcurrentTxResult
+		if err := inTempDir("nfr-bench-concurrent-tx", func(dir string) error {
+			r, err := experiments.RunConcurrentTx(w, dir, int64(71+i), clients, txs, stmtsPerTx, 128)
+			res = r
+			return err
+		}); err != nil {
+			return err
+		}
+		if !res.Equivalent {
+			return fmt.Errorf("concurrent tx run diverged from single-threaded oracle")
+		}
+		if res.FsyncsPerTx > 1 {
+			return fmt.Errorf("multi-statement commit broken: %.3f fsyncs/tx (want ≤ 1)", res.FsyncsPerTx)
+		}
+		last = res
+		if clients < 4 || res.FsyncsPerTx < 1 {
+			return nil
+		}
+		fmt.Fprintf(w, "  (no commit merging observed, attempt %d/%d)\n", i+1, attempts)
+	}
+	return fmt.Errorf("no merged commits across %d attempts: %.3f fsyncs/tx (want < 1 with %d clients)",
+		attempts, last.FsyncsPerTx, clients)
 }
 
 // inTempDir runs fn with a fresh temp directory, removing it before

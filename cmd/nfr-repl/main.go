@@ -11,6 +11,14 @@
 //	                         # missing); updates are written through the
 //	                         # buffer pool and flushed to disk on \save
 //	                         # and on exit
+//	nfr-repl -d FILE -pool N -readonly
+//	                         # tune the buffer pool / open read-only
+//
+// Transactions: BEGIN; opens a multi-statement transaction on the
+// session — every following statement pools under it (visible only to
+// this session) until COMMIT; makes them durable as one group-committed
+// batch or ROLLBACK; discards them. A transaction still open at exit is
+// rolled back.
 //
 // Extra REPL commands: \save (flush dirty pages — the durability
 // point; an unflushed session killed hard loses unevicted pages),
@@ -31,11 +39,17 @@ import (
 
 func main() {
 	path := flag.String("d", "", "paged database file to open (created if missing)")
+	pool := flag.Int("pool", 0, "buffer-pool capacity in pages (0 = default)")
+	readonly := flag.Bool("readonly", false, "open the database read-only")
 	flag.Parse()
 
 	sess := query.NewSession()
 	if *path != "" {
-		db, err := engine.Open(*path)
+		opts := []engine.Option{engine.WithPoolPages(*pool)}
+		if *readonly {
+			opts = append(opts, engine.WithReadOnly())
+		}
+		db, err := engine.Open(*path, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "open:", err)
 			os.Exit(1)
@@ -58,6 +72,10 @@ func main() {
 	}
 
 	code := run(sess, in, os.Stdout, interactive)
+	if sess.InTx() {
+		fmt.Fprintln(os.Stderr, "rolling back open transaction")
+		sess.Close()
+	}
 	if err := sess.DB.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "close:", err)
 		os.Exit(1)

@@ -1,0 +1,189 @@
+package nfr
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// TestErrorTaxonomy is the errors.Is table for the public taxonomy:
+// every failure mode of the facade must wrap its documented sentinel,
+// including storage errors (ErrMispaired, ErrCorrupt) surfacing through
+// Open.
+func TestErrorTaxonomy(t *testing.T) {
+	dir := t.TempDir()
+
+	// a disk-backed database for the mutation/lifecycle cases
+	path := filepath.Join(dir, "tax.nfrs")
+	db, err := Open(path, WithPoolPages(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Create(RelationDef{Name: "r", Schema: MustSchema("A", "B")}); err != nil {
+		t.Fatal(err)
+	}
+	// a typed schema so attribute-kind mismatches have something to hit
+	typedSchema, err := schema.New(
+		schema.Attribute{Name: "N", Kind: value.Int},
+		schema.Attribute{Name: "S", Kind: value.String},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Create(RelationDef{Name: "typed", Schema: typedSchema}); err != nil {
+		t.Fatal(err)
+	}
+
+	committed, err := Begin(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := committed.Insert("r", Row("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := committed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// wait-die conflict: younger (holding a latch) wants older's latch
+	if err := db.Create(RelationDef{Name: "r2", Schema: MustSchema("A", "B")}); err != nil {
+		t.Fatal(err)
+	}
+	older, _ := Begin(context.Background(), db)
+	younger, _ := Begin(context.Background(), db)
+	if _, err := older.Insert("r", Row("x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := younger.Insert("r2", Row("x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	_, conflictErr := younger.Insert("r", Row("p", "q"))
+	younger.Rollback()
+	older.Rollback()
+
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"insert into unknown relation", errOf2(db.Insert("nope", Row("a", "b"))), ErrNotFound},
+		{"drop of unknown relation", db.Drop("nope"), ErrNotFound},
+		{"read of unknown relation", errOf2(db.ReadRelation(context.Background(), "nope")), ErrNotFound},
+		{"duplicate create", db.Create(RelationDef{Name: "r", Schema: MustSchema("A")}), ErrExists},
+		{"wrong degree", errOf2(db.Insert("r", Row("only-one"))), ErrTypeMismatch},
+		{"wrong kind", errOf2(db.Insert("typed", Row("not-an-int", "s"))), ErrTypeMismatch},
+		{"statement after commit", errOf2(committed.Insert("r", Row("c", "d"))), ErrTxDone},
+		{"commit after commit", committed.Commit(), ErrTxDone},
+		{"rollback after rollback", younger.Rollback(), ErrTxDone},
+		{"wait-die refusal", conflictErr, ErrTxConflict},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.want) {
+			t.Errorf("%s: got %v, want errors.Is(_, %v)", c.name, c.err, c.want)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("second close: %v (want nil)", err)
+	}
+	if _, err := db.Insert("r", Row("a", "b")); !errors.Is(err, ErrClosed) {
+		t.Errorf("insert on closed database: %v, want ErrClosed", err)
+	}
+
+	// read-only
+	ro, err := Open(path, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Insert("r", Row("a2", "b2")); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("read-only insert: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ErrCorrupt surfaces through Open
+	garbage := filepath.Join(dir, "garbage.nfrs")
+	if err := os.WriteFile(garbage, []byte("not a database"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(garbage); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbage open: %v, want ErrCorrupt", err)
+	}
+
+	// ErrMispaired: pair one database's data file with another's WAL
+	mis := makeMispairedPair(t, dir)
+	if _, err := Open(mis); !errors.Is(err, ErrMispaired) {
+		t.Errorf("mispaired open: %v, want ErrMispaired", err)
+	}
+
+	// errors.As still reaches concrete wrapped types (the taxonomy wraps,
+	// never replaces)
+	var pathErr *fs.PathError
+	if _, err := LoadDatabase(filepath.Join(dir, "missing.nfrs")); !errors.As(err, &pathErr) {
+		t.Errorf("load of missing file: %v, want a wrapped *fs.PathError", err)
+	}
+}
+
+// makeMispairedPair builds <dir>/mis.nfrs whose WAL sidecar belongs to
+// a different database: the shuffled-pair scenario the id check refuses.
+func makeMispairedPair(t *testing.T, dir string) string {
+	t.Helper()
+	build := func(name string) (string, string) {
+		p := filepath.Join(dir, name)
+		// huge checkpoint threshold so the WAL keeps its batches (a
+		// checkpoint or clean close would truncate or remove it)
+		db, err := Open(p, WithCheckpointBytes(1<<30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Create(RelationDef{Name: "x", Schema: MustSchema("A")}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Insert("x", Row("a")); err != nil {
+			t.Fatal(err)
+		}
+		// snapshot the live pair (commits write through as they happen)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wal, err := os.ReadFile(p + ".wal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Close()
+		d := filepath.Join(dir, name+".data")
+		w := filepath.Join(dir, name+".walcopy")
+		os.WriteFile(d, data, 0o644)
+		os.WriteFile(w, wal, 0o644)
+		return d, w
+	}
+	dataA, _ := build("a.nfrs")
+	_, walB := build("b.nfrs")
+	mis := filepath.Join(dir, "mis.nfrs")
+	cp(t, dataA, mis)
+	cp(t, walB, mis+".wal")
+	return mis
+}
+
+func cp(t *testing.T, src, dst string) {
+	t.Helper()
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func errOf2[T any](_ T, err error) error { return err }

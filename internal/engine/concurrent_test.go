@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -49,7 +50,7 @@ func stressDef(name string) RelationDef {
 // must have spent at most one fsync per changing statement.
 func TestConcurrentDisjointWriters(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "disjoint.nfrs")
-	db, err := OpenWith(path, 64)
+	db, err := Open(path, WithPoolPages(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestConcurrentDisjointWriters(t *testing.T) {
 					return
 				}
 				// interleave reads: must always see a committed boundary
-				if _, err := db.ReadRelation(name); err != nil {
+				if _, err := db.ReadRelation(context.Background(), name); err != nil {
 					errs <- fmt.Errorf("client %d read: %w", c, err)
 					return
 				}
@@ -106,11 +107,11 @@ func TestConcurrentDisjointWriters(t *testing.T) {
 		t.Helper()
 		for c := 0; c < stressClients; c++ {
 			name := fmt.Sprintf("R%d", c)
-			got, err := db.ReadRelation(name)
+			got, err := db.ReadRelation(context.Background(), name)
 			if err != nil {
 				t.Fatalf("%s: %v", stage, err)
 			}
-			want, _ := oracle.ReadRelation(name)
+			want, _ := oracle.ReadRelation(context.Background(), name)
 			if !got.Equal(want) {
 				t.Fatalf("%s: %s diverged from single-threaded oracle", stage, name)
 			}
@@ -120,7 +121,7 @@ func TestConcurrentDisjointWriters(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	db2, err := OpenWith(path, 64)
+	db2, err := Open(path, WithPoolPages(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestConcurrentDisjointWriters(t *testing.T) {
 // concurrently.
 func TestConcurrentOverlappingWriters(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "overlap.nfrs")
-	db, err := OpenWith(path, 64)
+	db, err := Open(path, WithPoolPages(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestConcurrentOverlappingWriters(t *testing.T) {
 	}
 	run(func(f tuple.Flat) error { _, err := db.Insert("shared", f); return err })
 	want, _ := core.MustFromFlats(def.Schema, all).Canonical(def.Order)
-	got, err := db.ReadRelation("shared")
+	got, err := db.ReadRelation(context.Background(), "shared")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestConcurrentOverlappingWriters(t *testing.T) {
 		}
 		return err
 	})
-	got2, err := db.ReadRelation("shared")
+	got2, err := db.ReadRelation(context.Background(), "shared")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestConcurrentOverlappingWriters(t *testing.T) {
 // recycle) under the transaction-scoped free-list ownership.
 func TestConcurrentCreateDropAndWriters(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "churn.nfrs")
-	db, err := OpenWith(path, 64)
+	db, err := Open(path, WithPoolPages(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,11 +266,11 @@ func TestConcurrentCreateDropAndWriters(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	got, err := db.ReadRelation("steady")
+	got, err := db.ReadRelation(context.Background(), "steady")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _ := oracle.ReadRelation("steady")
+	want, _ := oracle.ReadRelation(context.Background(), "steady")
 	if !got.Equal(want) {
 		t.Fatal("steady relation diverged under create/drop churn")
 	}
@@ -284,7 +285,7 @@ func TestConcurrentCreateDropAndWriters(t *testing.T) {
 	if names := db2.Names(); len(names) != 1 || names[0] != "steady" {
 		t.Fatalf("scratch relations survived: %v", names)
 	}
-	got2, err := db2.ReadRelation("steady")
+	got2, err := db2.ReadRelation(context.Background(), "steady")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestConcurrentCreateDropAndWriters(t *testing.T) {
 // writing into freed pages.
 func TestDropRacesInFlightStatements(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "droprace.nfrs")
-	db, err := OpenWith(path, 64)
+	db, err := Open(path, WithPoolPages(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestDropRacesInFlightStatements(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if _, err := db.ReadRelation("victim"); err == nil {
+	if _, err := db.ReadRelation(context.Background(), "victim"); err == nil {
 		t.Fatal("dropped relation still readable")
 	}
 	if err := db.Close(); err != nil {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -39,7 +40,7 @@ func TestDiskEngineEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "db.nfrs")
-	disk, err := OpenWith(path, 8)
+	disk, err := Open(path, WithPoolPages(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +53,11 @@ func TestDiskEngineEquivalence(t *testing.T) {
 
 	check := func(stage string) {
 		t.Helper()
-		memRel, err := mem.ReadRelation("R1")
+		memRel, err := mem.ReadRelation(context.Background(), "R1")
 		if err != nil {
 			t.Fatalf("%s: mem read: %v", stage, err)
 		}
-		diskRel, err := disk.ReadRelation("R1")
+		diskRel, err := disk.ReadRelation(context.Background(), "R1")
 		if err != nil {
 			t.Fatalf("%s: disk read: %v", stage, err)
 		}
@@ -103,16 +104,16 @@ func TestDiskEngineEquivalence(t *testing.T) {
 	if err := disk.Close(); err != nil {
 		t.Fatal(err)
 	}
-	disk2, err := OpenWith(path, 8)
+	disk2, err := Open(path, WithPoolPages(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer disk2.Close()
-	rel2, err := disk2.ReadRelation("R1")
+	rel2, err := disk2.ReadRelation(context.Background(), "R1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	memRel, _ := mem.ReadRelation("R1")
+	memRel, _ := mem.ReadRelation(context.Background(), "R1")
 	if !memRel.Equal(rel2) {
 		t.Fatal("reopened disk relation diverged from in-memory canonical form")
 	}
@@ -126,7 +127,7 @@ func TestDiskEngineEquivalence(t *testing.T) {
 	if _, err := disk2.Insert("R1", tuple.FlatOfStrings("s_new", "c_new", "b_new")); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := disk2.ReadRelation("R1")
+	got, _ := disk2.ReadRelation(context.Background(), "R1")
 	if got.Len() != r2.Relation().Len() {
 		t.Fatal("write-through lost a tuple after reopen")
 	}
@@ -157,7 +158,7 @@ func TestOversizedTupleRollsBack(t *testing.T) {
 		t.Fatal("oversized tuple accepted")
 	}
 	// the failed update is rolled back everywhere: memory, disk, reopen
-	rel, err := db.ReadRelation("r")
+	rel, err := db.ReadRelation(context.Background(), "r")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestOversizedTupleRollsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db2.Close()
-	rel2, err := db2.ReadRelation("r")
+	rel2, err := db2.ReadRelation(context.Background(), "r")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,8 +211,8 @@ func TestSaveOpenQueryEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer disk.Close()
-	memRel, _ := mem.ReadRelation("R1")
-	diskRel, err := disk.ReadRelation("R1")
+	memRel, _ := mem.ReadRelation(context.Background(), "R1")
+	diskRel, err := disk.ReadRelation(context.Background(), "R1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestConcurrentScanAndWrite(t *testing.T) {
 	sch, flats := enrollmentFlats(29, 25)
 	def := RelationDef{Name: "r", Schema: sch,
 		Order: schema.MustPermOf(sch, "Course", "Club", "Student")}
-	db, err := OpenWith(filepath.Join(t.TempDir(), "rw.nfrs"), 4)
+	db, err := Open(filepath.Join(t.TempDir(), "rw.nfrs"), WithPoolPages(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestConcurrentScanAndWrite(t *testing.T) {
 		case <-done:
 			return
 		default:
-			if _, err := db.ReadRelation("r"); err != nil {
+			if _, err := db.ReadRelation(context.Background(), "r"); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -321,7 +322,7 @@ func TestSaveToOwnAlias(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db2.Close()
-	rel, err := db2.ReadRelation("r")
+	rel, err := db2.ReadRelation(context.Background(), "r")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +388,7 @@ func TestSaveOverCrashedDatabase(t *testing.T) {
 	if names := db.Names(); len(names) != 1 || names[0] != "fresh" {
 		t.Fatalf("snapshot content wrong after Save over crashed db: %v", names)
 	}
-	rel, err := db.ReadRelation("fresh")
+	rel, err := db.ReadRelation(context.Background(), "fresh")
 	if err != nil || rel.ExpansionSize() != 1 {
 		t.Fatalf("snapshot data wrong: %v (err %v)", rel, err)
 	}
@@ -417,7 +418,7 @@ func TestDiskCanonicalInvariant(t *testing.T) {
 	def := RelationDef{Name: "r", Schema: sch,
 		Order: schema.MustPermOf(sch, "Course", "Club", "Student")}
 	path := filepath.Join(t.TempDir(), "inv.nfrs")
-	db, err := OpenWith(path, 4) // tiny pool to force evictions
+	db, err := Open(path, WithPoolPages(4)) // tiny pool to force evictions
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +451,7 @@ func TestDiskCanonicalInvariant(t *testing.T) {
 	}
 	flat := core.MustFromFlats(def.Schema, liveFlats)
 	want, _ := flat.Canonical(def.Order)
-	got, err := db.ReadRelation("r")
+	got, err := db.ReadRelation(context.Background(), "r")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,12 @@
 // declared with a schema, optional FDs/MVDs, and a nest order, kept
 // permanently in canonical form V_P by the Section-4 update algorithms.
 //
+// The public surface is transaction-centric (see docs/api.md): Begin
+// returns a Tx whose statements span one storage transaction and
+// group-commit together; the Database-level statement methods (Insert,
+// Delete, Create, Drop, ReadRelation) are thin autocommit wrappers
+// over a one-shot Tx.
+//
 // The nest order defaults to SuggestOrder, which encodes Section 3.4's
 // guidance: nest the dependent (right-side) attributes first so the
 // canonical form ends up fixed on the determinant (left-side)
@@ -9,6 +15,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -67,36 +75,25 @@ type Rel struct {
 	rs  *store.RelStore // nil for in-memory databases
 
 	// latch serializes statements on THIS relation (the maintainer and
-	// its write-through are single-writer); statements on different
-	// relations run and commit in parallel, their WAL batches merged by
-	// the store's group-commit scheduler. In disk mode the latch is
-	// held through the commit, so readers taking it observe only
-	// committed statement boundaries. Drop takes it too, and sets
-	// dropped (read under the latch) so a statement that was already
-	// waiting fails cleanly instead of writing into freed pages.
-	// latchWaits counts contended acquisitions — the bench's
-	// latch-contention metric.
-	latch      sync.Mutex
-	dropped    bool
-	latchWaits atomic.Int64
+	// its write-through are single-writer). A transaction holds the
+	// latch from its first statement on the relation until it commits
+	// or rolls back, so readers taking it observe only committed
+	// transaction boundaries; transactions on different relations run
+	// and commit in parallel, their WAL batches merged by the store's
+	// group-commit scheduler. Deadlocks across multi-relation
+	// transactions are avoided with wait-die (see latch). dropped is
+	// read under the latch so a statement that was waiting while the
+	// relation was dropped fails cleanly instead of writing into freed
+	// pages.
+	latch   *latch
+	dropped bool
 }
-
-// lock acquires the relation's statement latch, counting contention.
-func (r *Rel) lock() {
-	if r.latch.TryLock() {
-		return
-	}
-	r.latchWaits.Add(1)
-	r.latch.Lock()
-}
-
-func (r *Rel) unlock() { r.latch.Unlock() }
 
 // Def returns the relation's definition.
 func (r *Rel) Def() RelationDef { return r.def }
 
 // Relation returns the current canonical NFR (not a copy; treat as
-// read-only).
+// read-only — ReadRelation returns an isolated snapshot).
 func (r *Rel) Relation() *core.Relation { return r.m.Relation() }
 
 // Stats returns the maintainer's accumulated operation counts.
@@ -106,11 +103,11 @@ func (r *Rel) Stats() update.Stats { return r.m.Stats() }
 func (r *Rel) ResetStats() { r.m.ResetStats() }
 
 // Database is a catalog of live relations. Methods are safe for
-// concurrent use; each relation serializes its own statements behind a
-// per-relation latch, and — in disk mode — statements on different
-// relations commit concurrently as separate transactions whose WAL
-// batches the store merges into shared fsyncs (there is no global
-// statement lock).
+// concurrent use; each relation serializes its statements behind a
+// per-relation latch held for the owning transaction's lifetime, and —
+// in disk mode — transactions on different relations commit
+// concurrently as separate storage transactions whose WAL batches the
+// store merges into shared fsyncs (there is no global statement lock).
 //
 // A Database runs in one of two modes: purely in-memory (New), or
 // disk-backed (Open), where every relation is realized as a heap chain
@@ -121,27 +118,53 @@ type Database struct {
 	rels map[string]*Rel
 	st   *store.Store // nil = purely in-memory
 	path string       // paged file path when disk-backed
+
+	readOnly bool
+	closed   atomic.Bool
+
+	// transaction machinery: monotonically increasing ids (wait-die
+	// ages), the DDL latch serializing catalog mutations, and the open
+	// set Close rolls back.
+	txSeq   atomic.Uint64
+	ddl     *latch
+	txMu    sync.Mutex
+	openTxs map[*Tx]struct{}
 }
 
 // New creates an empty in-memory database.
 func New() *Database {
-	return &Database{rels: make(map[string]*Rel)}
+	return &Database{
+		rels:    make(map[string]*Rel),
+		ddl:     newLatch(),
+		openTxs: make(map[*Tx]struct{}),
+	}
 }
 
 // Open opens (or creates) a disk-backed database in the single paged
-// file at path, with the default buffer-pool size.
-func Open(path string) (*Database, error) { return OpenWith(path, 0) }
-
-// OpenWith is Open with an explicit buffer-pool capacity in pages
-// (0 = store.DefaultPoolPages). Every relation found in the file is
-// loaded by scanning its heap through the buffer pool; the maintainers
-// then write all further mutations through to the store.
-func OpenWith(path string, poolPages int) (*Database, error) {
-	st, err := store.Open(path, store.Options{PoolPages: poolPages})
+// file at path. Options tune the buffer pool, checkpoint policy, and
+// access mode:
+//
+//	db, err := engine.Open(path, engine.WithPoolPages(256))
+//
+// Every relation found in the file is loaded by scanning its heap
+// through the buffer pool; the maintainers then write all further
+// mutations through to the store.
+func Open(path string, opts ...Option) (*Database, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// a read-only open must not perform the (optional) orphan sweep —
+	// only crash recovery may write
+	cfg.store.NoSweep = cfg.store.NoSweep || cfg.readOnly
+	st, err := store.Open(path, cfg.store)
 	if err != nil {
 		return nil, err
 	}
-	db := &Database{rels: make(map[string]*Rel), st: st, path: path}
+	db := New()
+	db.st = st
+	db.path = path
+	db.readOnly = cfg.readOnly
 	// one transaction covers any drift resync the attach loop performs
 	txn := st.Begin()
 	for _, name := range st.Relations() {
@@ -163,6 +186,14 @@ func OpenWith(path string, poolPages int) (*Database, error) {
 	return db, nil
 }
 
+// OpenWith is Open with an explicit buffer-pool capacity in pages
+// (0 = store.DefaultPoolPages).
+//
+// Deprecated: use Open(path, WithPoolPages(poolPages)).
+func OpenWith(path string, poolPages int) (*Database, error) {
+	return Open(path, WithPoolPages(poolPages))
+}
+
 // attach loads one stored relation into a live maintainer; live
 // attachments (Open, txn non-nil) additionally connect the
 // write-through sink and resync the heap under txn if the stored form
@@ -179,7 +210,7 @@ func (db *Database) attach(rs *store.RelStore, txn *store.Txn) error {
 	if err != nil {
 		return err
 	}
-	r := &Rel{def: def, m: m}
+	r := &Rel{def: def, m: m, latch: newLatch()}
 	if txn != nil {
 		// FromRelationIndexed re-canonicalizes; if the stored form had
 		// drifted from V_P (it never does through this engine, but the
@@ -202,20 +233,65 @@ func (db *Database) attach(rs *store.RelStore, txn *store.Txn) error {
 // file.
 func (db *Database) DiskBacked() bool { return db.st != nil }
 
+// ReadOnly reports whether the database rejects mutations (opened with
+// WithReadOnly).
+func (db *Database) ReadOnly() bool { return db.readOnly }
+
+func (db *Database) isClosed() bool { return db.closed.Load() }
+
 // Flush writes all dirty buffered pages of a disk-backed database to
-// stable storage. It is a no-op in memory mode.
+// stable storage (a checkpoint). It is a no-op in memory mode and
+// fails with ErrReadOnly on a read-only database.
 func (db *Database) Flush() error {
+	if db.isClosed() {
+		return fmt.Errorf("engine: flush: %w", ErrClosed)
+	}
 	if db.st == nil {
 		return nil
+	}
+	if db.readOnly {
+		return fmt.Errorf("engine: flush: %w", ErrReadOnly)
 	}
 	return db.st.Flush()
 }
 
-// Close flushes and closes the paged file of a disk-backed database.
-// It is a no-op in memory mode.
+// Close rolls back every still-open transaction (whose handles then
+// return ErrTxDone), checkpoints, and closes the paged file of a
+// disk-backed database. Close is idempotent: the second and later
+// calls return nil. A read-only database discards instead of
+// checkpointing; a memory-mode database just retires its transactions.
 func (db *Database) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Wake statements blocked on latches so their transactions become
+	// rollback-able instead of wedging Close behind a wait that can
+	// never end.
+	db.mu.RLock()
+	for _, r := range db.rels {
+		r.latch.interrupt()
+	}
+	db.mu.RUnlock()
+	db.ddl.interrupt()
+	db.txMu.Lock()
+	open := make([]*Tx, 0, len(db.openTxs))
+	for tx := range db.openTxs {
+		open = append(open, tx)
+	}
+	db.txMu.Unlock()
+	for _, tx := range open {
+		// ErrTxDone just means the owner finished it first
+		if err := tx.Rollback(); err != nil && !errors.Is(err, ErrTxDone) {
+			// the rollback of buffered state failed; still close the
+			// files below — nothing uncommitted can be on disk
+			_ = err
+		}
+	}
 	if db.st == nil {
 		return nil
+	}
+	if db.readOnly {
+		return db.st.Discard()
 	}
 	return db.st.Close()
 }
@@ -252,26 +328,60 @@ func (db *Database) WALStats() (st storage.WALStats, ok bool) {
 	return db.st.WALStats(), true
 }
 
-// ReadRelation returns the named relation for query evaluation. A
-// disk-backed database materializes it by scanning the relation's heap
-// chain through the buffer pool (the paper's realization view), taking
-// the relation's statement latch so the snapshot is always a committed
-// statement boundary, never a half-applied statement; an in-memory
-// database returns the live canonical relation directly.
-func (db *Database) ReadRelation(name string) (*core.Relation, error) {
-	r, err := db.Rel(name)
-	if err != nil {
-		return nil, err
-	}
-	if r.rs != nil {
-		r.lock()
-		defer r.unlock()
-		if r.dropped {
-			return nil, fmt.Errorf("engine: unknown relation %q", name)
+// autocommit runs one statement as a one-shot transaction: begin,
+// apply, commit. A statement refused by wait-die deadlock avoidance
+// (ErrTxConflict — only the multi-latch paths like Drop can hit it) is
+// retried under its ORIGINAL transaction id, so the retry ages toward
+// the front of the wait-die order instead of staying forever-youngest
+// (starvation freedom); between attempts the loop first rolls back —
+// releasing every latch — and then PARKS on the refused latch until
+// its holder finishes, so a conflict against a long-lived transaction
+// costs a blocked goroutine, not a busy spin.
+func (db *Database) autocommit(fn func(tx *Tx) error) error {
+	var id uint64
+	for {
+		tx, err := db.begin(context.Background(), id)
+		if err != nil {
+			return err
 		}
-		return r.rs.Load()
+		id = tx.id
+		opErr := fn(tx)
+		if opErr != nil && errors.Is(opErr, ErrTxConflict) {
+			tx.Rollback()
+			var ce *conflictError
+			if errors.As(opErr, &ce) {
+				ce.l.awaitFree(db)
+			}
+			continue
+		}
+		// Commit even after a failed statement: the statement's repair
+		// (syncAfterWrite) left the transaction consistent at the
+		// pre-statement state, and committing it is what makes the
+		// repair durable as one atomic batch. A no-op transaction's
+		// commit costs nothing.
+		if cerr := tx.Commit(); cerr != nil && opErr == nil {
+			opErr = cerr
+		}
+		return opErr
 	}
-	return r.m.Relation(), nil
+}
+
+// ReadRelation returns a snapshot of the named relation for query
+// evaluation. A disk-backed database materializes it by scanning the
+// relation's heap chain through the buffer pool (the paper's
+// realization view); an in-memory database clones the live canonical
+// relation. Either way the caller owns the copy, and the relation's
+// statement latch is taken for the read, so the snapshot is always a
+// committed transaction boundary, never a half-applied statement. ctx
+// cancels the heap scan at page-fetch granularity (nil = background).
+func (db *Database) ReadRelation(ctx context.Context, name string) (*core.Relation, error) {
+	var rel *core.Relation
+	err := db.autocommit(func(tx *Tx) error {
+		var err error
+		rel, err = tx.ReadRelation(ctx, name)
+		return err
+	})
+	return rel, err
 }
 
 // LatchWaits reports how many statement-latch acquisitions blocked on a
@@ -282,30 +392,31 @@ func (db *Database) LatchWaits() int64 {
 	defer db.mu.RUnlock()
 	var n int64
 	for _, r := range db.rels {
-		n += r.latchWaits.Load()
+		n += r.latch.waits.Load()
 	}
 	return n
 }
 
-// Create registers a new empty relation.
-func (db *Database) Create(def RelationDef) error {
+// normalizeDef validates a relation definition, fills in the suggested
+// nest order, and builds the canonical-form maintainer.
+func normalizeDef(def RelationDef) (RelationDef, *update.Maintainer, error) {
 	if def.Name == "" {
-		return fmt.Errorf("engine: relation name empty")
+		return def, nil, fmt.Errorf("engine: relation name empty")
 	}
 	if def.Schema == nil || def.Schema.Degree() == 0 {
-		return fmt.Errorf("engine: relation %q needs a non-empty schema", def.Name)
+		return def, nil, fmt.Errorf("engine: relation %q needs a non-empty schema", def.Name)
 	}
 	for _, f := range def.FDs {
 		for _, a := range append(f.Lhs.Sorted(), f.Rhs.Sorted()...) {
 			if !def.Schema.Has(a) {
-				return fmt.Errorf("engine: FD %v references unknown attribute %q", f, a)
+				return def, nil, fmt.Errorf("engine: FD %v references unknown attribute %q", f, a)
 			}
 		}
 	}
 	for _, m := range def.MVDs {
 		for _, a := range append(m.Lhs.Sorted(), m.Rhs.Sorted()...) {
 			if !def.Schema.Has(a) {
-				return fmt.Errorf("engine: MVD %v references unknown attribute %q", m, a)
+				return def, nil, fmt.Errorf("engine: MVD %v references unknown attribute %q", m, a)
 			}
 		}
 	}
@@ -313,77 +424,28 @@ func (db *Database) Create(def RelationDef) error {
 		def.Order = SuggestOrder(def.Schema, def.FDs, def.MVDs)
 	}
 	if !def.Order.Valid(def.Schema) {
-		return fmt.Errorf("engine: invalid nest order %v for %q", def.Order, def.Name)
+		return def, nil, fmt.Errorf("engine: invalid nest order %v for %q", def.Order, def.Name)
 	}
 	m, err := update.NewMaintainerIndexed(def.Schema, def.Order)
 	if err != nil {
-		return err
+		return def, nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, dup := db.rels[def.Name]; dup {
-		return fmt.Errorf("engine: relation %q already exists", def.Name)
-	}
-	r := &Rel{def: def, m: m}
-	if db.st != nil {
-		txn := db.st.Begin()
-		rs, err := db.st.CreateRelation(txn, store.RelationDef{
-			Name: def.Name, Schema: def.Schema, Order: def.Order,
-			FDs: def.FDs, MVDs: def.MVDs,
-		})
-		if err != nil {
-			return err
-		}
-		if err := db.st.Commit(txn); err != nil {
-			// roll the uncommitted create back out of the store —
-			// frames dropped, page ownership released, catalog entry
-			// forgotten — so the catalog and this database never
-			// diverge and the failed transaction cannot wedge the
-			// catalog page
-			db.st.AbortCreate(txn, def.Name)
-			return fmt.Errorf("engine: create %q: commit failed: %w", def.Name, err)
-		}
-		m.SetSink(rs)
-		r.rs = rs
-	}
-	db.rels[def.Name] = r
-	return nil
+	return def, m, nil
 }
 
-// Drop removes a relation. In disk mode the catalog record is deleted
-// and the heap chain's pages go to the free list, all committed as one
-// WAL batch. The relation's statement latch is taken for the duration,
-// so a statement in flight on the same relation finishes first and a
-// statement that was waiting observes the drop instead of writing into
-// freed pages.
+// Create registers a new empty relation (autocommit).
+func (db *Database) Create(def RelationDef) error {
+	return db.autocommit(func(tx *Tx) error { return tx.Create(def) })
+}
+
+// Drop removes a relation (autocommit). In disk mode the catalog record
+// is deleted and the heap chain's pages go to the free list, all
+// committed as one WAL batch. The relation's statement latch is taken
+// for the duration, so a statement in flight on the same relation
+// finishes first and a statement that was waiting observes the drop
+// instead of writing into freed pages.
 func (db *Database) Drop(name string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	r, ok := db.rels[name]
-	if !ok {
-		return fmt.Errorf("engine: unknown relation %q", name)
-	}
-	r.lock()
-	defer r.unlock()
-	if db.st != nil {
-		txn := db.st.Begin()
-		if err := db.st.DropRelation(txn, name); err != nil {
-			// the store only fails before mutating anything (see
-			// store.DropRelation), so the relation is still fully intact
-			return err
-		}
-		if err := db.st.Commit(txn); err != nil {
-			// unwind: the store's in-memory entry was never removed and
-			// Rollback discards the uncommitted catalog/free-list
-			// mutations, so the relation stays fully usable
-			db.st.Rollback(txn)
-			return fmt.Errorf("engine: drop %q: commit failed: %w", name, err)
-		}
-		db.st.CompleteDrop(name)
-	}
-	r.dropped = true
-	delete(db.rels, name)
-	return nil
+	return db.autocommit(func(tx *Tx) error { return tx.Drop(name) })
 }
 
 // Rel looks up a live relation.
@@ -392,9 +454,18 @@ func (db *Database) Rel(name string) (*Rel, error) {
 	defer db.mu.RUnlock()
 	r, ok := db.rels[name]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown relation %q", name)
+		return nil, errNotFound(name)
 	}
 	return r, nil
+}
+
+// Def returns the named relation's definition.
+func (db *Database) Def(name string) (RelationDef, error) {
+	r, err := db.Rel(name)
+	if err != nil {
+		return RelationDef{}, err
+	}
+	return r.def, nil
 }
 
 // Names returns the catalog's relation names, sorted.
@@ -410,96 +481,32 @@ func (db *Database) Names() []string {
 }
 
 // Insert adds a flat tuple to the named relation, maintaining the
-// canonical form. It reports whether the relation changed. The
-// relation's statement latch is held through the statement and (in
-// disk mode) its commit; statements on other relations proceed in
-// parallel.
+// canonical form (autocommit: one one-shot transaction, one group
+// commit). It reports whether the relation changed.
 func (db *Database) Insert(name string, f tuple.Flat) (bool, error) {
-	r, err := db.Rel(name)
-	if err != nil {
-		return false, err
-	}
-	if err := db.typeCheck(r, f); err != nil {
-		return false, err
-	}
-	r.lock()
-	defer r.unlock()
-	if r.dropped {
-		return false, fmt.Errorf("engine: unknown relation %q", name)
-	}
-	ch, err := r.m.Insert(f)
-	if err != nil {
-		return ch, err
-	}
-	if err := r.syncAfterWrite(ch, f, true); err != nil {
-		return false, err
-	}
-	return ch, nil
+	var ch bool
+	err := db.autocommit(func(tx *Tx) error {
+		var err error
+		ch, err = tx.Insert(name, f)
+		return err
+	})
+	return ch, err
 }
 
-// Delete removes a flat tuple from the named relation.
+// Delete removes a flat tuple from the named relation (autocommit).
 func (db *Database) Delete(name string, f tuple.Flat) (bool, error) {
-	r, err := db.Rel(name)
-	if err != nil {
-		return false, err
-	}
-	r.lock()
-	defer r.unlock()
-	if r.dropped {
-		return false, fmt.Errorf("engine: unknown relation %q", name)
-	}
-	ch, err := r.m.Delete(f)
-	if err != nil {
-		return ch, err
-	}
-	if err := r.syncAfterWrite(ch, f, false); err != nil {
-		return false, err
-	}
-	return ch, nil
+	var ch bool
+	err := db.autocommit(func(tx *Tx) error {
+		var err error
+		ch, err = tx.Delete(name, f)
+		return err
+	})
+	return ch, err
 }
 
-// syncAfterWrite surfaces a write-through failure latched by the
-// relation's store sink (always nil in memory mode) without leaving
-// memory and disk divergent: the in-memory mutation is rolled back
-// (the Section-4 algorithms are exact inverses on R*, and the
-// canonical form is unique, so memory returns to its pre-operation
-// state), the heap is rewritten from the canonical form, and the
-// original failure is returned. A record that can never fit a page
-// (an over-grown tuple) therefore rejects that one update instead of
-// poisoning the relation.
-func (r *Rel) syncAfterWrite(changed bool, f tuple.Flat, wasInsert bool) error {
-	if r.rs == nil {
-		return nil
-	}
-	err := r.rs.Err()
-	if err == nil {
-		return nil
-	}
-	if changed {
-		if wasInsert {
-			r.m.Delete(f)
-		} else {
-			r.m.Insert(f)
-		}
-	}
-	// Repair within the SAME statement transaction the failure left
-	// open (StatementEnd skips the commit of a failed statement), so
-	// the half-applied pages and their repair commit as one atomic
-	// batch — a crash anywhere recovers the pre-statement state.
-	r.rs.StatementBegin() // reuses the failed statement's open transaction
-	txn := r.rs.StatementTxn()
-	if rerr := r.rs.Replace(txn, r.m.Relation()); rerr != nil {
-		return fmt.Errorf("engine: write-through failed (%v) and heap resync failed: %w", err, rerr)
-	}
-	r.rs.ResetErr()
-	if cerr := r.rs.CommitStatement(); cerr != nil {
-		return fmt.Errorf("engine: write-through failed (%v) and commit of the resynced heap failed: %w", err, cerr)
-	}
-	return fmt.Errorf("engine: write-through to store failed (update rolled back): %w", err)
-}
-
-// InsertMany bulk-inserts flat tuples, returning how many changed the
-// relation.
+// InsertMany bulk-inserts flat tuples, each as its own autocommit
+// statement, returning how many changed the relation. Use Tx.InsertMany
+// to batch them under one commit instead.
 func (db *Database) InsertMany(name string, fs []tuple.Flat) (int, error) {
 	n := 0
 	for _, f := range fs {
@@ -517,12 +524,12 @@ func (db *Database) InsertMany(name string, fs []tuple.Flat) (int, error) {
 func (db *Database) typeCheck(r *Rel, f tuple.Flat) error {
 	s := r.def.Schema
 	if len(f) != s.Degree() {
-		return fmt.Errorf("engine: tuple degree %d != schema degree %d", len(f), s.Degree())
+		return fmt.Errorf("engine: tuple degree %d != schema degree %d: %w", len(f), s.Degree(), ErrTypeMismatch)
 	}
 	for i, a := range f {
 		want := s.Attr(i).Kind
 		if want != 0 && a.K != want {
-			return fmt.Errorf("engine: attribute %s expects %v, got %v", s.Attr(i).Name, want, a.K)
+			return fmt.Errorf("engine: attribute %s expects %v, got %v: %w", s.Attr(i).Name, want, a.K, ErrTypeMismatch)
 		}
 	}
 	return nil
@@ -535,12 +542,22 @@ type Violation struct {
 }
 
 // ValidateDeps checks every declared FD and MVD of the named relation
-// against its current expansion R*.
+// against its current expansion R*, under the relation's latch (so a
+// concurrent transaction's in-flight maintainer mutations are never
+// observed mid-statement).
 func (db *Database) ValidateDeps(name string) ([]Violation, error) {
-	r, err := db.Rel(name)
-	if err != nil {
-		return nil, err
-	}
+	var out []Violation
+	err := db.autocommit(func(tx *Tx) error {
+		var err error
+		out, err = tx.ValidateDeps(name)
+		return err
+	})
+	return out, err
+}
+
+// validateOf checks r's declared dependencies; the caller holds r's
+// latch.
+func validateOf(name string, r *Rel) []Violation {
 	flats := r.m.Relation().Expand()
 	var out []Violation
 	for _, f := range r.def.FDs {
@@ -553,7 +570,7 @@ func (db *Database) ValidateDeps(name string) ([]Violation, error) {
 			out = append(out, Violation{Relation: name, Dep: m.String()})
 		}
 	}
-	return out, nil
+	return out
 }
 
 // RelStats summarizes a relation's physical and logical size — the
@@ -567,12 +584,20 @@ type RelStats struct {
 	Ops         update.Stats
 }
 
-// Stats reports size and maintenance statistics for the named relation.
+// Stats reports size and maintenance statistics for the named
+// relation, under the relation's latch (committed-boundary reads).
 func (db *Database) Stats(name string) (RelStats, error) {
-	r, err := db.Rel(name)
-	if err != nil {
-		return RelStats{}, err
-	}
+	var st RelStats
+	err := db.autocommit(func(tx *Tx) error {
+		var err error
+		st, err = tx.Stats(name)
+		return err
+	})
+	return st, err
+}
+
+// statsOf computes r's statistics; the caller holds r's latch.
+func statsOf(name string, r *Rel) RelStats {
 	rel := r.m.Relation()
 	st := RelStats{
 		Name:       name,
@@ -584,5 +609,5 @@ func (db *Database) Stats(name string) (RelStats, error) {
 	if st.NFRTuples > 0 {
 		st.Compression = float64(st.FlatTuples) / float64(st.NFRTuples)
 	}
-	return st, nil
+	return st
 }

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"repro/internal/storage"
+	"repro/internal/store"
+)
+
+// Option configures Open. Options compose left to right:
+//
+//	db, err := engine.Open(path,
+//	    engine.WithPoolPages(256),
+//	    engine.WithCheckpointBytes(16<<20))
+type Option func(*openConfig)
+
+type openConfig struct {
+	store    store.Options
+	readOnly bool
+}
+
+// WithPoolPages sets the buffer-pool capacity in pages
+// (0 = store.DefaultPoolPages).
+func WithPoolPages(n int) Option {
+	return func(c *openConfig) { c.store.PoolPages = n }
+}
+
+// WithCheckpointBytes sets the WAL size at which a commit triggers an
+// automatic checkpoint (0 = store.DefaultCheckpointBytes, negative =
+// only checkpoint on Flush/Close).
+func WithCheckpointBytes(n int64) Option {
+	return func(c *openConfig) { c.store.CheckpointBytes = n }
+}
+
+// WithReadOnly opens the database for reading: every mutating statement
+// fails with ErrReadOnly, and Close discards instead of checkpointing.
+// Opening a CRASHED file still performs recovery (the WAL's committed
+// batches are replayed into the data file) — the same policy as Load.
+func WithReadOnly() Option {
+	return func(c *openConfig) { c.readOnly = true }
+}
+
+// WithFileSystem substitutes the filesystem the store opens its data
+// file and WAL sidecar through (nil open = the operating system's).
+// Crash-injection tests use it to journal every write; production code
+// never needs it.
+func WithFileSystem(open storage.OpenFileFunc, remove func(name string) error) Option {
+	return func(c *openConfig) {
+		c.store.OpenFile = open
+		c.store.RemoveFile = remove
+	}
+}

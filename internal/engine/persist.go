@@ -117,7 +117,9 @@ func Load(path string) (*Database, error) {
 	if fi.Size() == 0 {
 		return nil, fmt.Errorf("engine: load %s: not a database file (empty)", path)
 	}
-	st, err := store.Open(path, store.Options{})
+	// NoSweep: Load must not perform the orphan sweep — recovery aside,
+	// it never writes.
+	st, err := store.Open(path, store.Options{NoSweep: true})
 	if err != nil {
 		return nil, err
 	}

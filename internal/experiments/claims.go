@@ -21,11 +21,11 @@ import (
 
 // A4Row is one row of the Theorem A-4 update-cost table.
 type A4Row struct {
-	Rows       int // |R*| before the measured updates
-	Degree     int
-	NFRTuples  int
-	MaxOps     int // worst-case compositions+decompositions per update
-	MeanOps    float64
+	Rows      int // |R*| before the measured updates
+	Degree    int
+	NFRTuples int
+	MaxOps    int // worst-case compositions+decompositions per update
+	MeanOps   float64
 }
 
 // RunTheoremA4 measures the cost (compositions + decompositions) of

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -76,7 +77,7 @@ func RunConcurrent(w io.Writer, dir string, seed int64, clients, perClient, pool
 	}
 
 	path := filepath.Join(dir, "concurrent.nfrs")
-	db, err := engine.OpenWith(path, poolPages)
+	db, err := engine.Open(path, engine.WithPoolPages(poolPages))
 	if err != nil {
 		return res, err
 	}
@@ -167,11 +168,11 @@ func RunConcurrent(w io.Writer, dir string, seed int64, clients, perClient, pool
 
 	verify := func(d *engine.Database) (bool, error) {
 		for _, name := range append(append([]string{}, names...), "shared") {
-			got, err := d.ReadRelation(name)
+			got, err := d.ReadRelation(context.Background(), name)
 			if err != nil {
 				return false, err
 			}
-			want, err := oracle.ReadRelation(name)
+			want, err := oracle.ReadRelation(context.Background(), name)
 			if err != nil {
 				return false, err
 			}
@@ -189,7 +190,7 @@ func RunConcurrent(w io.Writer, dir string, seed int64, clients, perClient, pool
 	if err := db.Close(); err != nil {
 		return res, err
 	}
-	db2, err := engine.OpenWith(path, poolPages)
+	db2, err := engine.Open(path, engine.WithPoolPages(poolPages))
 	if err != nil {
 		return res, fmt.Errorf("reopen after concurrent run: %w", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -71,7 +72,7 @@ func RunDiskEngine(w io.Writer, dir string, seed int64, students, poolPages int)
 	}
 
 	path := filepath.Join(dir, "disk-engine.nfrs")
-	db, err := engine.OpenWith(path, poolPages)
+	db, err := engine.Open(path, engine.WithPoolPages(poolPages))
 	if err != nil {
 		return DiskResult{}, err
 	}
@@ -94,7 +95,7 @@ func RunDiskEngine(w io.Writer, dir string, seed int64, students, poolPages int)
 	}
 	// read workload: point scans through the buffer pool
 	for i := 0; i < 8; i++ {
-		if _, err := db.ReadRelation("R1"); err != nil {
+		if _, err := db.ReadRelation(context.Background(), "R1"); err != nil {
 			db.Close()
 			return DiskResult{}, err
 		}
@@ -117,7 +118,7 @@ func RunDiskEngine(w io.Writer, dir string, seed int64, students, poolPages int)
 		return DiskResult{}, err
 	}
 
-	memRel, err := mem.ReadRelation("R1")
+	memRel, err := mem.ReadRelation(context.Background(), "R1")
 	if err != nil {
 		return DiskResult{}, err
 	}
@@ -130,7 +131,7 @@ func RunDiskEngine(w io.Writer, dir string, seed int64, students, poolPages int)
 		res.RecoveredBatches = ws.RecoveredBatches
 		res.RecoveredPages = ws.RecoveredPages
 	}
-	recRel, err := rdb.ReadRelation("R1")
+	recRel, err := rdb.ReadRelation(context.Background(), "R1")
 	if err != nil {
 		rdb.Close()
 		return DiskResult{}, err
@@ -140,7 +141,7 @@ func RunDiskEngine(w io.Writer, dir string, seed int64, students, poolPages int)
 
 	// reopen the cleanly closed file and compare against the in-memory
 	// engine
-	db2, err := engine.OpenWith(path, poolPages)
+	db2, err := engine.Open(path, engine.WithPoolPages(poolPages))
 	if err != nil {
 		return DiskResult{}, err
 	}
@@ -148,7 +149,7 @@ func RunDiskEngine(w io.Writer, dir string, seed int64, students, poolPages int)
 	if st, ok := db2.OpenIOStats(); ok {
 		res.OpenMisses = st.Misses
 	}
-	diskRel, err := db2.ReadRelation("R1")
+	diskRel, err := db2.ReadRelation(context.Background(), "R1")
 	if err != nil {
 		return DiskResult{}, err
 	}

@@ -14,12 +14,12 @@ import (
 
 // Fig3Result summarizes the Fig.-3 classification sweep.
 type Fig3Result struct {
-	Relations       int
-	Irreducible     int // irreducible forms examined (all of them, by construction)
-	Canonical       int // of those, canonical for some permutation
-	FixedSomewhere  int // fixed on at least one single domain
-	CanonicalFixed  int // canonical and fixed
-	ContainmentOK   bool
+	Relations      int
+	Irreducible    int // irreducible forms examined (all of them, by construction)
+	Canonical      int // of those, canonical for some permutation
+	FixedSomewhere int // fixed on at least one single domain
+	CanonicalFixed int // canonical and fixed
+	ContainmentOK  bool
 }
 
 // RunFig3 validates Figure 3's containment picture empirically:
@@ -198,9 +198,9 @@ func RunTheorem3(w io.Writer, trials int, seed int64) TheoremCheck {
 // Theorem4Result counts fixed and unfixed irreducible forms under a
 // planted MVD.
 type Theorem4Result struct {
-	Trials       int
-	ExistsFixed  int // trials where some derived form was fixed on F
-	SawUnfixed   int // trials where some derived form was NOT fixed on F
+	Trials      int
+	ExistsFixed int // trials where some derived form was fixed on F
+	SawUnfixed  int // trials where some derived form was NOT fixed on F
 }
 
 // RunTheorem4 validates Theorem 4: under MVD F ->-> E1 | rest, an

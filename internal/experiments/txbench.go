@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+)
+
+// ConcurrentTxResult summarizes the multi-statement transaction leg of
+// the concurrent experiment: N clients each committing explicit
+// transactions of several statements, so the economics shift from
+// fsyncs per STATEMENT to fsyncs per TRANSACTION — a transaction's
+// statements share one WAL batch by construction, and concurrently
+// committing transactions still merge into shared fsyncs on top.
+type ConcurrentTxResult struct {
+	Clients      int
+	TxsPerClient int
+	StmtsPerTx   int
+
+	Txs        int // committed transactions
+	Statements int // changing statements inside them
+	Conflicts  int // wait-die retries (shared-relation contention)
+	Seconds    float64
+	TxPerSec   float64
+
+	WALFsyncs     int
+	WALBatches    int
+	FsyncsPerTx   float64 // must be ≤ 1; < 1 once commits merge
+	StmtsPerFsync float64 // ≥ StmtsPerTx once commits merge
+	MaxGroup      int     // most transactions in one fsync
+
+	// every relation equals the single-threaded oracle, live and after
+	// a close/reopen
+	Equivalent bool
+}
+
+// RunConcurrentTx drives clients goroutines, each committing
+// txsPerClient explicit transactions of stmtsPerTx statements on a
+// private relation; every 5th transaction also writes one statement
+// into a shared relation (latch contention across transactions, with
+// wait-die conflicts retried). It verifies every relation against a
+// single-threaded oracle, live and across a reopen.
+func RunConcurrentTx(w io.Writer, dir string, seed int64, clients, txsPerClient, stmtsPerTx, poolPages int) (ConcurrentTxResult, error) {
+	res := ConcurrentTxResult{Clients: clients, TxsPerClient: txsPerClient, StmtsPerTx: stmtsPerTx}
+	sch := schema.MustOf("Student", "Course", "Club")
+	order := schema.MustPermOf(sch, "Course", "Club", "Student")
+	defFor := func(name string) engine.RelationDef {
+		return engine.RelationDef{Name: name, Schema: sch, Order: order}
+	}
+
+	path := filepath.Join(dir, "concurrent-tx.nfrs")
+	db, err := engine.Open(path, engine.WithPoolPages(poolPages))
+	if err != nil {
+		return res, err
+	}
+	oracle := engine.New()
+	names := make([]string, clients)
+	flats := make([][]tuple.Flat, clients)
+	var sharedAll []tuple.Flat
+	perClient := txsPerClient * stmtsPerTx
+	for c := 0; c < clients; c++ {
+		names[c] = fmt.Sprintf("T%d", c)
+		for _, d := range []*engine.Database{db, oracle} {
+			if err := d.Create(defFor(names[c])); err != nil {
+				db.Close()
+				return res, err
+			}
+		}
+		flats[c] = concurrentFlats(seed, c, perClient)
+		if _, err := oracle.InsertMany(names[c], flats[c]); err != nil {
+			db.Close()
+			return res, err
+		}
+		// every 5th transaction contributes its first row to the shared
+		// relation
+		for t := 4; t < txsPerClient; t += 5 {
+			sharedAll = append(sharedAll, flats[c][t*stmtsPerTx])
+		}
+	}
+	for _, d := range []*engine.Database{db, oracle} {
+		if err := d.Create(defFor("shared")); err != nil {
+			db.Close()
+			return res, err
+		}
+	}
+	if _, err := oracle.InsertMany("shared", sharedAll); err != nil {
+		db.Close()
+		return res, err
+	}
+
+	ws0, _ := db.WALStats()
+	var changed, committed, conflicts atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	ctx := context.Background()
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for t := 0; t < txsPerClient; t++ {
+				rows := flats[c][t*stmtsPerTx : (t+1)*stmtsPerTx]
+				shared := t%5 == 4
+				// wait-die can refuse the shared latch; roll back and
+				// retry the whole transaction
+				for {
+					n, err := runOneTx(ctx, db, names[c], rows, shared)
+					if err == nil {
+						changed.Add(int64(n))
+						committed.Add(1)
+						break
+					}
+					if errors.Is(err, engine.ErrTxConflict) {
+						conflicts.Add(1)
+						continue
+					}
+					errCh <- fmt.Errorf("client %d tx %d: %w", c, t, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	close(errCh)
+	for err := range errCh {
+		db.Close()
+		return res, err
+	}
+	ws1, _ := db.WALStats()
+	res.Txs = int(committed.Load())
+	res.Statements = int(changed.Load())
+	res.Conflicts = int(conflicts.Load())
+	res.WALFsyncs = ws1.Fsyncs - ws0.Fsyncs
+	res.WALBatches = ws1.Batches - ws0.Batches
+	res.MaxGroup = ws1.MaxGroupBatches
+	if res.Txs > 0 {
+		res.FsyncsPerTx = float64(res.WALFsyncs) / float64(res.Txs)
+		res.TxPerSec = float64(res.Txs) / res.Seconds
+	}
+	if res.WALFsyncs > 0 {
+		res.StmtsPerFsync = float64(res.Statements) / float64(res.WALFsyncs)
+	}
+
+	verify := func(d *engine.Database) (bool, error) {
+		for _, name := range append(append([]string{}, names...), "shared") {
+			got, err := d.ReadRelation(ctx, name)
+			if err != nil {
+				return false, err
+			}
+			want, err := oracle.ReadRelation(ctx, name)
+			if err != nil {
+				return false, err
+			}
+			if !got.Equal(want) || !got.EquivalentTo(want) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	live, err := verify(db)
+	if err != nil {
+		db.Close()
+		return res, err
+	}
+	if err := db.Close(); err != nil {
+		return res, err
+	}
+	db2, err := engine.Open(path, engine.WithPoolPages(poolPages))
+	if err != nil {
+		return res, fmt.Errorf("reopen after concurrent tx run: %w", err)
+	}
+	defer db2.Close()
+	reopened, err := verify(db2)
+	if err != nil {
+		return res, err
+	}
+	res.Equivalent = live && reopened
+
+	fmt.Fprintf(w, "D3 — multi-statement transactions (disk mode, explicit Begin/Commit)\n")
+	fmt.Fprintf(w, "  %d clients × %d txs × %d statements (+1 shared statement per 5th tx): %d committed txs (%d statements) in %.3fs (%.0f txs/s), %d wait-die retries\n",
+		res.Clients, res.TxsPerClient, res.StmtsPerTx, res.Txs, res.Statements, res.Seconds, res.TxPerSec, res.Conflicts)
+	fmt.Fprintf(w, "  group commit: %d txs in %d fsyncs → %.3f fsyncs/tx, %.1f statements/fsync (max group %d)\n",
+		res.WALBatches, res.WALFsyncs, res.FsyncsPerTx, res.StmtsPerFsync, res.MaxGroup)
+	fmt.Fprintf(w, "  all relations equivalent to single-threaded oracle (live + reopened): %v\n", res.Equivalent)
+	return res, nil
+}
+
+// runOneTx commits one client transaction: stmtsPerTx statements on the
+// private relation, plus (when shared) one on the shared relation —
+// acquired FIRST, while the transaction holds nothing, so the wait is
+// always legal under wait-die and conflicts stay rare.
+func runOneTx(ctx context.Context, db *engine.Database, name string, rows []tuple.Flat, shared bool) (int, error) {
+	tx, err := db.Begin(ctx)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	if shared {
+		ch, err := tx.Insert("shared", rows[0])
+		if err != nil {
+			tx.Rollback()
+			return 0, err
+		}
+		if ch {
+			n++
+		}
+	}
+	for _, f := range rows {
+		ch, err := tx.Insert(name, f)
+		if err != nil {
+			tx.Rollback()
+			return 0, err
+		}
+		if ch {
+			n++
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,9 +30,34 @@ func (r Result) String() string {
 	return r.Message
 }
 
-// Session executes statements against a database.
+// Execer is the statement target the executor runs DDL/DML/query
+// statements against. Both *engine.Database (every statement
+// autocommits) and *engine.Tx (statements pool under the transaction
+// until Commit) implement it.
+type Execer interface {
+	Create(def engine.RelationDef) error
+	Drop(name string) error
+	Insert(name string, f tuple.Flat) (bool, error)
+	Delete(name string, f tuple.Flat) (bool, error)
+	ReadRelation(ctx context.Context, name string) (*core.Relation, error)
+	Def(name string) (engine.RelationDef, error)
+	Stats(name string) (engine.RelStats, error)
+	ValidateDeps(name string) ([]engine.Violation, error)
+}
+
+var (
+	_ Execer = (*engine.Database)(nil)
+	_ Execer = (*engine.Tx)(nil)
+)
+
+// Session executes statements against a database. BEGIN opens a
+// transaction on the session: every following statement — including
+// STATS and VALIDATE — runs inside it and sees its uncommitted writes,
+// until COMMIT makes them durable as one group-committed batch or
+// ROLLBACK discards them.
 type Session struct {
 	DB *engine.Database
+	tx *engine.Tx
 }
 
 // NewSession creates a session over a fresh in-memory database.
@@ -41,29 +67,116 @@ func NewSession() *Session { return &Session{DB: engine.New()} }
 // example one opened disk-backed with engine.Open).
 func NewSessionOn(db *engine.Database) *Session { return &Session{DB: db} }
 
+// InTx reports whether the session has an open transaction.
+func (s *Session) InTx() bool { return s.tx != nil }
+
+// Close rolls back the session's open transaction, if any.
+func (s *Session) Close() error {
+	if s.tx == nil {
+		return nil
+	}
+	tx := s.tx
+	s.tx = nil
+	return tx.Rollback()
+}
+
+// target is the Execer the next statement runs against.
+func (s *Session) target() Execer {
+	if s.tx != nil {
+		return s.tx
+	}
+	return s.DB
+}
+
 // Exec parses and executes one statement.
 func (s *Session) Exec(stmtText string) (Result, error) {
+	return s.ExecContext(context.Background(), stmtText)
+}
+
+// ExecContext parses and executes one statement under ctx: relation
+// scans behind SELECT/SHOW/NEST/UNNEST/JOIN check it at page-fetch
+// granularity, so cancelling stops a long scan from touching the
+// buffer pool.
+func (s *Session) ExecContext(ctx context.Context, stmtText string) (Result, error) {
 	st, err := Parse(stmtText)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.ExecStmt(st)
+	return s.ExecStmtContext(ctx, st)
 }
 
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(st Stmt) (Result, error) {
+	return s.ExecStmtContext(context.Background(), st)
+}
+
+// ExecStmtContext executes a parsed statement under ctx.
+func (s *Session) ExecStmtContext(ctx context.Context, st Stmt) (Result, error) {
+	switch st.(type) {
+	case BeginStmt:
+		if s.tx != nil {
+			return Result{}, fmt.Errorf("query: transaction already open (COMMIT or ROLLBACK first)")
+		}
+		tx, err := s.DB.Begin(ctx)
+		if err != nil {
+			return Result{}, err
+		}
+		s.tx = tx
+		return Result{Message: "begun"}, nil
+	case CommitStmt:
+		if s.tx == nil {
+			return Result{}, fmt.Errorf("query: no open transaction")
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Commit(); err != nil {
+			return Result{}, err
+		}
+		return Result{Message: "committed"}, nil
+	case RollbackStmt:
+		if s.tx == nil {
+			return Result{}, fmt.Errorf("query: no open transaction")
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Rollback(); err != nil {
+			return Result{}, err
+		}
+		return Result{Message: "rolled back"}, nil
+	}
+	return ExecStmtOn(ctx, s.target(), st)
+}
+
+// ExecOn parses and executes one statement directly against a target —
+// the facade's Tx.Query uses it to run query-language statements
+// inside an explicit transaction. The session-scoped statements
+// BEGIN/COMMIT/ROLLBACK are rejected; use a Session or the Tx handle's
+// own Commit/Rollback.
+func ExecOn(ctx context.Context, target Execer, stmtText string) (Result, error) {
+	st, err := Parse(stmtText)
+	if err != nil {
+		return Result{}, err
+	}
+	return ExecStmtOn(ctx, target, st)
+}
+
+// ExecStmtOn executes a parsed DDL/DML/query statement against target.
+func ExecStmtOn(ctx context.Context, target Execer, st Stmt) (Result, error) {
+	relation := func(name string) (*core.Relation, error) {
+		return target.ReadRelation(ctx, name)
+	}
 	switch st := st.(type) {
 	case CreateStmt:
-		return s.execCreate(st)
+		return execCreate(target, st)
 	case DropStmt:
-		if err := s.DB.Drop(st.Name); err != nil {
+		if err := target.Drop(st.Name); err != nil {
 			return Result{}, err
 		}
 		return Result{Message: fmt.Sprintf("dropped %s", st.Name)}, nil
 	case InsertStmt:
 		n := 0
 		for _, row := range st.Rows {
-			ch, err := s.DB.Insert(st.Name, tuple.Flat(row))
+			ch, err := target.Insert(st.Name, tuple.Flat(row))
 			if err != nil {
 				return Result{}, err
 			}
@@ -75,7 +188,7 @@ func (s *Session) ExecStmt(st Stmt) (Result, error) {
 	case DeleteStmt:
 		n := 0
 		for _, row := range st.Rows {
-			ch, err := s.DB.Delete(st.Name, tuple.Flat(row))
+			ch, err := target.Delete(st.Name, tuple.Flat(row))
 			if err != nil {
 				return Result{}, err
 			}
@@ -85,9 +198,9 @@ func (s *Session) ExecStmt(st Stmt) (Result, error) {
 		}
 		return Result{Message: fmt.Sprintf("deleted %d tuple(s) from %s", n, st.Name)}, nil
 	case SelectStmt:
-		return s.execSelect(st)
+		return execSelect(ctx, target, st)
 	case NestStmt:
-		rel, err := s.relation(st.Name)
+		rel, err := relation(st.Name)
 		if err != nil {
 			return Result{}, err
 		}
@@ -97,7 +210,7 @@ func (s *Session) ExecStmt(st Stmt) (Result, error) {
 		}
 		return Result{Relation: out}, nil
 	case UnnestStmt:
-		rel, err := s.relation(st.Name)
+		rel, err := relation(st.Name)
 		if err != nil {
 			return Result{}, err
 		}
@@ -107,11 +220,11 @@ func (s *Session) ExecStmt(st Stmt) (Result, error) {
 		}
 		return Result{Relation: out}, nil
 	case JoinStmt:
-		l, err := s.relation(st.Left)
+		l, err := relation(st.Left)
 		if err != nil {
 			return Result{}, err
 		}
-		r, err := s.relation(st.Right)
+		r, err := relation(st.Right)
 		if err != nil {
 			return Result{}, err
 		}
@@ -129,13 +242,13 @@ func (s *Session) ExecStmt(st Stmt) (Result, error) {
 		}
 		return Result{Relation: out}, nil
 	case ShowStmt:
-		rel, err := s.relation(st.Name)
+		rel, err := relation(st.Name)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Relation: rel}, nil
 	case StatsStmt:
-		rs, err := s.DB.Stats(st.Name)
+		rs, err := target.Stats(st.Name)
 		if err != nil {
 			return Result{}, err
 		}
@@ -145,7 +258,7 @@ func (s *Session) ExecStmt(st Stmt) (Result, error) {
 			rs.Ops.Compositions, rs.Ops.Decompositions, rs.Ops.CandidateScans)
 		return Result{Message: msg}, nil
 	case ValidateStmt:
-		vs, err := s.DB.ValidateDeps(st.Name)
+		vs, err := target.ValidateDeps(st.Name)
 		if err != nil {
 			return Result{}, err
 		}
@@ -163,15 +276,7 @@ func (s *Session) ExecStmt(st Stmt) (Result, error) {
 	}
 }
 
-// relation fetches the named relation for evaluation. On a disk-backed
-// database this scans the relation's heap chain through the buffer
-// pool, so queries exercise the paged realization rather than the
-// maintainer's in-memory working set.
-func (s *Session) relation(name string) (*core.Relation, error) {
-	return s.DB.ReadRelation(name)
-}
-
-func (s *Session) execCreate(st CreateStmt) (Result, error) {
+func execCreate(target Execer, st CreateStmt) (Result, error) {
 	attrs := make([]schema.Attribute, len(st.Attrs))
 	for i, a := range st.Attrs {
 		attrs[i] = schema.Attribute{Name: a.Name, Kind: a.Kind}
@@ -194,16 +299,16 @@ func (s *Session) execCreate(st CreateStmt) (Result, error) {
 	for _, m := range st.MVDs {
 		def.MVDs = append(def.MVDs, dep.NewMVD(m[0], m[1]))
 	}
-	if err := s.DB.Create(def); err != nil {
+	if err := target.Create(def); err != nil {
 		return Result{}, err
 	}
-	rdef, _ := s.DB.Rel(st.Name)
+	rdef, _ := target.Def(st.Name)
 	return Result{Message: fmt.Sprintf("created %s%v with nest order %v",
-		st.Name, sch, rdef.Def().Order.Names(sch))}, nil
+		st.Name, sch, rdef.Order.Names(sch))}, nil
 }
 
-func (s *Session) execSelect(st SelectStmt) (Result, error) {
-	rel, err := s.relation(st.Name)
+func execSelect(ctx context.Context, target Execer, st SelectStmt) (Result, error) {
+	rel, err := target.ReadRelation(ctx, st.Name)
 	if err != nil {
 		return Result{}, err
 	}
@@ -221,11 +326,11 @@ func (s *Session) execSelect(st SelectStmt) (Result, error) {
 	if _, err := pred.Eval(rel.Schema(), tuple.MustNew(probe...)); err != nil {
 		return Result{}, err
 	}
-	r, err := s.DB.Rel(st.Name)
+	def, err := target.Def(st.Name)
 	if err != nil {
 		return Result{}, err
 	}
-	order := r.Def().Order
+	order := def.Order
 
 	var filtered *core.Relation
 	if st.Flat {

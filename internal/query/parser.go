@@ -73,6 +73,15 @@ type StatsStmt struct{ Name string }
 // ValidateStmt checks declared dependencies.
 type ValidateStmt struct{ Name string }
 
+// BeginStmt starts a multi-statement transaction on the session.
+type BeginStmt struct{}
+
+// CommitStmt commits the session's open transaction.
+type CommitStmt struct{}
+
+// RollbackStmt rolls back the session's open transaction.
+type RollbackStmt struct{}
+
 func (CreateStmt) stmt()   {}
 func (DropStmt) stmt()     {}
 func (InsertStmt) stmt()   {}
@@ -84,6 +93,9 @@ func (JoinStmt) stmt()     {}
 func (ShowStmt) stmt()     {}
 func (StatsStmt) stmt()    {}
 func (ValidateStmt) stmt() {}
+func (BeginStmt) stmt()    {}
+func (CommitStmt) stmt()   {}
+func (RollbackStmt) stmt() {}
 
 type parser struct {
 	toks []token
@@ -220,6 +232,12 @@ func (p *parser) parseStmt() (Stmt, error) {
 			return nil, err
 		}
 		return ValidateStmt{Name: name}, nil
+	case p.matchKw("begin"):
+		return BeginStmt{}, nil
+	case p.matchKw("commit"):
+		return CommitStmt{}, nil
+	case p.matchKw("rollback"):
+		return RollbackStmt{}, nil
 	default:
 		return nil, fmt.Errorf("query: unknown statement start %q at %d", p.peek().text, p.peek().pos)
 	}

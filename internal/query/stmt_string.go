@@ -114,3 +114,6 @@ func (s StatsStmt) String() string  { return "stats " + s.Name }
 func (s ValidateStmt) String() string {
 	return "validate " + s.Name
 }
+func (BeginStmt) String() string    { return "begin" }
+func (CommitStmt) String() string   { return "commit" }
+func (RollbackStmt) String() string { return "rollback" }

@@ -44,6 +44,14 @@ type PoolStats struct {
 // unpinned frame and the pool (in WAL mode) should grow instead.
 var errNoCleanVictim = errors.New("storage: no clean eviction victim")
 
+// ErrWriteThroughFailed marks a commit whose batch IS durable in the
+// log (the commit fsync succeeded) but whose data-file write-through
+// failed. The transaction's frames stay dirty and owned; retrying the
+// commit relogs and rewrites them idempotently. Callers deciding
+// between retry and rollback must know this case: rolling back after
+// it leaves a committed batch in the log that recovery would replay.
+var ErrWriteThroughFailed = errors.New("storage: write-through after commit failed")
+
 // commitReq is one transaction waiting in the group-commit queue.
 type commitReq struct {
 	txn    *Txn
@@ -468,7 +476,7 @@ func (bp *BufferPool) commitGroup(group []*commitReq) {
 	for _, req := range group {
 		for _, fr := range req.frames {
 			if err := bp.pager.Write(fr.pid, &fr.page); err != nil && req.err == nil {
-				req.err = fmt.Errorf("storage: write-through after commit: %w", err)
+				req.err = fmt.Errorf("%w: %v", ErrWriteThroughFailed, err)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -166,13 +167,53 @@ func (h *HeapFile) Delete(txn *Txn, rid RID) error {
 	return uerr
 }
 
+// Rewind recomputes the chain's insertion target by walking the next
+// pointers from the first page. A transaction rollback can discard a
+// freshly chained tail page from the pool, leaving the cached last
+// pointer naming a page that is no longer on the chain; callers
+// restoring in-memory state after a rollback re-walk here.
+func (h *HeapFile) Rewind() error {
+	pid := h.first
+	seen := make(map[uint32]bool)
+	for {
+		if seen[pid] {
+			return fmt.Errorf("%w: page %d revisited", ErrChainCycle, pid)
+		}
+		seen[pid] = true
+		fr, err := h.bp.Get(pid)
+		if err != nil {
+			return err
+		}
+		next := fr.Page().Next()
+		if err := h.bp.Unpin(fr, false); err != nil {
+			return err
+		}
+		if next == 0 {
+			h.last = pid
+			return nil
+		}
+		pid = next
+	}
+}
+
 // Scan calls fn for every live record in the heap in chain order,
 // stopping early when fn returns false. The record slice is only valid
 // during the call.
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
+	return h.ScanCtx(context.Background(), fn)
+}
+
+// ScanCtx is Scan with cancellation checked at page-fetch granularity:
+// before each page is pulled through the buffer pool the context is
+// consulted, so a cancelled scan stops touching the pool immediately
+// instead of walking the rest of the chain.
+func (h *HeapFile) ScanCtx(ctx context.Context, fn func(rid RID, rec []byte) bool) error {
 	pid := h.first
 	seen := make(map[uint32]bool)
 	for pid != 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if seen[pid] {
 			return fmt.Errorf("%w: page %d revisited", ErrChainCycle, pid)
 		}

@@ -76,16 +76,22 @@ func (s *Store) loadFreeList() error {
 	return badRec
 }
 
-// freePages appends the given page ids to the free list under txn,
-// waiting for the free list's current owner (if another transaction) to
-// commit first. Called with s.mu held on the drop path; failures leave
-// the remaining pages orphaned (the pre-free-list behaviour), never
+// freePages appends the given page ids to the free list under txn.
+// When the free list is owned by a DIFFERENT uncommitted transaction
+// the pages are left orphaned instead of waiting: the owner may be a
+// long-lived engine transaction that commits minutes from now, and
+// freePages runs with s.mu held on the drop path, so waiting here would
+// stall every catalog lookup behind a user's open Tx (and could form a
+// wait cycle the engine's latch ordering cannot see). Orphaned pages
+// are the documented degraded mode — unreferenced and checksum-valid,
+// reclaimed by the orphan sweep on the next open (see sweepOrphans).
+// Failures mid-append leave the remaining pages orphaned too, never
 // double-owned.
 func (s *Store) freePages(txn *Txn, pids []uint32) error {
 	s.freeMu.Lock()
 	defer s.freeMu.Unlock()
-	for s.freeOwner != nil && s.freeOwner != txn {
-		s.freeCond.Wait()
+	if s.freeOwner != nil && s.freeOwner != txn {
+		return nil
 	}
 	s.freeOwner = txn
 	for _, pid := range pids {
@@ -147,4 +153,62 @@ func (s *Store) FreePages() int {
 	s.freeMu.Lock()
 	defer s.freeMu.Unlock()
 	return len(s.free)
+}
+
+// sweepOrphans runs at open, after the catalog and free list are
+// loaded: every allocated page that is referenced by NO chain — not
+// the catalog's, not the free list's, not any relation heap's, and not
+// already a free-list entry — is pushed onto the free list and
+// committed as one batch. Orphans are the bounded residue of the
+// degraded paths that trade leakage for progress (a drop while another
+// transaction owned the free list, an aborted create's allocations, a
+// rolled-back transaction's file growth); because they are
+// unreferenced in the committed state, re-owning them here can never
+// conflict with live data, and a crash mid-sweep just re-runs it on
+// the next open. A clean database sweeps nothing and writes nothing.
+func (s *Store) sweepOrphans() error {
+	ref := make(map[uint32]bool)
+	chains := [][]uint32{}
+	catPages, err := s.catalog.Pages()
+	if err != nil {
+		return fmt.Errorf("%w: sweeping catalog chain: %v", ErrCorrupt, err)
+	}
+	chains = append(chains, catPages)
+	freePages, err := s.freeHeap.Pages()
+	if err != nil {
+		return fmt.Errorf("%w: sweeping free-list chain: %v", ErrCorrupt, err)
+	}
+	chains = append(chains, freePages)
+	for name, rs := range s.rels {
+		pids, err := rs.heap.Pages()
+		if err != nil {
+			return fmt.Errorf("%w: sweeping chain of %q: %v", ErrCorrupt, name, err)
+		}
+		chains = append(chains, pids)
+	}
+	for _, pids := range chains {
+		for _, pid := range pids {
+			ref[pid] = true
+		}
+	}
+	for _, e := range s.free {
+		ref[e.pid] = true
+	}
+	var orphans []uint32
+	for pid := uint32(1); pid <= s.pager.NumPages(); pid++ {
+		if !ref[pid] {
+			orphans = append(orphans, pid)
+		}
+	}
+	if len(orphans) == 0 {
+		return nil
+	}
+	txn := s.Begin()
+	if err := s.freePages(txn, orphans); err != nil {
+		// reclaiming is an optimization; a failure just leaves the
+		// orphans for the next open
+		s.Rollback(txn)
+		return nil
+	}
+	return s.Commit(txn)
 }

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -40,6 +42,7 @@ type RelStore struct {
 	fixed *storage.HashIndex // determinant atom -> RID
 	count int
 	cur   *Txn  // open statement transaction (between brackets)
+	ext   bool  // cur is owned by an engine-level multi-statement Tx
 	err   error // first write-through failure
 }
 
@@ -65,7 +68,7 @@ func openRelStore(s *Store, ce catalogEntry) (*RelStore, error) {
 	}
 	rs := newRelStore(s, ce.def, heap, ce.rid)
 	var dupErr error
-	if err := rs.scanRaw(func(rid storage.RID, t tuple.Tuple) bool {
+	if err := rs.scanRaw(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
 		// The engine never writes the same tuple twice; a duplicate
 		// record would make deletes leave a stale copy behind, so it is
 		// corruption, not data.
@@ -200,6 +203,59 @@ func (r *RelStore) StatementBegin() {
 	}
 }
 
+// UseTxn puts the relation store into external-transaction mode: every
+// write-through between now and ReleaseTxn is attributed to txn, and
+// the BatchSink brackets stop owning the commit boundary (StatementEnd
+// becomes a no-op). The engine's multi-statement Tx uses this so the
+// adds and drops of MANY statements pool under one transaction and
+// group-commit together at Tx.Commit.
+func (r *RelStore) UseTxn(txn *Txn) {
+	r.mu.Lock()
+	r.cur = txn
+	r.ext = true
+	r.mu.Unlock()
+}
+
+// ReleaseTxn leaves external-transaction mode (after the owning Tx
+// committed or rolled back); the BatchSink brackets own the commit
+// boundary again.
+func (r *RelStore) ReleaseTxn() {
+	r.mu.Lock()
+	r.cur = nil
+	r.ext = false
+	r.mu.Unlock()
+}
+
+// Reindex rebuilds the in-memory derived state — the heap's cached
+// insertion target and both hash indexes — from the heap's current
+// pages, returning the relation materialized by the same single scan
+// (the engine's rollback resets the maintainer from it, so the heap is
+// walked once, not twice). A transaction rollback discards uncommitted
+// frames from the pool, reverting the heap to its last committed
+// content; this brings the in-memory mirrors back in line with it.
+func (r *RelStore) Reindex() (*core.Relation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.heap.Rewind(); err != nil {
+		return nil, err
+	}
+	r.rids = storage.NewHashIndex()
+	r.fixed = storage.NewHashIndex()
+	r.count = 0
+	r.cur = nil
+	r.ext = false
+	r.err = nil
+	rel := core.NewRelation(r.def.Schema)
+	if err := r.scanRawLocked(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
+		r.indexTuple(t, rid)
+		rel.Add(t)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
 // StatementEnd implements update.BatchSink: the group-commit point. All
 // pages the statement dirtied go to the WAL as one batch — merged with
 // concurrently committing statements on other relations into a single
@@ -212,10 +268,14 @@ func (r *RelStore) StatementBegin() {
 // engine's rollback then repairs them in place via Replace, and the
 // repaired state commits as one batch — a crash anywhere in between
 // recovers the pre-statement state, never a mix.
+//
+// In external-transaction mode (UseTxn) the bracket does not own the
+// commit boundary: the statement's pages stay pooled under the
+// engine-level transaction until its Commit.
 func (r *RelStore) StatementEnd() {
 	r.mu.Lock()
 	txn := r.cur
-	failed := r.err != nil
+	failed := r.err != nil || r.ext
 	r.mu.Unlock()
 	if failed || txn == nil {
 		return
@@ -285,16 +345,16 @@ func (r *RelStore) setErrLocked(err error) {
 // scanRaw decodes every live record in chain order, reporting rids.
 // r.mu is held for the whole walk so readers never observe page bytes
 // mid-mutation from a concurrent write-through.
-func (r *RelStore) scanRaw(fn func(rid storage.RID, t tuple.Tuple) bool) error {
+func (r *RelStore) scanRaw(ctx context.Context, fn func(rid storage.RID, t tuple.Tuple) bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.scanRawLocked(fn)
+	return r.scanRawLocked(ctx, fn)
 }
 
-func (r *RelStore) scanRawLocked(fn func(rid storage.RID, t tuple.Tuple) bool) error {
+func (r *RelStore) scanRawLocked(ctx context.Context, fn func(rid storage.RID, t tuple.Tuple) bool) error {
 	deg := r.def.Schema.Degree()
 	var decodeErr error
-	err := r.heap.Scan(func(rid storage.RID, rec []byte) bool {
+	err := r.heap.ScanCtx(ctx, func(rid storage.RID, rec []byte) bool {
 		t, n, err := encoding.DecodeTuple(rec)
 		if err != nil {
 			decodeErr = fmt.Errorf("%w: record %v of %q: %v", ErrCorrupt, rid, r.def.Name, err)
@@ -307,6 +367,11 @@ func (r *RelStore) scanRawLocked(fn func(rid storage.RID, t tuple.Tuple) bool) e
 		return fn(rid, t)
 	})
 	if err != nil {
+		// a cancelled scan is the caller's context speaking, not a
+		// malformed file
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			return err
+		}
 		return fmt.Errorf("%w: scanning %q: %v", ErrCorrupt, r.def.Name, err)
 	}
 	return decodeErr
@@ -315,13 +380,20 @@ func (r *RelStore) scanRawLocked(fn func(rid storage.RID, t tuple.Tuple) bool) e
 // Scan calls fn for every stored tuple in heap order, reading pages
 // through the shared buffer pool. fn returning false stops the scan.
 func (r *RelStore) Scan(fn func(t tuple.Tuple) bool) error {
-	return r.scanRaw(func(_ storage.RID, t tuple.Tuple) bool { return fn(t) })
+	return r.scanRaw(context.Background(), func(_ storage.RID, t tuple.Tuple) bool { return fn(t) })
 }
 
 // Load materializes the stored relation by scanning its heap.
 func (r *RelStore) Load() (*core.Relation, error) {
+	return r.LoadCtx(context.Background())
+}
+
+// LoadCtx is Load with cancellation checked at page-fetch granularity:
+// a cancelled context stops the heap walk before the next page is
+// pulled through the buffer pool.
+func (r *RelStore) LoadCtx(ctx context.Context) (*core.Relation, error) {
 	rel := core.NewRelation(r.def.Schema)
-	if err := r.Scan(func(t tuple.Tuple) bool {
+	if err := r.scanRaw(ctx, func(_ storage.RID, t tuple.Tuple) bool {
 		rel.Add(t)
 		return true
 	}); err != nil {

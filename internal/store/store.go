@@ -95,6 +95,11 @@ type Options struct {
 	// 0 = DefaultCheckpointBytes, negative = only checkpoint on
 	// Flush/Close.
 	CheckpointBytes int64
+	// NoSweep suppresses the open-time orphan-page sweep — the only
+	// NON-recovery write Open performs. Read-only and load-once callers
+	// set it so opening a cleanly-closed file never mutates it (crash
+	// recovery, when the file demands it, still writes).
+	NoSweep bool
 }
 
 // Store is one paged database file: a catalog of relation stores
@@ -257,7 +262,8 @@ func Open(path string, opts Options) (*Store, error) {
 		rels: make(map[string]*RelStore),
 	}
 	s.freeCond = sync.NewCond(&s.freeMu)
-	if pg.NumPages() == 0 {
+	existing := pg.NumPages() > 0
+	if !existing {
 		if err := s.initFile(); err != nil {
 			s.Discard()
 			return nil, err
@@ -280,6 +286,14 @@ func Open(path string, opts Options) (*Store, error) {
 			ErrMispaired, s.dbid, wal.DBID())
 	}
 	wal.SetDBID(s.dbid)
+	// Reclaim pages the degraded paths orphaned (after SetDBID, so a
+	// sweep that creates the sidecar stamps the right database id).
+	if existing && !opts.NoSweep {
+		if err := s.sweepOrphans(); err != nil {
+			s.Discard()
+			return nil, err
+		}
+	}
 	// Recycling starts only now: nothing above may hand out free pages,
 	// and the open-phase I/O is bucketed away from steady-state stats.
 	bp.SetAllocator(s.recycle)
@@ -483,8 +497,8 @@ func (s *Store) DropRelation(txn *Txn, name string) error {
 		return err
 	}
 	if err := s.freePages(txn, pids); err != nil {
-		// the relation is gone either way; the unfreed pages leak until
-		// the next Save snapshot compacts the file
+		// the relation is gone either way; the unfreed pages are
+		// orphaned until the next open's sweep reclaims them
 		return nil
 	}
 	return nil
@@ -498,6 +512,14 @@ func (s *Store) CompleteDrop(name string) {
 	s.mu.Unlock()
 }
 
+// ForgetRelation discards the in-memory entry of a relation whose
+// creation was rolled back. Unlike AbortCreate it does not touch the
+// transaction: the engine's multi-statement rollback calls Rollback
+// once for the whole transaction and then forgets each pending create.
+func (s *Store) ForgetRelation(name string) {
+	s.CompleteDrop(name)
+}
+
 // Rollback discards the transaction's uncommitted page mutations: its
 // dirty frames are dropped from the pool (the next read sees the last
 // committed state — no-steal guarantees nothing uncommitted reached
@@ -508,6 +530,15 @@ func (s *Store) CompleteDrop(name string) {
 // never wedge page ownership or leak half-applied catalog state.
 func (s *Store) Rollback(txn *Txn) error {
 	err := s.bp.Rollback(txn)
+	// The rolled-back transaction may have chained fresh pages onto the
+	// catalog heap (CreateRelation) whose frames are now discarded;
+	// re-walk the chain so the cached insertion target never names a
+	// page that is no longer linked.
+	s.mu.Lock()
+	if rerr := s.catalog.Rewind(); rerr != nil && err == nil {
+		err = rerr
+	}
+	s.mu.Unlock()
 	s.freeMu.Lock()
 	defer s.freeMu.Unlock()
 	if s.freeOwner != txn {
@@ -516,6 +547,9 @@ func (s *Store) Rollback(txn *Txn) error {
 	s.freeOwner = nil
 	s.freeCond.Broadcast()
 	s.free = s.free[:0]
+	if rerr := s.freeHeap.Rewind(); rerr != nil && err == nil {
+		err = rerr
+	}
 	if scanErr := s.freeHeap.Scan(func(rid storage.RID, rec []byte) bool {
 		if len(rec) == 4 {
 			s.free = append(s.free, freeEntry{pid: binary.LittleEndian.Uint32(rec), rid: rid})
@@ -529,9 +563,9 @@ func (s *Store) Rollback(txn *Txn) error {
 
 // AbortCreate unwinds a CreateRelation whose commit failed: the
 // in-memory catalog entry is forgotten and the transaction's pages are
-// rolled back. Pages the pager allocated for the aborted heap leak
-// (unreferenced, checksum-valid) until a Save snapshot compacts the
-// file — the same bounded cost as any uncommitted allocation.
+// rolled back. Pages the pager allocated for the aborted heap are
+// orphaned (unreferenced, checksum-valid) until the next open's sweep
+// reclaims them — the same bounded cost as any uncommitted allocation.
 func (s *Store) AbortCreate(txn *Txn, name string) error {
 	s.mu.Lock()
 	delete(s.rels, name)

@@ -258,3 +258,89 @@ func TestCatalogRecordRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepReclaimsOrphanedPages: a drop that runs while ANOTHER
+// transaction owns the free list leaves its chain orphaned (freePages
+// refuses to wait — see freelist.go); the next open's sweep must find
+// the unreferenced pages and put them back on the free list.
+func TestSweepReclaimsOrphanedPages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.nfrs")
+	st, err := Open(path, Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := testDef(t)
+	setup := st.Begin()
+	rs, err := st.CreateRelation(setup, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// several fat records so the chain spans multiple pages
+	pad := make([]byte, 900)
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	for i := 0; i < 8; i++ {
+		tp := tupleOf([][]string{
+			{string(pad) + string(rune('a'+i))}, {"b"}, {string(rune('s' + i))},
+		}, def.Order)
+		if err := rs.Insert(setup, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+	chain, err := rs.heap.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) < 2 {
+		t.Fatalf("chain has %d page(s); need ≥ 2 for a meaningful sweep", len(chain))
+	}
+
+	// another transaction owns the free list while the drop commits
+	owner := st.Begin()
+	if err := st.freePages(owner, nil); err != nil {
+		t.Fatal(err)
+	}
+	drop := st.Begin()
+	if err := st.DropRelation(drop, def.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(drop); err != nil {
+		t.Fatal(err)
+	}
+	st.CompleteDrop(def.Name)
+	if got := st.FreePages(); got != 0 {
+		t.Fatalf("drop under foreign free-list ownership freed %d page(s), want 0 (orphaned)", got)
+	}
+	if err := st.Commit(owner); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// reopen: the sweep reclaims exactly the orphaned chain
+	st2, err := Open(path, Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.FreePages(); got < len(chain) {
+		t.Fatalf("sweep reclaimed %d page(s), want ≥ %d (the orphaned chain)", got, len(chain))
+	}
+	// a clean reopen sweeps nothing further
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(path, Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if got, want := st3.FreePages(), st2.FreePages(); got != want {
+		t.Fatalf("second sweep changed the free list: %d vs %d", got, want)
+	}
+}

@@ -204,6 +204,19 @@ func FromRelationIndexed(r *core.Relation, order schema.Permutation) (*Maintaine
 // modify it; Clone before mutating.
 func (m *Maintainer) Relation() *core.Relation { return m.rel }
 
+// ResetRelation replaces the maintained relation with rel — which must
+// already be in canonical form for the maintainer's nest order — and
+// rebuilds the posting-list indexes from it. The sink is NOT notified:
+// the engine's transaction rollback uses this after the storage layer
+// has already discarded the uncommitted heap mutations, so memory and
+// disk converge on the same pre-transaction state.
+func (m *Maintainer) ResetRelation(rel *core.Relation) {
+	m.rel = rel
+	if m.firstIdx != nil {
+		m.enableIndex()
+	}
+}
+
 // Order returns the nest order.
 func (m *Maintainer) Order() schema.Permutation { return m.order }
 

@@ -32,11 +32,23 @@
 //	})
 //	db.Insert("enrollment", nfr.Row("s1", "c1", "b1"))
 //
+// Multi-statement transactions (docs/api.md has the full lifecycle,
+// option, context, and error-taxonomy reference plus a migration
+// table):
+//
+//	db, _ := nfr.Open(path, nfr.WithPoolPages(256))
+//	tx, _ := nfr.Begin(ctx, db)
+//	tx.Insert("enrollment", nfr.Row("s9", "c1", "b2"))
+//	tx.Insert("enrollment", nfr.Row("s9", "c2", "b2"))
+//	if err := tx.Commit(); err != nil { ... } // one fsync for both
+//
 // See examples/ for runnable programs and internal/experiments for the
 // paper-reproduction harness.
 package nfr
 
 import (
+	"context"
+
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/dep"
@@ -104,16 +116,81 @@ const (
 	MN     = core.MN
 )
 
+// Option configures Open (see docs/api.md).
+type Option = engine.Option
+
+// Open options.
+var (
+	// WithPoolPages sets the buffer-pool capacity in pages.
+	WithPoolPages = engine.WithPoolPages
+	// WithCheckpointBytes sets the WAL size that triggers an automatic
+	// checkpoint (negative = only on Flush/Close).
+	WithCheckpointBytes = engine.WithCheckpointBytes
+	// WithReadOnly rejects every mutation with ErrReadOnly.
+	WithReadOnly = engine.WithReadOnly
+)
+
+// The error taxonomy: every error the engine returns wraps one of
+// these sentinels, so callers branch with errors.Is/As instead of
+// matching message strings. See docs/api.md for the full table.
+var (
+	ErrNotFound     = engine.ErrNotFound
+	ErrExists       = engine.ErrExists
+	ErrTypeMismatch = engine.ErrTypeMismatch
+	ErrTxDone       = engine.ErrTxDone
+	ErrTxConflict   = engine.ErrTxConflict
+	ErrReadOnly     = engine.ErrReadOnly
+	ErrClosed       = engine.ErrClosed
+	ErrCorrupt      = engine.ErrCorrupt
+	ErrMispaired    = engine.ErrMispaired
+)
+
 // NewDatabase creates an empty in-memory database.
 func NewDatabase() *Database { return engine.New() }
 
-// OpenDatabase opens (or creates) a disk-backed database in the single
-// paged file at path: relations live in heap chains behind a buffer
-// pool, every canonical-form update is written through as one
-// group-committed WAL batch per statement, and opening a crashed file
-// replays its log (docs/recovery.md). Close it to checkpoint. See
-// docs/storage.md.
+// Open opens (or creates) a disk-backed database in the single paged
+// file at path: relations live in heap chains behind a buffer pool,
+// every canonical-form update is written through under its
+// transaction and group-committed as one WAL batch, and opening a
+// crashed file replays its log (docs/recovery.md). Close it to
+// checkpoint. Options tune the pool, the checkpoint policy, and the
+// access mode — see docs/api.md and docs/storage.md.
+func Open(path string, opts ...Option) (*Database, error) { return engine.Open(path, opts...) }
+
+// OpenDatabase opens a disk-backed database with default options.
+//
+// Deprecated: use Open(path).
 func OpenDatabase(path string) (*Database, error) { return engine.Open(path) }
+
+// Tx is a multi-statement transaction handle: Insert, InsertMany,
+// Delete, Create, Drop, ReadRelation and Query statements pool under
+// one storage transaction; Commit makes them durable as ONE
+// group-committed WAL batch (one fsync) and Rollback discards them,
+// returning the database to its pre-Begin state. After either, every
+// method returns ErrTxDone. See docs/api.md.
+type Tx struct {
+	*engine.Tx
+}
+
+// Begin starts a multi-statement transaction on db. The context
+// governs the transaction's lifetime: statements fail once it is
+// cancelled, and relation scans check it at page-fetch granularity.
+func Begin(ctx context.Context, db *Database) (*Tx, error) {
+	tx, err := db.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{Tx: tx}, nil
+}
+
+// Query parses and executes one NF² query-language statement inside
+// the transaction: DML statements pool under it, and query statements
+// (including STATS and VALIDATE) see its uncommitted writes. The
+// session-scoped statements BEGIN/COMMIT/ROLLBACK are rejected — use
+// the handle's Commit/Rollback, or a Session.
+func (tx *Tx) Query(ctx context.Context, stmtText string) (Result, error) {
+	return query.ExecOn(ctx, tx.Tx, stmtText)
+}
 
 // LoadDatabase reads a paged database file saved with Database.Save
 // into an in-memory database (no live file attachment).
@@ -121,6 +198,11 @@ func LoadDatabase(path string) (*Database, error) { return engine.Load(path) }
 
 // NewSession creates a query-language session over a fresh database.
 func NewSession() *Session { return query.NewSession() }
+
+// NewSessionOn creates a query-language session over an existing
+// database (for example one opened with Open). BEGIN/COMMIT/ROLLBACK
+// statements manage a transaction on the session.
+func NewSessionOn(db *Database) *Session { return query.NewSessionOn(db) }
 
 // MustSchema builds an untyped schema from attribute names; it panics
 // on duplicates.
