@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	nfr-bench [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk|concurrent [clients [perClient]]]
+//	nfr-bench [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk|reopen|concurrent [clients [perClient]]]
 //
 // The disk experiment drives the enrollment workload through the
 // disk-backed engine (paged file + WAL + buffer pool) and reports pool
 // hit/miss rates, group-commit fsyncs per statement (must be ≤ 1),
-// crash-recovery replay, and realization equivalence. The concurrent
+// crash-recovery replay, and realization equivalence. The reopen
+// experiment measures the open-phase page reads of a clean database
+// and fails if an open ever scans a full heap (the durable hash index
+// must keep opens bounded by catalog + index metadata). The concurrent
 // experiment runs N client goroutines issuing disk-mode statements in
 // parallel and asserts the merged group commit amortizes fsyncs below
 // one per statement.
@@ -79,6 +82,24 @@ func main() {
 			os.Exit(1)
 		}
 		if err := runConcurrentTx(w, clients, perClient); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "reopen":
+		if err := inTempDir("nfr-bench-reopen", func(dir string) error {
+			res, err := experiments.RunReopen(w, dir, 73, 2500, 64)
+			if err != nil {
+				return err
+			}
+			if !res.IndexOK {
+				return fmt.Errorf("durable index diverged from the heap-rebuilt oracle")
+			}
+			if !res.Bounded {
+				return fmt.Errorf("clean open scanned the heap: %d page reads (budget %d, heap %d pages)",
+					res.OpenReads, res.Budget, res.HeapPages)
+			}
+			return nil
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

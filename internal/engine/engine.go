@@ -146,8 +146,11 @@ func New() *Database {
 //
 //	db, err := engine.Open(path, engine.WithPoolPages(256))
 //
-// Every relation found in the file is loaded by scanning its heap
-// through the buffer pool; the maintainers then write all further
+// The store attaches each relation to its durable hash indexes without
+// scanning (store.OpenIOStats stays bounded by catalog + index
+// metadata); the engine then materializes each relation's canonical
+// form by one heap scan through the buffer pool — the Section-4 update
+// algorithms need it resident — and the maintainers write all further
 // mutations through to the store.
 func Open(path string, opts ...Option) (*Database, error) {
 	var cfg openConfig
@@ -201,9 +204,23 @@ func OpenWith(path string, poolPages int) (*Database, error) {
 // leave the file untouched.
 func (db *Database) attach(rs *store.RelStore, txn *store.Txn) error {
 	sdef := rs.Def()
-	rel, err := rs.Load()
-	if err != nil {
+	// Materialize by scanning, refusing duplicate records as we go: the
+	// store's fast open no longer scans the heap, so this load is where
+	// a heap holding the same encoded tuple twice (external damage — a
+	// delete would leave a stale ghost copy) gets its fail-stop.
+	rel := core.NewRelation(sdef.Schema)
+	var dup error
+	if err := rs.Scan(func(t tuple.Tuple) bool {
+		if !rel.Add(t) {
+			dup = fmt.Errorf("%w: duplicate record in %q", store.ErrCorrupt, sdef.Name)
+			return false
+		}
+		return true
+	}); err != nil {
 		return err
+	}
+	if dup != nil {
+		return dup
 	}
 	def := RelationDef{Name: sdef.Name, Schema: sdef.Schema, Order: sdef.Order, FDs: sdef.FDs, MVDs: sdef.MVDs}
 	m, err := update.FromRelationIndexed(rel, def.Order)
@@ -308,14 +325,30 @@ func (db *Database) PoolStats() (hits, misses, evictions int, ok bool) {
 	return hits, misses, evictions, true
 }
 
-// OpenIOStats reports the buffer-pool counters consumed by Open itself
-// (WAL replay, catalog load, hash-index rebuild) for a disk-backed
-// database; ok is false in memory mode.
+// OpenIOStats reports the buffer-pool counters consumed by store.Open
+// itself (WAL replay, catalog load, index attach — and, for legacy v2
+// files, the one-time index rebuild) for a disk-backed database; ok is
+// false in memory mode. On a clean v3 file the bucket is bounded by
+// catalog + index metadata, never the heap size.
 func (db *Database) OpenIOStats() (st storage.PoolStats, ok bool) {
 	if db.st == nil {
 		return storage.PoolStats{}, false
 	}
 	return db.st.OpenIOStats(), true
+}
+
+// VerifyIndexes checks every relation's durable hash indexes against a
+// fresh heap scan — the rebuild oracle (see store.VerifyIndexes) — on
+// a disk-backed database. It performs no writes and is a no-op in
+// memory mode.
+func (db *Database) VerifyIndexes() error {
+	if db.isClosed() {
+		return fmt.Errorf("engine: verify indexes: %w", ErrClosed)
+	}
+	if db.st == nil {
+		return nil
+	}
+	return db.st.VerifyIndexes()
 }
 
 // WALStats reports write-ahead-log activity (batches, page images,

@@ -283,3 +283,21 @@ func TestRunConcurrent(t *testing.T) {
 	}
 	// merging itself is timing-dependent — only the ceiling is asserted
 }
+
+func TestRunReopen(t *testing.T) {
+	res, err := RunReopen(io.Discard, t.TempDir(), 7, 1200, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IndexOK {
+		t.Error("durable index diverged from heap oracle")
+	}
+	if !res.Bounded {
+		t.Errorf("clean open not bounded: %d reads, budget %d, heap %d pages",
+			res.OpenReads, res.Budget, res.HeapPages)
+	}
+	if res.OracleReads <= res.OpenReads {
+		t.Errorf("oracle pass (%d reads) should dwarf the fast open (%d reads)",
+			res.OracleReads, res.OpenReads)
+	}
+}

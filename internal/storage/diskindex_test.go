@@ -1,0 +1,224 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// newTestPool builds a legacy (no-WAL) pool over a real temp file; in
+// legacy mode mutations run with a nil transaction, which keeps these
+// unit tests focused on the index structure itself (transactional
+// behaviour is covered by the store and engine crash harnesses).
+func newTestPool(t *testing.T, pages int) (*BufferPool, func() error) {
+	t.Helper()
+	pg, err := OpenPager(filepath.Join(t.TempDir(), "ix.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := NewBufferPool(pg, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp, bp.Flush
+}
+
+func mustPut(t *testing.T, ix *DiskHashIndex, key string, rid RID) {
+	t.Helper()
+	if err := ix.Put(nil, []byte(key), rid); err != nil {
+		t.Fatalf("Put(%q, %v): %v", key, rid, err)
+	}
+}
+
+func TestDiskIndexPutGetDeleteReopen(t *testing.T) {
+	bp, flush := newTestPool(t, 8)
+	ix, err := CreateDiskIndex(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		mustPut(t, ix, fmt.Sprintf("key-%04d", i), RID{Page: uint32(i + 1), Slot: uint16(i % 7)})
+	}
+	// duplicate keys map to several rids
+	mustPut(t, ix, "key-0001", RID{Page: 9999, Slot: 3})
+	if got := ix.Len(); got != n+1 {
+		t.Fatalf("Len = %d, want %d", got, n+1)
+	}
+	if ix.Buckets() <= indexInitBuckets {
+		t.Fatalf("no splits after %d inserts (%d buckets)", n, ix.Buckets())
+	}
+	probe := func(ix *DiskHashIndex, label string) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			rids, err := ix.Get([]byte(fmt.Sprintf("key-%04d", i)))
+			if err != nil {
+				t.Fatalf("%s: Get key-%04d: %v", label, i, err)
+			}
+			want := 1
+			if i == 1 {
+				want = 2
+			}
+			if len(rids) != want {
+				t.Fatalf("%s: Get key-%04d = %v, want %d rid(s)", label, i, rids, want)
+			}
+			found := false
+			for _, r := range rids {
+				if r == (RID{Page: uint32(i + 1), Slot: uint16(i % 7)}) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: key-%04d lost its rid: %v", label, i, rids)
+			}
+		}
+		if rids, _ := ix.Get([]byte("absent")); len(rids) != 0 {
+			t.Fatalf("%s: absent key returned %v", label, rids)
+		}
+	}
+	probe(ix, "live")
+
+	// reopen: attach reads only the directory, answers stay identical
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := OpenDiskIndex(bp, ix.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != ix.Len() || ix2.Buckets() != ix.Buckets() || ix2.Level() != ix.Level() {
+		t.Fatalf("reattach changed shape: len %d/%d buckets %d/%d level %d/%d",
+			ix2.Len(), ix.Len(), ix2.Buckets(), ix.Buckets(), ix2.Level(), ix.Level())
+	}
+	probe(ix2, "reopened")
+
+	// deletes remove exactly the named mapping
+	ok, err := ix2.Delete(nil, []byte("key-0001"), RID{Page: 9999, Slot: 3})
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if ok, _ := ix2.Delete(nil, []byte("key-0001"), RID{Page: 9999, Slot: 3}); ok {
+		t.Fatal("double delete reported a removal")
+	}
+	rids, err := ix2.Get([]byte("key-0001"))
+	if err != nil || len(rids) != 1 || rids[0] != (RID{Page: 2, Slot: 1}) {
+		t.Fatalf("after delete: %v, %v", rids, err)
+	}
+	if ix2.Len() != n {
+		t.Fatalf("Len after delete = %d, want %d", ix2.Len(), n)
+	}
+}
+
+func TestDiskIndexSplitKnob(t *testing.T) {
+	bp, _ := newTestPool(t, 8)
+	ix, err := CreateDiskIndex(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetMaxBucketEntries(2)
+	before := ix.Buckets()
+	for i := 0; i < 10; i++ {
+		mustPut(t, ix, fmt.Sprintf("k%d", i), RID{Page: uint32(i + 1)})
+	}
+	if ix.Buckets() <= before {
+		t.Fatalf("capped buckets did not split: %d buckets", ix.Buckets())
+	}
+	for i := 0; i < 10; i++ {
+		rids, err := ix.Get([]byte(fmt.Sprintf("k%d", i)))
+		if err != nil || len(rids) != 1 || rids[0].Page != uint32(i+1) {
+			t.Fatalf("k%d after splits: %v, %v", i, rids, err)
+		}
+	}
+	// the split state is self-describing: a reattach without the knob
+	// still answers identically
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := OpenDiskIndex(bp, ix.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rids, err := ix2.Get([]byte(fmt.Sprintf("k%d", i)))
+		if err != nil || len(rids) != 1 {
+			t.Fatalf("reattached k%d: %v, %v", i, rids, err)
+		}
+	}
+}
+
+func TestDiskIndexClear(t *testing.T) {
+	bp, _ := newTestPool(t, 8)
+	ix, err := CreateDiskIndex(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetMaxBucketEntries(2)
+	for i := 0; i < 40; i++ {
+		mustPut(t, ix, fmt.Sprintf("key-%02d", i), RID{Page: uint32(i + 1)})
+	}
+	grown, err := ix.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	released, err := ix.Clear(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(released) == 0 {
+		t.Fatal("clearing a grown index released no pages")
+	}
+	if got, want := len(released), len(grown)-1-indexInitBuckets; got != want {
+		t.Fatalf("released %d pages, want %d", got, want)
+	}
+	if ix.Len() != 0 || ix.Buckets() != indexInitBuckets || ix.Level() != 0 {
+		t.Fatalf("clear left len=%d buckets=%d level=%d", ix.Len(), ix.Buckets(), ix.Level())
+	}
+	for i := 0; i < 40; i++ {
+		if rids, _ := ix.Get([]byte(fmt.Sprintf("key-%02d", i))); len(rids) != 0 {
+			t.Fatalf("cleared index still answers key-%02d: %v", i, rids)
+		}
+	}
+	// the reset structure keeps working and survives a reattach
+	mustPut(t, ix, "fresh", RID{Page: 7})
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := OpenDiskIndex(bp, ix.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids, err := ix2.Get([]byte("fresh"))
+	if err != nil || len(rids) != 1 || rids[0].Page != 7 {
+		t.Fatalf("post-clear reattach: %v, %v", rids, err)
+	}
+}
+
+func TestDiskIndexFatEntriesOverflow(t *testing.T) {
+	bp, _ := newTestPool(t, 8)
+	ix, err := CreateDiskIndex(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1.3 KiB keys: three per page, so overflow chains and splits are
+	// exercised by a handful of inserts
+	pad := make([]byte, 1300)
+	for i := range pad {
+		pad[i] = byte('a' + i%26)
+	}
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s-%02d", pad, i)
+		mustPut(t, ix, keys[i], RID{Page: uint32(i + 1)})
+	}
+	for i, k := range keys {
+		rids, err := ix.Get([]byte(k))
+		if err != nil || len(rids) != 1 || rids[0].Page != uint32(i+1) {
+			t.Fatalf("fat key %d: %v, %v", i, rids, err)
+		}
+	}
+	// an entry that can never fit a page is refused, not wedged
+	huge := make([]byte, PageSize)
+	if err := ix.Put(nil, huge, RID{Page: 1}); err == nil {
+		t.Fatal("page-sized entry accepted")
+	}
+}

@@ -21,6 +21,7 @@ type HeapFile struct {
 	bp    *BufferPool
 	first uint32 // first page of the chain
 	last  uint32 // last page (insertion target)
+	tail  bool   // last is resolved (false after OpenHeapAt, until the first Insert)
 }
 
 // CreateHeap starts a new heap file with one empty page, allocated
@@ -34,16 +35,25 @@ func CreateHeap(bp *BufferPool, txn *Txn) (*HeapFile, error) {
 	if err := bp.Unpin(fr, true); err != nil {
 		return nil, err
 	}
-	return &HeapFile{bp: bp, first: pid, last: pid}, nil
+	return &HeapFile{bp: bp, first: pid, last: pid, tail: true}, nil
 }
 
 // ErrChainCycle is returned when a heap chain's next pointers loop —
 // a corruption Page.Validate cannot see (the next field is arbitrary).
 var ErrChainCycle = errors.New("storage: heap chain cycle")
 
-// OpenHeap attaches to an existing heap chain starting at first.
+// OpenHeapAt attaches to an existing heap chain WITHOUT walking it:
+// the insertion target is resolved lazily by the first Insert. The
+// store's fast reopen path uses it so attaching a relation costs zero
+// page reads (scans never need the tail; only inserts do).
+func OpenHeapAt(bp *BufferPool, first uint32) *HeapFile {
+	return &HeapFile{bp: bp, first: first, last: first}
+}
+
+// OpenHeap attaches to an existing heap chain starting at first,
+// eagerly walking to its last page.
 func OpenHeap(bp *BufferPool, first uint32) (*HeapFile, error) {
-	h := &HeapFile{bp: bp, first: first, last: first}
+	h := &HeapFile{bp: bp, first: first, last: first, tail: true}
 	// walk to the end of the chain
 	pid := first
 	seen := make(map[uint32]bool)
@@ -97,8 +107,15 @@ func (h *HeapFile) Pages() ([]uint32, error) {
 	return pids, nil
 }
 
-// Insert stores a record under txn, growing the chain as needed.
+// Insert stores a record under txn, growing the chain as needed. After
+// a lazy attach (OpenHeapAt) the first Insert walks the chain once to
+// find the insertion target.
 func (h *HeapFile) Insert(txn *Txn, rec []byte) (RID, error) {
+	if !h.tail {
+		if err := h.Rewind(); err != nil {
+			return RID{}, err
+		}
+	}
 	fr, err := h.bp.GetMut(txn, h.last)
 	if err != nil {
 		return RID{}, err
@@ -190,6 +207,7 @@ func (h *HeapFile) Rewind() error {
 		}
 		if next == 0 {
 			h.last = pid
+			h.tail = true
 			return nil
 		}
 		pid = next

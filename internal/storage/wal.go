@@ -84,6 +84,7 @@ type WAL struct {
 	path    string
 	open    OpenFileFunc
 	f       File // nil until the file exists
+	existed bool // the file was present on disk when the WAL was opened
 	size    int64
 	hdrSize int64 // 16 for v2 files; 8 when attached to a legacy v1 log
 	seq     uint64
@@ -109,11 +110,22 @@ func OpenWAL(path string, open OpenFileFunc) (*WAL, error) {
 		return nil, err
 	}
 	w.f = f
+	w.existed = true
 	if err := w.recover(); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return w, nil
+}
+
+// Existed reports whether the log file was already on disk when the
+// WAL was opened — the marker of a crashed (or still-open) database,
+// since a clean close removes the sidecar. Lazy creation by a later
+// append does not change it.
+func (w *WAL) Existed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.existed
 }
 
 // recover scans the file, collecting the latest committed image per

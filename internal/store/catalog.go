@@ -42,6 +42,11 @@ func (d RelationDef) validate() error {
 type catalogEntry struct {
 	def       RelationDef
 	heapFirst uint32
+	// ridsRoot/fixedRoot are the durable hash indexes' directory root
+	// pages; 0 on version-2 records, which predate durable indexes and
+	// are upgraded (rebuild once, persist) on the first writable open.
+	ridsRoot  uint32
+	fixedRoot uint32
 	rid       storage.RID
 }
 
@@ -50,7 +55,12 @@ type catalogEntry struct {
 //	tag:'R' nameLen:uvarint name heapFirst:uvarint schema
 //	orderLen:uvarint idx:uvarint* nFDs:uvarint fd* nMVDs:uvarint mvd*
 //	fd/mvd := nLhs:uvarint (len name)* nRhs:uvarint (len name)*
-func encodeCatalogRecord(def RelationDef, heapFirst uint32) []byte {
+//	[ridsRoot:uvarint fixedRoot:uvarint]
+//
+// The trailing index roots are the version-3 extension; records
+// without them (version 2) decode with zero roots. Passing zero roots
+// encodes a v2 record — tests use that to manufacture upgrade inputs.
+func encodeCatalogRecord(def RelationDef, heapFirst, ridsRoot, fixedRoot uint32) []byte {
 	b := []byte{relRecordTag}
 	b = appendString(b, def.Name)
 	b = binary.AppendUvarint(b, uint64(heapFirst))
@@ -68,6 +78,10 @@ func encodeCatalogRecord(def RelationDef, heapFirst uint32) []byte {
 	for _, m := range def.MVDs {
 		b = appendAttrSet(b, m.Lhs)
 		b = appendAttrSet(b, m.Rhs)
+	}
+	if ridsRoot != 0 || fixedRoot != 0 {
+		b = binary.AppendUvarint(b, uint64(ridsRoot))
+		b = binary.AppendUvarint(b, uint64(fixedRoot))
 	}
 	return b
 }
@@ -137,9 +151,25 @@ func decodeCatalogRecord(rec []byte) (catalogEntry, error) {
 		}
 		ce.def.MVDs = append(ce.def.MVDs, dep.NewMVD(lhs, rhs))
 	}
+	if len(b) == 0 {
+		// version-2 record: no durable index yet (roots stay 0)
+		return ce, nil
+	}
+	rr, b, err := takeUvarint(b)
+	if err != nil {
+		return ce, fmt.Errorf("%w: primary index root of %q", ErrCorrupt, name)
+	}
+	fr, b, err := takeUvarint(b)
+	if err != nil {
+		return ce, fmt.Errorf("%w: fixed index root of %q", ErrCorrupt, name)
+	}
 	if len(b) != 0 {
 		return ce, fmt.Errorf("%w: %d trailing bytes in catalog record of %q", ErrCorrupt, len(b), name)
 	}
+	if rr == 0 || fr == 0 || rr > 1<<32-1 || fr > 1<<32-1 {
+		return ce, fmt.Errorf("%w: impossible index roots %d/%d of %q", ErrCorrupt, rr, fr, name)
+	}
+	ce.ridsRoot, ce.fixedRoot = uint32(rr), uint32(fr)
 	return ce, nil
 }
 

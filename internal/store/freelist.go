@@ -155,34 +155,36 @@ func (s *Store) FreePages() int {
 	return len(s.free)
 }
 
-// sweepOrphans runs at open, after the catalog and free list are
-// loaded: every allocated page that is referenced by NO chain — not
-// the catalog's, not the free list's, not any relation heap's, and not
-// already a free-list entry — is pushed onto the free list and
-// committed as one batch. Orphans are the bounded residue of the
-// degraded paths that trade leakage for progress (a drop while another
-// transaction owned the free list, an aborted create's allocations, a
-// rolled-back transaction's file growth); because they are
-// unreferenced in the committed state, re-owning them here can never
-// conflict with live data, and a crash mid-sweep just re-runs it on
-// the next open. A clean database sweeps nothing and writes nothing.
-func (s *Store) sweepOrphans() error {
+// ReferencedPages returns the set of pages the committed structures
+// reach: the catalog chain, the free-list chain and its entries, and
+// every relation's heap and index chains. Pages outside the set are
+// orphans — the residue of uncommitted allocations (a crash can even
+// leave such pages torn or zeroed, since nothing ordered their writes)
+// — which are never read, are quarantined onto the free list by the
+// sweep, and are re-initialized before reuse.
+func (s *Store) ReferencedPages() (map[uint32]bool, error) {
+	s.mu.Lock()
+	rels := make(map[string]*RelStore, len(s.rels))
+	for n, rs := range s.rels {
+		rels[n] = rs
+	}
+	s.mu.Unlock()
 	ref := make(map[uint32]bool)
 	chains := [][]uint32{}
 	catPages, err := s.catalog.Pages()
 	if err != nil {
-		return fmt.Errorf("%w: sweeping catalog chain: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: walking catalog chain: %v", ErrCorrupt, err)
 	}
 	chains = append(chains, catPages)
 	freePages, err := s.freeHeap.Pages()
 	if err != nil {
-		return fmt.Errorf("%w: sweeping free-list chain: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: walking free-list chain: %v", ErrCorrupt, err)
 	}
 	chains = append(chains, freePages)
-	for name, rs := range s.rels {
-		pids, err := rs.heap.Pages()
+	for name, rs := range rels {
+		pids, err := rs.pages()
 		if err != nil {
-			return fmt.Errorf("%w: sweeping chain of %q: %v", ErrCorrupt, name, err)
+			return nil, fmt.Errorf("%w: walking chains of %q: %v", ErrCorrupt, name, err)
 		}
 		chains = append(chains, pids)
 	}
@@ -191,8 +193,43 @@ func (s *Store) sweepOrphans() error {
 			ref[pid] = true
 		}
 	}
+	s.freeMu.Lock()
 	for _, e := range s.free {
 		ref[e.pid] = true
+	}
+	s.freeMu.Unlock()
+	return ref, nil
+}
+
+// SweepOrphans reclaims every allocated page referenced by no chain —
+// not the catalog's, not the free list's, not any relation's heap or
+// index chains, and not already a free-list entry — by pushing it onto
+// the free list as one committed batch. Open runs it automatically
+// after crash recovery (a sidecar on disk marks the open as crashed);
+// cleanly-closed files skip it so a clean open never walks the heaps —
+// call this explicitly (or let Save compaction rewrite the file) to
+// reclaim orphans left by the degraded paths after a clean shutdown.
+//
+// The store must be QUIESCED: no transaction may be in flight, because
+// pages an uncommitted transaction allocated are unreachable from the
+// committed chains and would be swept onto the free list — once that
+// transaction commits the page would be owned twice, and a later
+// recycle would overwrite live data. (The automatic open-time run is
+// trivially quiesced.)
+func (s *Store) SweepOrphans() error { return s.sweepOrphans() }
+
+// sweepOrphans walks every chain to compute the referenced-page set:
+// orphans are the bounded residue of the degraded paths that trade
+// leakage for progress (a drop while another transaction owned the
+// free list, an aborted create's allocations, a rolled-back
+// transaction's file growth); because they are unreferenced in the
+// committed state, re-owning them here can never conflict with live
+// data, and a crash mid-sweep just re-runs it on the next recovery. A
+// clean database sweeps nothing and writes nothing.
+func (s *Store) sweepOrphans() error {
+	ref, err := s.ReferencedPages()
+	if err != nil {
+		return err
 	}
 	var orphans []uint32
 	for pid := uint32(1); pid <= s.pager.NumPages(); pid++ {

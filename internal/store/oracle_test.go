@@ -1,0 +1,251 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// TestDurableIndexOracle drives a randomized workload — inserts,
+// deletes, creates, drops, commits, rollbacks, reopens — and after
+// EVERY step asserts the durable index answers identically to the
+// rebuilt-from-heap oracle (VerifyIndexes probes every tuple's key and
+// every fixed atom, checks entry counts, and walks every index page).
+// The durable structure must never be more than a view of the heap:
+// mid-transaction it mirrors the buffered heap, after rollback the
+// committed one, after reopen the recovered one.
+func TestDurableIndexOracle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "oracle.nfrs")
+	rng := rand.New(rand.NewSource(1))
+	open := func() *Store {
+		st, err := Open(path, Options{PoolPages: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := open()
+	defer func() { st.Discard() }()
+
+	names := []string{"A", "B", "C"}
+	defOf := func(name string) RelationDef {
+		d := testDef(t)
+		d.Name = name
+		return d
+	}
+	// live mirrors the buffered tuple set per relation (keyed by tuple
+	// key); committed is the durable state a rollback reverts to.
+	type mirror map[string]tuple.Tuple
+	live := map[string]mirror{}
+	committed := map[string]mirror{}
+	copyState := func(src map[string]mirror) map[string]mirror {
+		out := make(map[string]mirror, len(src))
+		for n, m := range src {
+			cm := make(mirror, len(m))
+			for k, tp := range m {
+				cm[k] = tp
+			}
+			out[n] = cm
+		}
+		return out
+	}
+
+	var txn *Txn
+	touched := map[string]bool{}
+	ensureTxn := func() *Txn {
+		if txn == nil {
+			txn = st.Begin()
+		}
+		return txn
+	}
+	commit := func() {
+		if txn == nil {
+			return
+		}
+		if err := st.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+		txn = nil
+		touched = map[string]bool{}
+		committed = copyState(live)
+	}
+	rollback := func() {
+		if txn == nil {
+			return
+		}
+		if err := st.Rollback(txn); err != nil {
+			t.Fatal(err)
+		}
+		for name := range touched {
+			rs, ok := st.Rel(name)
+			if !ok {
+				continue
+			}
+			if _, err := rs.Reindex(); err != nil {
+				t.Fatalf("Reindex(%s) after rollback: %v", name, err)
+			}
+		}
+		txn = nil
+		touched = map[string]bool{}
+		live = copyState(committed)
+	}
+
+	randTuple := func(r *rand.Rand) tuple.Tuple {
+		pick := func(prefix string, pool int, n int) []string {
+			out := make([]string, 0, n)
+			seen := map[int]bool{}
+			for len(out) < n {
+				i := r.Intn(pool)
+				if seen[i] {
+					continue
+				}
+				seen[i] = true
+				out = append(out, fmt.Sprintf("%s%d", prefix, i))
+			}
+			return out
+		}
+		return tupleOf([][]string{
+			pick("c", 9, 1+r.Intn(2)),
+			pick("b", 6, 1),
+			pick("s", 8, 1+r.Intn(2)),
+		}, defOf("A").Order)
+	}
+
+	verify := func(step int, op string) {
+		t.Helper()
+		if err := st.VerifyIndexes(); err != nil {
+			t.Fatalf("step %d (%s): durable index diverged from heap oracle: %v", step, op, err)
+		}
+		// spot-check the mirror and a negative probe per relation
+		for _, name := range st.Relations() {
+			rs, _ := st.Rel(name)
+			if got, want := rs.Len(), len(live[name]); got != want {
+				t.Fatalf("step %d (%s): %s has %d tuples, mirror %d", step, op, name, got, want)
+			}
+			if hits, err := rs.LookupFixed(value.NewString("nope")); err != nil || len(hits) != 0 {
+				t.Fatalf("step %d (%s): negative probe on %s: %v, %v", step, op, name, hits, err)
+			}
+		}
+	}
+
+	const steps = 400
+	for i := 0; i < steps; i++ {
+		op := "noop"
+		switch n := rng.Intn(100); {
+		case n < 40: // insert
+			var existing []string
+			for _, name := range st.Relations() {
+				existing = append(existing, name)
+			}
+			if len(existing) == 0 {
+				break
+			}
+			name := existing[rng.Intn(len(existing))]
+			tp := randTuple(rng)
+			if _, dup := live[name][tp.Key()]; dup {
+				break // the engine never writes the same tuple twice
+			}
+			rs, _ := st.Rel(name)
+			if err := rs.Insert(ensureTxn(), tp); err != nil {
+				t.Fatalf("step %d: insert into %s: %v", i, name, err)
+			}
+			live[name][tp.Key()] = tp
+			touched[name] = true
+			op = "insert " + name
+		case n < 60: // delete
+			var candidates []string
+			for name, m := range live {
+				if len(m) > 0 {
+					if _, ok := st.Rel(name); ok {
+						candidates = append(candidates, name)
+					}
+				}
+			}
+			if len(candidates) == 0 {
+				break
+			}
+			name := candidates[rng.Intn(len(candidates))]
+			var victim tuple.Tuple
+			k := rng.Intn(len(live[name]))
+			for _, tp := range live[name] {
+				if k == 0 {
+					victim = tp
+					break
+				}
+				k--
+			}
+			rs, _ := st.Rel(name)
+			if err := rs.Remove(ensureTxn(), victim); err != nil {
+				t.Fatalf("step %d: remove from %s: %v", i, name, err)
+			}
+			delete(live[name], victim.Key())
+			touched[name] = true
+			op = "delete " + name
+		case n < 72: // commit
+			commit()
+			op = "commit"
+		case n < 82: // rollback
+			rollback()
+			op = "rollback"
+		case n < 88: // create (outside any open workload txn)
+			commit()
+			var missing []string
+			for _, name := range names {
+				if _, ok := st.Rel(name); !ok {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) == 0 {
+				break
+			}
+			name := missing[rng.Intn(len(missing))]
+			ctxn := st.Begin()
+			if _, err := st.CreateRelation(ctxn, defOf(name)); err != nil {
+				t.Fatalf("step %d: create %s: %v", i, name, err)
+			}
+			if err := st.Commit(ctxn); err != nil {
+				t.Fatal(err)
+			}
+			live[name] = mirror{}
+			committed = copyState(live)
+			op = "create " + name
+		case n < 93: // drop
+			commit()
+			existing := st.Relations()
+			if len(existing) == 0 {
+				break
+			}
+			name := existing[rng.Intn(len(existing))]
+			dtxn := st.Begin()
+			if err := st.DropRelation(dtxn, name); err != nil {
+				t.Fatalf("step %d: drop %s: %v", i, name, err)
+			}
+			if err := st.Commit(dtxn); err != nil {
+				t.Fatal(err)
+			}
+			st.CompleteDrop(name)
+			delete(live, name)
+			committed = copyState(live)
+			op = "drop " + name
+		default: // reopen
+			commit()
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st = open()
+			op = "reopen"
+		}
+		verify(i, op)
+	}
+	commit()
+	verify(steps, "final commit")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = open()
+	verify(steps+1, "final reopen")
+}

@@ -13,15 +13,49 @@ import (
 	"repro/internal/value"
 )
 
+// relIndex is the store's view of one hash index, satisfied by both the
+// durable paged index (storage.DiskHashIndex) and the in-memory rebuilt
+// one (memIndex) that stands in when a legacy v2 file is attached
+// without write permission (Options.NoSweep).
+type relIndex interface {
+	Put(txn *storage.Txn, key []byte, rid storage.RID) error
+	Get(key []byte) ([]storage.RID, error)
+	Delete(txn *storage.Txn, key []byte, rid storage.RID) (bool, error)
+	Len() int
+}
+
+// memIndex adapts storage.HashIndex (rebuild-on-open, never durable) to
+// relIndex.
+type memIndex struct{ ix *storage.HashIndex }
+
+func (m memIndex) Put(_ *storage.Txn, key []byte, rid storage.RID) error {
+	m.ix.Put(key, rid)
+	return nil
+}
+func (m memIndex) Get(key []byte) ([]storage.RID, error) { return m.ix.Get(key), nil }
+func (m memIndex) Delete(_ *storage.Txn, key []byte, rid storage.RID) (bool, error) {
+	return m.ix.Delete(key, rid), nil
+}
+func (m memIndex) Len() int { return m.ix.Len() }
+
 // RelStore is one relation's on-disk realization: a heap file of
-// encoded canonical NFR tuples plus two in-memory hash indexes rebuilt
-// on open —
+// encoded canonical NFR tuples plus two durable hash indexes whose
+// pages live in the same file —
 //
 //   - a primary index keyed on the full tuple key, so the write-through
 //     delete path locates the victim record in O(1), and
 //   - a fixed-attribute index keyed on each atom of the tuple's fixed
 //     (determinant) component, so point lookups by determinant value
 //     (the NFR analogue of a key probe) avoid scanning the heap.
+//
+// Index mutations ride the same transaction as the heap mutation that
+// caused them, so a commit makes heap and index durable as one batch
+// and a crash recovers them on the same boundary; reopening attaches to
+// the persisted structures in O(index directory) page reads instead of
+// rebuilding by heap scan (v2 files, which predate durable indexes, are
+// upgraded once — see Store.upgradeIndexes). Reindex remains the
+// heap-scan oracle: it verifies the durable index against the heap and
+// rebuilds it only on divergence.
 //
 // RelStore implements update.BatchSink; because the sink interface
 // cannot return errors mid-algorithm, write failures are latched and
@@ -38,12 +72,17 @@ type RelStore struct {
 	catRID storage.RID
 
 	mu    sync.Mutex
-	rids  *storage.HashIndex // tuple key -> RID
-	fixed *storage.HashIndex // determinant atom -> RID
-	count int
-	cur   *Txn  // open statement transaction (between brackets)
-	ext   bool  // cur is owned by an engine-level multi-statement Tx
-	err   error // first write-through failure
+	rids  relIndex // tuple key -> RID
+	fixed relIndex // determinant atom -> RID
+	// ridsD/fixedD are the durable paged indexes behind rids/fixed; nil
+	// only for a legacy v2 attachment that may not write (NoSweep),
+	// where rebuilt in-memory indexes stand in.
+	ridsD  *storage.DiskHashIndex
+	fixedD *storage.DiskHashIndex
+	count  int
+	cur    *Txn  // open statement transaction (between brackets)
+	ext    bool  // cur is owned by an engine-level multi-statement Tx
+	err    error // first write-through failure
 }
 
 // fixedAttr returns the schema position of the last-nested attribute —
@@ -51,32 +90,55 @@ type RelStore struct {
 // follows the paper's Section 3.4 guidance.
 func (r *RelStore) fixedAttr() int { return r.def.Order[len(r.def.Order)-1] }
 
-func newRelStore(s *Store, def RelationDef, heap *storage.HeapFile, catRID storage.RID) *RelStore {
-	return &RelStore{
-		st: s, def: def, heap: heap, catRID: catRID,
-		rids:  storage.NewHashIndex(),
-		fixed: storage.NewHashIndex(),
+// newRelStore wires a RelStore around an attached heap and (when
+// non-nil) durable indexes; without them, fresh in-memory indexes stand
+// in and the caller populates them by scanning.
+func newRelStore(s *Store, def RelationDef, heap *storage.HeapFile, catRID storage.RID, ridsD, fixedD *storage.DiskHashIndex) *RelStore {
+	rs := &RelStore{st: s, def: def, heap: heap, catRID: catRID, ridsD: ridsD, fixedD: fixedD}
+	if ridsD != nil {
+		rs.rids, rs.fixed = ridsD, fixedD
+		rs.count = ridsD.Len()
+	} else {
+		rs.rids = memIndex{storage.NewHashIndex()}
+		rs.fixed = memIndex{storage.NewHashIndex()}
 	}
+	return rs
 }
 
-// openRelStore attaches to an existing heap chain and rebuilds the
-// indexes by scanning it.
+// openRelStore attaches to an existing relation. With durable index
+// roots in the catalog record the attach touches no heap page at all —
+// the indexes' directories describe themselves and carry the tuple
+// count. A v2 record (zero roots) falls back to the classic
+// rebuild-by-scan; Store.upgradeIndexes persists durable indexes right
+// after, unless the open is a no-write one (Options.NoSweep).
 func openRelStore(s *Store, ce catalogEntry) (*RelStore, error) {
+	if ce.ridsRoot != 0 {
+		ridsD, err := storage.OpenDiskIndex(s.bp, ce.ridsRoot)
+		if err != nil {
+			return nil, fmt.Errorf("%w: opening primary index of %q: %v", ErrCorrupt, ce.def.Name, err)
+		}
+		fixedD, err := storage.OpenDiskIndex(s.bp, ce.fixedRoot)
+		if err != nil {
+			return nil, fmt.Errorf("%w: opening fixed index of %q: %v", ErrCorrupt, ce.def.Name, err)
+		}
+		heap := storage.OpenHeapAt(s.bp, ce.heapFirst)
+		return newRelStore(s, ce.def, heap, ce.rid, ridsD, fixedD), nil
+	}
 	heap, err := storage.OpenHeap(s.bp, ce.heapFirst)
 	if err != nil {
 		return nil, fmt.Errorf("%w: opening heap of %q: %v", ErrCorrupt, ce.def.Name, err)
 	}
-	rs := newRelStore(s, ce.def, heap, ce.rid)
+	rs := newRelStore(s, ce.def, heap, ce.rid, nil, nil)
 	var dupErr error
 	if err := rs.scanRaw(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
 		// The engine never writes the same tuple twice; a duplicate
 		// record would make deletes leave a stale copy behind, so it is
 		// corruption, not data.
-		if len(rs.rids.Get([]byte(t.Key()))) > 0 {
+		if hits, _ := rs.rids.Get([]byte(t.Key())); len(hits) > 0 {
 			dupErr = fmt.Errorf("%w: duplicate record at %v in %q", ErrCorrupt, rid, ce.def.Name)
 			return false
 		}
-		rs.indexTuple(t, rid)
+		rs.indexTuple(nil, t, rid)
 		return true
 	}); err != nil {
 		return nil, err
@@ -105,20 +167,30 @@ func (r *RelStore) Err() error {
 	return r.err
 }
 
-func (r *RelStore) indexTuple(t tuple.Tuple, rid storage.RID) {
-	r.rids.Put([]byte(t.Key()), rid)
+func (r *RelStore) indexTuple(txn *Txn, t tuple.Tuple, rid storage.RID) error {
+	if err := r.rids.Put(txn, []byte(t.Key()), rid); err != nil {
+		return err
+	}
 	for _, a := range t.Set(r.fixedAttr()).Atoms() {
-		r.fixed.Put(encoding.AppendAtom(nil, a), rid)
+		if err := r.fixed.Put(txn, encoding.AppendAtom(nil, a), rid); err != nil {
+			return err
+		}
 	}
 	r.count++
+	return nil
 }
 
-func (r *RelStore) unindexTuple(t tuple.Tuple, rid storage.RID) {
-	r.rids.Delete([]byte(t.Key()), rid)
+func (r *RelStore) unindexTuple(txn *Txn, t tuple.Tuple, rid storage.RID) error {
+	if _, err := r.rids.Delete(txn, []byte(t.Key()), rid); err != nil {
+		return err
+	}
 	for _, a := range t.Set(r.fixedAttr()).Atoms() {
-		r.fixed.Delete(encoding.AppendAtom(nil, a), rid)
+		if _, err := r.fixed.Delete(txn, encoding.AppendAtom(nil, a), rid); err != nil {
+			return err
+		}
 	}
 	r.count--
+	return nil
 }
 
 // Insert appends one canonical tuple to the heap under txn and indexes
@@ -134,8 +206,7 @@ func (r *RelStore) insertLocked(txn *Txn, t tuple.Tuple) error {
 	if err != nil {
 		return err
 	}
-	r.indexTuple(t, rid)
-	return nil
+	return r.indexTuple(txn, t, rid)
 }
 
 // Remove deletes the record holding the exact tuple t under txn.
@@ -147,7 +218,10 @@ func (r *RelStore) Remove(txn *Txn, t tuple.Tuple) error {
 
 func (r *RelStore) removeLocked(txn *Txn, t tuple.Tuple) error {
 	key := []byte(t.Key())
-	rids := r.rids.Get(key)
+	rids, err := r.rids.Get(key)
+	if err != nil {
+		return err
+	}
 	if len(rids) == 0 {
 		return fmt.Errorf("store: tuple not found in %q: %s", r.def.Name, t)
 	}
@@ -155,8 +229,7 @@ func (r *RelStore) removeLocked(txn *Txn, t tuple.Tuple) error {
 	if err := r.heap.Delete(txn, rid); err != nil {
 		return err
 	}
-	r.unindexTuple(t, rid)
-	return nil
+	return r.unindexTuple(txn, t, rid)
 }
 
 // TupleAdded implements update.Sink: write-through of a composition
@@ -226,34 +299,220 @@ func (r *RelStore) ReleaseTxn() {
 	r.mu.Unlock()
 }
 
-// Reindex rebuilds the in-memory derived state — the heap's cached
-// insertion target and both hash indexes — from the heap's current
-// pages, returning the relation materialized by the same single scan
-// (the engine's rollback resets the maintainer from it, so the heap is
-// walked once, not twice). A transaction rollback discards uncommitted
-// frames from the pool, reverting the heap to its last committed
-// content; this brings the in-memory mirrors back in line with it.
+// ridTuple pairs a heap record with its decoded tuple for the oracle
+// comparison.
+type ridTuple struct {
+	rid storage.RID
+	t   tuple.Tuple
+}
+
+// Reindex resets the relation's derived state from the heap — the
+// heap-scan oracle — returning the relation materialized by the same
+// single scan (the engine's rollback resets the maintainer from it, so
+// the heap is walked once, not twice). A transaction rollback discards
+// uncommitted frames from the pool, reverting heap AND index pages to
+// their last committed content; the durable index is then re-attached
+// from its (reverted) directory, checked entry-for-entry against the
+// heap, and rebuilt in place only if the check fails — so a clean
+// rollback performs no writes and leaves the file untouched. Legacy
+// in-memory indexes are simply rebuilt by the scan.
 func (r *RelStore) Reindex() (*core.Relation, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.heap.Rewind(); err != nil {
 		return nil, err
 	}
-	r.rids = storage.NewHashIndex()
-	r.fixed = storage.NewHashIndex()
-	r.count = 0
 	r.cur = nil
 	r.ext = false
 	r.err = nil
+	if r.ridsD == nil {
+		r.rids = memIndex{storage.NewHashIndex()}
+		r.fixed = memIndex{storage.NewHashIndex()}
+		r.count = 0
+		rel := core.NewRelation(r.def.Schema)
+		if err := r.scanRawLocked(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
+			r.indexTuple(nil, t, rid)
+			rel.Add(t)
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		return rel, nil
+	}
+	if err := r.ridsD.Refresh(); err != nil {
+		return nil, err
+	}
+	if err := r.fixedD.Refresh(); err != nil {
+		return nil, err
+	}
+	r.count = r.ridsD.Len()
 	rel := core.NewRelation(r.def.Schema)
+	var rts []ridTuple
 	if err := r.scanRawLocked(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
-		r.indexTuple(t, rid)
 		rel.Add(t)
+		rts = append(rts, ridTuple{rid, t})
 		return true
 	}); err != nil {
 		return nil, err
 	}
+	if r.checkLocked(rts) != nil {
+		if err := r.rebuildLocked(rts); err != nil {
+			return nil, err
+		}
+	}
 	return rel, nil
+}
+
+// checkLocked is the oracle comparison: the index must answer exactly
+// what a rebuilt-from-heap index would — every tuple probeable by its
+// full key and by each atom of its fixed component, entry counts equal
+// (no extras), and every index page readable and checksum-valid.
+func (r *RelStore) checkLocked(rts []ridTuple) error {
+	if n := r.rids.Len(); n != len(rts) {
+		return fmt.Errorf("store: %q primary index holds %d entries, heap %d tuples",
+			r.def.Name, n, len(rts))
+	}
+	atoms := 0
+	for _, rt := range rts {
+		hits, err := r.rids.Get([]byte(rt.t.Key()))
+		if err != nil {
+			return err
+		}
+		if !containsRID(hits, rt.rid) {
+			return fmt.Errorf("store: %q primary index lost tuple at %v", r.def.Name, rt.rid)
+		}
+		for _, a := range rt.t.Set(r.fixedAttr()).Atoms() {
+			atoms++
+			hits, err := r.fixed.Get(encoding.AppendAtom(nil, a))
+			if err != nil {
+				return err
+			}
+			if !containsRID(hits, rt.rid) {
+				return fmt.Errorf("store: %q fixed index lost atom of tuple at %v", r.def.Name, rt.rid)
+			}
+		}
+	}
+	if n := r.fixed.Len(); n != atoms {
+		return fmt.Errorf("store: %q fixed index holds %d entries, heap %d atoms",
+			r.def.Name, n, atoms)
+	}
+	// structural pass: every index page (directory, buckets, overflow)
+	// must be reachable and valid, so damage in never-probed pages
+	// fail-stops too
+	if r.ridsD != nil {
+		if _, err := r.ridsD.Pages(); err != nil {
+			return err
+		}
+		if _, err := r.fixedD.Pages(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func containsRID(rids []storage.RID, rid storage.RID) bool {
+	for _, r := range rids {
+		if r == rid {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildLocked is the repair path: both durable indexes are cleared
+// and refilled from the heap under a fresh transaction, committed as
+// one batch; the pages the cleared structures shed go to the free
+// list. A failure rolls the transaction back — releasing its frame and
+// free-list ownership, which would otherwise wedge every later
+// statement on those pages — and re-attaches the in-memory mirrors to
+// the reverted on-disk state (the damage survives for the next repair
+// attempt; a wedge would not recover at all).
+func (r *RelStore) rebuildLocked(rts []ridTuple) (err error) {
+	txn := r.st.Begin()
+	defer func() {
+		if err == nil {
+			return
+		}
+		if rbErr := r.st.Rollback(txn); rbErr != nil {
+			err = fmt.Errorf("index rebuild failed (%v) and rollback failed: %w", err, rbErr)
+		}
+		// A failed re-attach may not be swallowed: a mirror left holding
+		// the aborted rebuild's layout would silently probe the wrong
+		// buckets afterwards.
+		if rfErr := r.ridsD.Refresh(); rfErr != nil {
+			err = fmt.Errorf("index rebuild failed (%v) and re-attach failed: %w", err, rfErr)
+			return
+		}
+		if rfErr := r.fixedD.Refresh(); rfErr != nil {
+			err = fmt.Errorf("index rebuild failed (%v) and re-attach failed: %w", err, rfErr)
+			return
+		}
+		r.count = r.ridsD.Len()
+	}()
+	released, err := r.ridsD.Clear(txn)
+	if err != nil {
+		return err
+	}
+	rel2, err := r.fixedD.Clear(txn)
+	if err != nil {
+		return err
+	}
+	released = append(released, rel2...)
+	r.count = 0
+	for _, rt := range rts {
+		if err := r.indexTuple(txn, rt.t, rt.rid); err != nil {
+			return err
+		}
+	}
+	if len(released) > 0 {
+		// a refused free (foreign owner) just orphans the pages until
+		// the next sweep
+		if err := r.st.freePages(txn, released); err != nil {
+			return err
+		}
+	}
+	return r.st.Commit(txn)
+}
+
+// VerifyIndex checks the relation's indexes against a fresh heap scan —
+// the rebuild-on-open oracle. The durable index must never be more than
+// a view of the heap; any divergence (missing or extra entries, torn or
+// unreachable index pages) is returned as an error. Tests and the
+// reopen bench leg use it; it performs no writes.
+func (r *RelStore) VerifyIndex() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var rts []ridTuple
+	if err := r.scanRawLocked(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
+		rts = append(rts, ridTuple{rid, t})
+		return true
+	}); err != nil {
+		return err
+	}
+	return r.checkLocked(rts)
+}
+
+// pages returns every page the relation owns: its heap chain and, when
+// durable, both index structures' chains. The drop path hands them to
+// the free list; the open-time sweep treats them as referenced.
+func (r *RelStore) pages() ([]uint32, error) {
+	out, err := r.heap.Pages()
+	if err != nil {
+		return nil, err
+	}
+	if r.ridsD != nil {
+		p, err := r.ridsD.Pages()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+		p, err = r.fixedD.Pages()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+	}
+	return out, nil
 }
 
 // StatementEnd implements update.BatchSink: the group-commit point. All
@@ -408,7 +667,10 @@ func (r *RelStore) LoadCtx(ctx context.Context) (*core.Relation, error) {
 func (r *RelStore) LookupFixed(a value.Atom) ([]tuple.Tuple, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	rids := r.fixed.Get(encoding.AppendAtom(nil, a))
+	rids, err := r.fixed.Get(encoding.AppendAtom(nil, a))
+	if err != nil {
+		return nil, err
+	}
 	out := make([]tuple.Tuple, 0, len(rids))
 	for _, rid := range rids {
 		rec, err := r.heap.Get(rid)
@@ -433,9 +695,9 @@ func (r *RelStore) HeapStats() (storage.HeapStats, error) {
 
 // Replace atomically (with respect to this process) swaps the stored
 // content for the given relation under txn: every live record is
-// tombstoned and rel's tuples are inserted fresh. Used by the engine
-// when the stored form has drifted from the canonical form it
-// maintains.
+// tombstoned, the indexes are reset, and rel's tuples are inserted
+// fresh. Used by the engine when the stored form has drifted from the
+// canonical form it maintains.
 func (r *RelStore) Replace(txn *Txn, rel *core.Relation) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -450,7 +712,9 @@ func (r *RelStore) Replace(txn *Txn, rel *core.Relation) error {
 	return nil
 }
 
-// clearLocked tombstones every live record.
+// clearLocked tombstones every live record and resets the indexes; the
+// pages a durable index sheds go to the free list under the same
+// transaction.
 func (r *RelStore) clearLocked(txn *Txn) error {
 	var rids []storage.RID
 	if err := r.heap.Scan(func(rid storage.RID, _ []byte) bool {
@@ -464,8 +728,25 @@ func (r *RelStore) clearLocked(txn *Txn) error {
 			return err
 		}
 	}
-	r.rids = storage.NewHashIndex()
-	r.fixed = storage.NewHashIndex()
+	if r.ridsD != nil {
+		released, err := r.ridsD.Clear(txn)
+		if err != nil {
+			return err
+		}
+		rel2, err := r.fixedD.Clear(txn)
+		if err != nil {
+			return err
+		}
+		released = append(released, rel2...)
+		if len(released) > 0 {
+			if err := r.st.freePages(txn, released); err != nil {
+				return err
+			}
+		}
+	} else {
+		r.rids = memIndex{storage.NewHashIndex()}
+		r.fixed = memIndex{storage.NewHashIndex()}
+	}
 	r.count = 0
 	return nil
 }

@@ -1,0 +1,246 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// buildReopenDB creates a database whose single relation spans many
+// heap pages, returning its path, canonical content, and heap page
+// count.
+func buildReopenDB(t *testing.T) (string, *core.Relation, int) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "reopen.nfrs")
+	st, err := Open(path, Options{PoolPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := testDef(t)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := workload.GenEnrollment(11, workload.EnrollmentParams{
+		Students: 2500, CoursePool: 120, ClubPool: 20, SemesterPool: 8,
+		CoursesPerStudent: 4, ClubsPerStudent: 2,
+	})
+	canon, _ := e.R1.Canonical(def.Order)
+	for i := 0; i < canon.Len(); i++ {
+		if err := rs.Insert(txn, canon.Tuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := rs.HeapStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Pages < 10 {
+		t.Fatalf("heap spans only %d page(s); too small for a reopen bound", hs.Pages)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, canon, hs.Pages
+}
+
+// reopenBudget bounds the page reads a clean open may spend: the
+// catalog chain, the free-list chain, and each relation's two index
+// directories, with a little slack for chained directory pages. It
+// must NOT scale with heap size.
+func reopenBudget(rels int) int { return 4 + 4*rels }
+
+// TestReopenReadsBounded is the regression test for the durable-index
+// payoff: reopening a clean N-tuple database reads O(catalog + index
+// roots) pages — never the heap. A failure here means rebuild-on-open
+// crept back in.
+func TestReopenReadsBounded(t *testing.T) {
+	path, canon, heapPages := buildReopenDB(t)
+	st, err := Open(path, Options{PoolPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	open := st.OpenIOStats()
+	if budget := reopenBudget(1); open.Misses > budget {
+		t.Errorf("clean open read %d pages, budget %d (heap is %d pages)", open.Misses, budget, heapPages)
+	}
+	if open.Misses >= heapPages {
+		t.Errorf("clean open read %d pages — a full heap scan (%d pages)", open.Misses, heapPages)
+	}
+	// the attached state answers correctly and matches the oracle
+	rs, ok := st.Rel("R1")
+	if !ok {
+		t.Fatal("relation lost")
+	}
+	if rs.Len() != canon.Len() {
+		t.Fatalf("Len = %d, want %d (persisted count wrong)", rs.Len(), canon.Len())
+	}
+	got, err := rs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(canon) {
+		t.Fatal("content changed across fast reopen")
+	}
+	if err := st.VerifyIndexes(); err != nil {
+		t.Fatalf("durable index diverged from heap oracle: %v", err)
+	}
+	// writes work after a lazy attach (the first insert resolves the
+	// heap tail) and further reopens stay fast
+	txn := st.Begin()
+	if err := rs.Insert(txn, tupleOf([][]string{{"zc"}, {"zb"}, {"zs"}}, rs.Def().Order)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.VerifyIndexes(); err != nil {
+		t.Fatalf("index wrong after post-reopen insert: %v", err)
+	}
+}
+
+// downgradeToV2 rewrites the database at path to the version-2 format:
+// catalog records lose their index-root tail and the header version
+// byte reverts. The abandoned index pages become orphans — exactly the
+// shape of a pre-upgrade file plus harmless unreferenced pages.
+func downgradeToV2(t *testing.T, path string) {
+	t.Helper()
+	st, err := Open(path, Options{PoolPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := st.Begin()
+	for _, name := range st.Relations() {
+		rs, _ := st.Rel(name)
+		if err := st.catalog.Delete(txn, rs.catRID); err != nil {
+			t.Fatal(err)
+		}
+		rid, err := st.catalog.Insert(txn, encodeCatalogRecord(rs.def, rs.heap.FirstPage(), 0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.catRID = rid
+	}
+	fr, err := st.bp.GetMut(txn, catalogRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := fr.Page().Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec[4] = formatV2
+	if err := st.bp.Unpin(fr, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV2UpgradePersistsIndexes: opening a v2 file rebuilds the indexes
+// once by heap scan, persists them, and bumps the format — so the NEXT
+// open is O(catalog + index roots). A no-write open (NoSweep) of the
+// same v2 file keeps serving from in-memory indexes and leaves the
+// file byte-for-byte untouched.
+func TestV2UpgradePersistsIndexes(t *testing.T) {
+	path, canon, heapPages := buildReopenDB(t)
+	downgradeToV2(t, path)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// a NoSweep open must not upgrade (Load and read-only opens ride
+	// this): in-memory indexes stand in, file untouched
+	ro, err := Open(path, Options{PoolPages: 32, NoSweep: true})
+	if err != nil {
+		t.Fatalf("NoSweep open of v2 file: %v", err)
+	}
+	rs, ok := ro.Rel("R1")
+	if !ok {
+		t.Fatal("relation lost in v2 NoSweep open")
+	}
+	got, err := rs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(canon) {
+		t.Fatal("v2 NoSweep open changed content")
+	}
+	if err := ro.VerifyIndexes(); err != nil {
+		t.Fatalf("in-memory stand-in indexes diverged: %v", err)
+	}
+	if err := ro.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("NoSweep open of a v2 file mutated it")
+	}
+
+	// the writable open pays the one-time rebuild...
+	up, err := Open(path, Options{PoolPages: 32})
+	if err != nil {
+		t.Fatalf("v2 upgrade open: %v", err)
+	}
+	if open := up.OpenIOStats(); open.Misses < heapPages {
+		t.Errorf("upgrade open read %d pages; expected a full heap scan (%d pages)", open.Misses, heapPages)
+	}
+	if err := up.VerifyIndexes(); err != nil {
+		t.Fatalf("upgraded index diverged from heap oracle: %v", err)
+	}
+	got2, err := mustRel(t, up, "R1").Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(canon) {
+		t.Fatal("upgrade changed content")
+	}
+	if err := up.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and every open after it is fast again
+	st2, err := Open(path, Options{PoolPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if open := st2.OpenIOStats(); open.Misses > reopenBudget(1) {
+		t.Errorf("post-upgrade open read %d pages, budget %d", open.Misses, reopenBudget(1))
+	}
+	got3, err := mustRel(t, st2, "R1").Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got3.Equal(canon) {
+		t.Fatal("content changed across upgrade + reopen")
+	}
+	if err := st2.VerifyIndexes(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustRel(t *testing.T, st *Store, name string) *RelStore {
+	t.Helper()
+	rs, ok := st.Rel(name)
+	if !ok {
+		t.Fatalf("relation %q missing", name)
+	}
+	return rs
+}

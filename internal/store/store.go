@@ -1,18 +1,22 @@
 // Package store maps catalog relations onto the paged storage
 // substrate: each relation's canonical NFR tuples live in a heap file
-// of encoded records behind a shared buffer pool, with an in-memory
-// hash index (rebuilt on open) keyed on the fixed (determinant)
-// attribute so victim tuples can be located by key instead of by
-// scanning. The whole database is one paged file plus a write-ahead-log
-// sidecar (<path>.wal):
+// of encoded records behind a shared buffer pool, with two durable
+// hash indexes in the same file — full tuple key → RID, and fixed
+// (determinant) atom → RID — so victim tuples are located by key
+// instead of by scanning, and reopening attaches to the persisted
+// index structures instead of rebuilding them (open-phase I/O is
+// O(catalog + index directories), not O(heap); see
+// storage.DiskHashIndex). The whole database is one paged file plus a
+// write-ahead-log sidecar (<path>.wal):
 //
 //	page 1    catalog heap chain — record 0 is the header
 //	          (magic "NFRS" + format version + database id), every
 //	          further live record is one relation definition + its
-//	          heap root
+//	          heap root + its two index roots
 //	page 2    free-list heap chain — 4-byte page ids reclaimable
 //	          from dropped relations (see freelist.go)
-//	page *    per-relation heap chains of encoding.EncodeTuple records
+//	page *    per-relation heap chains of encoding.EncodeTuple
+//	          records, and index directory/bucket chains
 //
 // The store is the durability half of the engine's "realization view"
 // (paper Section 5): the engine keeps the canonical form in memory for
@@ -29,14 +33,18 @@
 package store
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
+	"repro/internal/encoding"
 	"repro/internal/storage"
+	"repro/internal/tuple"
 )
 
 // Magic identifies a paged NFR database file (header record of the
@@ -45,11 +53,21 @@ var Magic = [4]byte{'N', 'F', 'R', 'S'}
 
 // FormatVersion is the current paged file format version. Version 2
 // added the page-header checksum field, the free-list page, and the WAL
-// sidecar; version-1 files predate the checksum field and are not
-// readable. The 8-byte database id appended to the header record is a
-// backward-compatible version-2 extension (headers without it are
-// accepted but cannot be pairing-checked).
-const FormatVersion = 2
+// sidecar; version 3 adds durable hash indexes (per-relation directory
+// and bucket pages, roots recorded in the catalog record). Version-2
+// files remain openable: the first writable open rebuilds the indexes
+// once by heap scan, persists them, and bumps the header — after which
+// every open attaches in O(index directory) page reads. Version-1
+// files predate the checksum field and are not readable. The 8-byte
+// database id appended to the header record is a backward-compatible
+// version-2 extension (headers without it are accepted but cannot be
+// pairing-checked).
+const FormatVersion = 3
+
+// formatV2 is the previous format version: no durable indexes,
+// rebuild-on-open. Still readable; upgraded in place (see
+// upgradeIndexes).
+const formatV2 = 2
 
 // DefaultPoolPages is the buffer-pool capacity used when Options does
 // not specify one.
@@ -95,10 +113,12 @@ type Options struct {
 	// 0 = DefaultCheckpointBytes, negative = only checkpoint on
 	// Flush/Close.
 	CheckpointBytes int64
-	// NoSweep suppresses the open-time orphan-page sweep — the only
-	// NON-recovery write Open performs. Read-only and load-once callers
-	// set it so opening a cleanly-closed file never mutates it (crash
-	// recovery, when the file demands it, still writes).
+	// NoSweep suppresses the NON-recovery writes Open can perform: the
+	// orphan-page sweep (after crash recovery) and the one-time v2→v3
+	// durable-index upgrade. Read-only and load-once callers set it so
+	// opening a cleanly-closed file never mutates it (crash recovery,
+	// when the file demands it, still writes); a v2 file opened this
+	// way serves from in-memory rebuilt indexes instead.
 	NoSweep bool
 }
 
@@ -113,6 +133,7 @@ type Store struct {
 	remove  func(string) error
 	ckptAt  int64
 	dbid    uint64
+	hdrVer  byte // format version byte read from the header record
 	catalog *storage.HeapFile
 	rels    map[string]*RelStore
 
@@ -140,9 +161,13 @@ type Store struct {
 // the log's torn tail, if any, is discarded — see docs/recovery.md. A
 // sidecar whose header carries a different database id than the data
 // file is refused (ErrMispaired) before any replay. On an existing
-// file the catalog is then read and every relation's hash indexes are
-// rebuilt from its heap (the classic rebuild-on-start design: the heap
-// and the log are the only durable structures).
+// file the catalog is then read and every relation attaches to its
+// durable hash indexes — O(catalog + index directories) page reads,
+// never a heap scan. A version-2 file (rebuild-on-open era) is
+// upgraded in place exactly once: its indexes are rebuilt by scanning,
+// persisted, and the header version bumped, so the next open is fast
+// (Options.NoSweep defers the upgrade and serves from in-memory
+// indexes instead).
 func Open(path string, opts Options) (*Store, error) {
 	if opts.PoolPages <= 0 {
 		opts.PoolPages = DefaultPoolPages
@@ -165,6 +190,10 @@ func Open(path string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
+	// A sidecar on disk marks a crashed (or still-open) database — the
+	// only kind whose degraded paths can have orphaned pages, so only
+	// those opens pay for the sweep's chain walks.
+	hadSidecar := wal.Existed()
 	closeWAL := func() { wal.Close() }
 
 	df, err := openFile(path, true)
@@ -286,9 +315,23 @@ func Open(path string, opts Options) (*Store, error) {
 			ErrMispaired, s.dbid, wal.DBID())
 	}
 	wal.SetDBID(s.dbid)
-	// Reclaim pages the degraded paths orphaned (after SetDBID, so a
-	// sweep that creates the sidecar stamps the right database id).
+	// One-time v2→v3 upgrade: persist durable indexes for relations
+	// attached from rebuild-on-open records (skipped by NoSweep, whose
+	// callers forbid non-recovery writes — they keep the in-memory
+	// indexes the attach already built).
 	if existing && !opts.NoSweep {
+		if err := s.upgradeIndexes(); err != nil {
+			s.Discard()
+			return nil, err
+		}
+	}
+	// Reclaim pages the degraded paths orphaned (after SetDBID, so a
+	// sweep that creates the sidecar stamps the right database id, and
+	// after the upgrade, so fresh index pages count as referenced). A
+	// cleanly-closed file has no sidecar and skips the walk — clean
+	// opens stay bounded by catalog + index metadata; SweepOrphans
+	// remains callable explicitly.
+	if existing && !opts.NoSweep && hadSidecar {
 		if err := s.sweepOrphans(); err != nil {
 			s.Discard()
 			return nil, err
@@ -403,10 +446,11 @@ func (s *Store) loadCatalog() error {
 				err = fmt.Errorf("%w: bad header record", ErrCorrupt)
 				return false
 			}
-			if rec[4] != FormatVersion {
+			if rec[4] != FormatVersion && rec[4] != formatV2 {
 				err = fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, rec[4])
 				return false
 			}
+			s.hdrVer = rec[4]
 			if len(rec) == headerRecordLen {
 				s.dbid = binary.LittleEndian.Uint64(rec[5:])
 			}
@@ -448,9 +492,122 @@ func (s *Store) loadCatalog() error {
 	return nil
 }
 
+// upgradeIndexes is the one-time v2→v3 migration, run during Open
+// (single-threaded, before the store is shared): every relation
+// attached from a rebuild-on-open record gets durable indexes built by
+// one heap scan, its catalog record is rewritten with the index roots,
+// the header version byte is bumped in place, and the whole upgrade
+// commits as one batch. Already-v3 files return immediately.
+func (s *Store) upgradeIndexes() error {
+	var legacy []*RelStore
+	for _, rs := range s.rels {
+		if rs.ridsD == nil {
+			legacy = append(legacy, rs)
+		}
+	}
+	if len(legacy) == 0 && s.hdrVer == FormatVersion {
+		return nil
+	}
+	sort.Slice(legacy, func(i, j int) bool { return legacy[i].def.Name < legacy[j].def.Name })
+	txn := s.Begin()
+	for _, rs := range legacy {
+		if err := s.buildIndexes(txn, rs); err != nil {
+			return fmt.Errorf("%w: upgrading indexes of %q: %v", ErrCorrupt, rs.def.Name, err)
+		}
+	}
+	if err := s.bumpHeaderVersion(txn); err != nil {
+		return err
+	}
+	return s.Commit(txn)
+}
+
+// buildIndexes scan-builds both durable indexes for a legacy relation
+// under txn and rewrites its catalog record with the roots.
+func (s *Store) buildIndexes(txn *Txn, rs *RelStore) error {
+	ridsD, err := storage.CreateDiskIndex(s.bp, txn)
+	if err != nil {
+		return err
+	}
+	fixedD, err := storage.CreateDiskIndex(s.bp, txn)
+	if err != nil {
+		return err
+	}
+	fixedAttr := rs.fixedAttr()
+	var putErr error
+	if err := rs.scanRaw(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
+		if putErr = ridsD.Put(txn, []byte(t.Key()), rid); putErr != nil {
+			return false
+		}
+		for _, a := range t.Set(fixedAttr).Atoms() {
+			if putErr = fixedD.Put(txn, encoding.AppendAtom(nil, a), rid); putErr != nil {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if putErr != nil {
+		return putErr
+	}
+	if err := s.catalog.Delete(txn, rs.catRID); err != nil {
+		return err
+	}
+	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(rs.def, rs.heap.FirstPage(), ridsD.Root(), fixedD.Root()))
+	if err != nil {
+		return err
+	}
+	rs.mu.Lock()
+	rs.catRID = rid
+	rs.ridsD, rs.fixedD = ridsD, fixedD
+	rs.rids, rs.fixed = ridsD, fixedD
+	rs.count = ridsD.Len()
+	rs.mu.Unlock()
+	return nil
+}
+
+// bumpHeaderVersion overwrites the header record's version byte in
+// place (the record never moves from page 1, slot 0 — probeDBID relies
+// on that location).
+func (s *Store) bumpHeaderVersion(txn *Txn) error {
+	fr, err := s.bp.GetMut(txn, catalogRoot)
+	if err != nil {
+		return err
+	}
+	rec, gerr := fr.Page().Get(0)
+	if gerr != nil || len(rec) < legacyHeaderLen || string(rec[:4]) != string(Magic[:]) {
+		s.bp.Unpin(fr, false)
+		return fmt.Errorf("%w: header record missing during upgrade", ErrCorrupt)
+	}
+	rec[4] = FormatVersion
+	s.hdrVer = FormatVersion
+	return s.bp.Unpin(fr, true)
+}
+
+// VerifyIndexes checks every relation's indexes against a fresh heap
+// scan — the rebuild oracle (see RelStore.VerifyIndex). It performs no
+// writes; tests, the crash harnesses, and the reopen bench leg call it
+// after every recovery to assert the durable index is never more than
+// a view of the heap.
+func (s *Store) VerifyIndexes() error {
+	s.mu.Lock()
+	rels := make(map[string]*RelStore, len(s.rels))
+	for n, rs := range s.rels {
+		rels[n] = rs
+	}
+	s.mu.Unlock()
+	for name, rs := range rels {
+		if err := rs.VerifyIndex(); err != nil {
+			return fmt.Errorf("relation %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
 // CreateRelation registers a new empty relation under txn: a fresh heap
-// chain plus a catalog record pointing at it. The caller owns the
-// commit boundary (the engine commits once per statement).
+// chain, both durable hash indexes, and a catalog record pointing at
+// all three. The caller owns the commit boundary (the engine commits
+// once per statement).
 func (s *Store) CreateRelation(txn *Txn, def RelationDef) (*RelStore, error) {
 	if err := def.validate(); err != nil {
 		return nil, err
@@ -464,24 +621,33 @@ func (s *Store) CreateRelation(txn *Txn, def RelationDef) (*RelStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(def, heap.FirstPage()))
+	ridsD, err := storage.CreateDiskIndex(s.bp, txn)
 	if err != nil {
 		return nil, err
 	}
-	rs := newRelStore(s, def, heap, rid)
+	fixedD, err := storage.CreateDiskIndex(s.bp, txn)
+	if err != nil {
+		return nil, err
+	}
+	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(def, heap.FirstPage(), ridsD.Root(), fixedD.Root()))
+	if err != nil {
+		return nil, err
+	}
+	rs := newRelStore(s, def, heap, rid, ridsD, fixedD)
 	s.rels[def.Name] = rs
 	return rs, nil
 }
 
 // DropRelation removes a relation's durable state under txn: its
-// catalog record is tombstoned and its heap chain's pages are pushed
-// onto the free list for reuse — all in the same transaction, so
-// across a crash the catalog and the free list agree. The in-memory
-// catalog entry is kept until CompleteDrop, so a failed commit can be
-// rolled back (Rollback) with the relation fully intact. Failures
-// before the catalog delete leave the relation untouched; a free-list
-// failure after it degrades to orphaned pages (never double-owned
-// pages or a dangling catalog entry).
+// catalog record is tombstoned and its pages — the heap chain and both
+// index structures' chains — are pushed onto the free list for reuse,
+// all in the same transaction, so across a crash the catalog and the
+// free list agree. The in-memory catalog entry is kept until
+// CompleteDrop, so a failed commit can be rolled back (Rollback) with
+// the relation fully intact. Failures before the catalog delete leave
+// the relation untouched; a free-list failure after it degrades to
+// orphaned pages (never double-owned pages or a dangling catalog
+// entry).
 func (s *Store) DropRelation(txn *Txn, name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -489,7 +655,7 @@ func (s *Store) DropRelation(txn *Txn, name string) error {
 	if !ok {
 		return fmt.Errorf("store: unknown relation %q", name)
 	}
-	pids, err := rs.heap.Pages()
+	pids, err := rs.pages()
 	if err != nil {
 		return err
 	}

@@ -239,10 +239,21 @@ func TestCreateRelationValidation(t *testing.T) {
 
 func TestCatalogRecordRoundTrip(t *testing.T) {
 	def := testDef(t)
-	rec := encodeCatalogRecord(def, 7)
+	rec := encodeCatalogRecord(def, 7, 9, 12)
 	ce, err := decodeCatalogRecord(rec)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if ce.ridsRoot != 9 || ce.fixedRoot != 12 {
+		t.Fatalf("index roots lost: %d/%d", ce.ridsRoot, ce.fixedRoot)
+	}
+	// a v2 record (no roots) still decodes, with zero roots
+	v2, err := decodeCatalogRecord(encodeCatalogRecord(def, 7, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.ridsRoot != 0 || v2.fixedRoot != 0 {
+		t.Fatalf("v2 record decoded roots %d/%d", v2.ridsRoot, v2.fixedRoot)
 	}
 	if ce.heapFirst != 7 || ce.def.Name != def.Name ||
 		!ce.def.Schema.Equal(def.Schema) ||
@@ -251,9 +262,12 @@ func TestCatalogRecordRoundTrip(t *testing.T) {
 		len(ce.def.MVDs) != 1 || ce.def.MVDs[0].String() != def.MVDs[0].String() {
 		t.Fatalf("round trip changed definition: %+v", ce)
 	}
-	// every truncation of the record is rejected, never panics
+	// every truncation of the record is rejected, never panics — except
+	// the one that strips exactly the optional index-root tail, which is
+	// a well-formed v2 record by construction
+	v2len := len(encodeCatalogRecord(def, 7, 0, 0))
 	for i := 0; i < len(rec); i++ {
-		if _, err := decodeCatalogRecord(rec[:i+1]); err == nil && i+1 != len(rec) {
+		if _, err := decodeCatalogRecord(rec[:i+1]); err == nil && i+1 != len(rec) && i+1 != v2len {
 			t.Fatalf("truncated catalog record of %d bytes accepted", i+1)
 		}
 	}
@@ -261,77 +275,95 @@ func TestCatalogRecordRoundTrip(t *testing.T) {
 
 // TestSweepReclaimsOrphanedPages: a drop that runs while ANOTHER
 // transaction owns the free list leaves its chain orphaned (freePages
-// refuses to wait — see freelist.go); the next open's sweep must find
-// the unreferenced pages and put them back on the free list.
+// refuses to wait — see freelist.go). The sweep that reclaims such
+// pages runs automatically only on crashed opens (sidecar present);
+// after a clean close the orphans stay until an explicit SweepOrphans
+// — a clean open must stay bounded by catalog + index metadata and
+// never walk the heaps.
 func TestSweepReclaimsOrphanedPages(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sweep.nfrs")
-	st, err := Open(path, Options{PoolPages: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
 	def := testDef(t)
-	setup := st.Begin()
-	rs, err := st.CreateRelation(setup, def)
-	if err != nil {
-		t.Fatal(err)
-	}
 	// several fat records so the chain spans multiple pages
 	pad := make([]byte, 900)
 	for i := range pad {
 		pad[i] = 'x'
 	}
-	for i := 0; i < 8; i++ {
-		tp := tupleOf([][]string{
-			{string(pad) + string(rune('a'+i))}, {"b"}, {string(rune('s' + i))},
-		}, def.Order)
-		if err := rs.Insert(setup, tp); err != nil {
+	// orphanDrop creates a multi-page relation and drops it while a
+	// foreign transaction owns the free list, returning the orphaned
+	// chain length (heap + index pages).
+	orphanDrop := func(st *Store, name string) int {
+		t.Helper()
+		d := def
+		d.Name = name
+		setup := st.Begin()
+		rs, err := st.CreateRelation(setup, d)
+		if err != nil {
 			t.Fatal(err)
 		}
+		for i := 0; i < 8; i++ {
+			tp := tupleOf([][]string{
+				{string(pad) + string(rune('a'+i))}, {"b"}, {string(rune('s' + i))},
+			}, d.Order)
+			if err := rs.Insert(setup, tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Commit(setup); err != nil {
+			t.Fatal(err)
+		}
+		chain, err := rs.pages()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chain) < 2 {
+			t.Fatalf("chain has %d page(s); need ≥ 2 for a meaningful sweep", len(chain))
+		}
+		free0 := st.FreePages()
+		owner := st.Begin()
+		if err := st.freePages(owner, nil); err != nil {
+			t.Fatal(err)
+		}
+		drop := st.Begin()
+		if err := st.DropRelation(drop, name); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Commit(drop); err != nil {
+			t.Fatal(err)
+		}
+		st.CompleteDrop(name)
+		if got := st.FreePages(); got != free0 {
+			t.Fatalf("drop under foreign free-list ownership freed %d page(s), want %d (orphaned)", got, free0)
+		}
+		if err := st.Commit(owner); err != nil {
+			t.Fatal(err)
+		}
+		return len(chain)
 	}
-	if err := st.Commit(setup); err != nil {
-		t.Fatal(err)
-	}
-	chain, err := rs.heap.Pages()
+
+	st, err := Open(path, Options{PoolPages: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(chain) < 2 {
-		t.Fatalf("chain has %d page(s); need ≥ 2 for a meaningful sweep", len(chain))
+	orphaned := orphanDrop(st, "R1")
+	// "crash": checkpoint so the data file is current, then discard —
+	// the sidecar stays behind, so the next open runs recovery AND the
+	// sweep
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
 	}
+	st.Discard()
 
-	// another transaction owns the free list while the drop commits
-	owner := st.Begin()
-	if err := st.freePages(owner, nil); err != nil {
-		t.Fatal(err)
-	}
-	drop := st.Begin()
-	if err := st.DropRelation(drop, def.Name); err != nil {
-		t.Fatal(err)
-	}
-	if err := st.Commit(drop); err != nil {
-		t.Fatal(err)
-	}
-	st.CompleteDrop(def.Name)
-	if got := st.FreePages(); got != 0 {
-		t.Fatalf("drop under foreign free-list ownership freed %d page(s), want 0 (orphaned)", got)
-	}
-	if err := st.Commit(owner); err != nil {
-		t.Fatal(err)
-	}
-	if err := st.Close(); err != nil {
-		t.Fatal(err)
-	}
-
-	// reopen: the sweep reclaims exactly the orphaned chain
 	st2, err := Open(path, Options{PoolPages: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer st2.Close()
-	if got := st2.FreePages(); got < len(chain) {
-		t.Fatalf("sweep reclaimed %d page(s), want ≥ %d (the orphaned chain)", got, len(chain))
+	if got := st2.FreePages(); got < orphaned {
+		t.Fatalf("post-crash sweep reclaimed %d page(s), want ≥ %d (the orphaned chain)", got, orphaned)
 	}
-	// a clean reopen sweeps nothing further
+	reclaimed := st2.FreePages()
+
+	// orphan again, close CLEANLY: the next open must NOT sweep...
+	orphaned2 := orphanDrop(st2, "R2")
 	if err := st2.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +372,23 @@ func TestSweepReclaimsOrphanedPages(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st3.Close()
-	if got, want := st3.FreePages(), st2.FreePages(); got != want {
-		t.Fatalf("second sweep changed the free list: %d vs %d", got, want)
+	after := st3.FreePages()
+	if after >= reclaimed+orphaned2 {
+		t.Fatalf("clean open swept orphans: %d free pages (had %d)", after, reclaimed)
+	}
+	// ...but an explicit sweep reclaims them
+	if err := st3.SweepOrphans(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st3.FreePages(); got < after+orphaned2 {
+		t.Fatalf("explicit sweep reclaimed %d page(s), want ≥ %d", got-after, orphaned2)
+	}
+	// a second sweep finds nothing further
+	before := st3.FreePages()
+	if err := st3.SweepOrphans(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st3.FreePages(); got != before {
+		t.Fatalf("second sweep changed the free list: %d vs %d", got, before)
 	}
 }
