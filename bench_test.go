@@ -1,4 +1,4 @@
-package nfr
+package nfr_test
 
 // Benchmark harness: one benchmark per paper artifact (figures,
 // examples, theorems — see DESIGN.md §3) plus the ablation benches of
@@ -25,6 +25,7 @@ import (
 	"repro/internal/tuple"
 	"repro/internal/update"
 	"repro/internal/value"
+	"repro/internal/vset"
 	"repro/internal/workload"
 )
 
@@ -106,7 +107,7 @@ func BenchmarkInsertIncremental(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := tuple.Flat{
-			Row("0")[0], Row("0")[0], Row("0")[0],
+			tuple.FlatOfStrings("0")[0], tuple.FlatOfStrings("0")[0], tuple.FlatOfStrings("0")[0],
 		}
 		f[0] = workloadAtom(rng, 4000)
 		f[1] = workloadAtom(rng, 12)
@@ -162,7 +163,7 @@ func BenchmarkInsertIncrementalVsRebuild(b *testing.B) {
 	})
 }
 
-func workloadAtom(rng *rand.Rand, n int) Atom {
+func workloadAtom(rng *rand.Rand, n int) value.Atom {
 	return value.NewInt(int64(rng.Intn(n)))
 }
 
@@ -296,7 +297,7 @@ func sizeName(n int) string {
 func BenchmarkVSetOps(b *testing.B) {
 	r := benchRelation(500)
 	c, _ := r.Canonical(schema.IdentityPerm(3))
-	sets := make([]Set, 0, c.Len())
+	sets := make([]vset.Set, 0, c.Len())
 	for i := 0; i < c.Len(); i++ {
 		sets = append(sets, c.Tuple(i).Set(2))
 	}

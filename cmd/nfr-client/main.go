@@ -1,0 +1,136 @@
+// Command nfr-client is the interactive shell (and script runner) for
+// a remote nfr-server: the network twin of nfr-repl. Statements end
+// with ';' and may span lines; results render as the paper-style
+// tables. See docs/server.md for the wire protocol underneath.
+//
+// Usage:
+//
+//	nfr-client [-addr HOST:PORT] [-timeout DUR] [-retries N] [script.nfq]
+//
+// Extra commands: \stats (server-wide statistics), \ping, \quit.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	nfr "repro"
+	"repro/client"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4632", "server address (host:port)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-statement I/O timeout")
+	retries := flag.Int("retries", 3, "dial retry attempts")
+	flag.Parse()
+
+	c, err := client.Dial(*addr,
+		client.WithIOTimeout(*timeout),
+		client.WithDialRetries(*retries))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dial:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	var in io.Reader = os.Stdin
+	interactive := true
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+	os.Exit(run(c, in, os.Stdout, interactive))
+}
+
+func run(c *client.Client, in io.Reader, out io.Writer, interactive bool) int {
+	ctx := context.Background()
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var pending strings.Builder
+	prompt := func() {
+		if interactive {
+			if pending.Len() == 0 {
+				fmt.Fprint(out, "nfr> ")
+			} else {
+				fmt.Fprint(out, "...> ")
+			}
+		}
+	}
+	exitCode := 0
+	exec := func(stmt string) {
+		res, err := c.Exec(ctx, stmt)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			if !interactive {
+				exitCode = 1
+			}
+			return
+		}
+		if res.Relation != nil {
+			fmt.Fprintln(out, nfr.RenderTable(res.Relation))
+		} else {
+			fmt.Fprintln(out, res.Message)
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case "\\quit", "\\q":
+			return exitCode
+		case "\\ping":
+			start := time.Now()
+			if err := c.Ping(ctx); err != nil {
+				fmt.Fprintln(out, "ping:", err)
+			} else {
+				fmt.Fprintf(out, "pong (%.2fms)\n", float64(time.Since(start).Microseconds())/1000)
+			}
+			prompt()
+			continue
+		case "\\stats":
+			st, err := c.Stats(ctx)
+			if err != nil {
+				fmt.Fprintln(out, "stats:", err)
+			} else {
+				body, _ := json.MarshalIndent(st, "", "  ")
+				fmt.Fprintln(out, string(body))
+			}
+			prompt()
+			continue
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, "--") {
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt()
+			continue
+		}
+		stmt := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
+		pending.Reset()
+		exec(stmt)
+		prompt()
+	}
+	if pending.Len() > 0 {
+		if stmt := strings.TrimSpace(pending.String()); stmt != "" {
+			exec(strings.TrimSuffix(stmt, ";"))
+		}
+	}
+	return exitCode
+}

@@ -122,14 +122,29 @@ type Database struct {
 	readOnly bool
 	closed   atomic.Bool
 
-	// transaction machinery: monotonically increasing ids (wait-die
-	// ages), the DDL latch serializing catalog mutations, and the open
-	// set Close rolls back.
-	txSeq   atomic.Uint64
+	// transaction machinery: the DDL latch serializing catalog
+	// mutations, and the open set Close rolls back. Transaction ids
+	// (wait-die ages) come from the process-wide txIDSeq, not a
+	// per-Database counter.
 	ddl     *latch
 	txMu    sync.Mutex
 	openTxs map[*Tx]struct{}
 }
+
+// txIDSeq is the process-wide transaction id source. Wait-die compares
+// transaction ids as ages, so ids must be unique and monotonic across
+// every transaction that could ever contend — with a network server in
+// front, that means across all sessions and all Database instances in
+// the process, not per Database: two handles each minting ids from
+// their own counter would hand out the same age twice, and wait-die's
+// no-cycle argument (any wait chain has strictly decreasing ages)
+// silently loses its footing. One atomic for the whole process keeps
+// the ordering total. See TestTxIDsProcessWide.
+var txIDSeq atomic.Uint64
+
+// nextTxID mints a fresh process-wide transaction id (never 0 — 0
+// means "assign one" in begin).
+func nextTxID() uint64 { return txIDSeq.Add(1) }
 
 // New creates an empty in-memory database.
 func New() *Database {
@@ -323,6 +338,17 @@ func (db *Database) PoolStats() (hits, misses, evictions int, ok bool) {
 	}
 	hits, misses, evictions = db.st.PoolStats()
 	return hits, misses, evictions, true
+}
+
+// AllPoolStats reports the full buffer-pool counter set (including
+// overflow and checksum-repair counts, which the three-int PoolStats
+// omits) for a disk-backed database; ok is false in memory mode. The
+// server's STATS frame serves this snapshot.
+func (db *Database) AllPoolStats() (st storage.PoolStats, ok bool) {
+	if db.st == nil {
+		return storage.PoolStats{}, false
+	}
+	return db.st.AllPoolStats(), true
 }
 
 // OpenIOStats reports the buffer-pool counters consumed by store.Open

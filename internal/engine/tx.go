@@ -174,7 +174,7 @@ func (db *Database) begin(ctx context.Context, id uint64) (*Tx, error) {
 		return nil, fmt.Errorf("engine: begin: %w", ErrClosed)
 	}
 	if id == 0 {
-		id = db.txSeq.Add(1)
+		id = nextTxID()
 	}
 	tx := &Tx{db: db, ctx: ctx, id: id}
 	db.txMu.Lock()

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestTxIDsProcessWide is the regression test for the wait-die id gap:
+// transaction ids are ages, and the no-deadlock argument needs a TOTAL
+// order over every transaction that can contend. A server hosts many
+// sessions (and conceivably several Database instances in one
+// process), so ids must come from one process-wide monotonic source —
+// a per-Database counter would mint the same age twice across
+// databases and quietly break wait-die's strictly-decreasing-age
+// invariant.
+func TestTxIDsProcessWide(t *testing.T) {
+	dbs := []*Database{New(), New(), New()}
+	ctx := context.Background()
+
+	// Interleaved begins across databases: every id unique, and within
+	// each database strictly increasing (ages grow with begin order).
+	seen := make(map[uint64]bool)
+	var lastPerDB [3]uint64
+	for round := 0; round < 50; round++ {
+		for i, db := range dbs {
+			tx, err := db.Begin(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[tx.id] {
+				t.Fatalf("round %d db %d: id %d minted twice across databases", round, i, tx.id)
+			}
+			seen[tx.id] = true
+			if tx.id <= lastPerDB[i] {
+				t.Fatalf("round %d db %d: id %d not monotonic (prev %d)", round, i, tx.id, lastPerDB[i])
+			}
+			lastPerDB[i] = tx.id
+			if err := tx.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Concurrent begins (the server's shape: one goroutine per
+	// connection) still mint unique ids.
+	const goroutines, perG = 16, 100
+	ids := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			db := dbs[g%len(dbs)]
+			for i := 0; i < perG; i++ {
+				tx, err := db.Begin(ctx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids[g] = append(ids[g], tx.id)
+				tx.Rollback()
+			}
+		}(g)
+	}
+	wg.Wait()
+	all := make(map[uint64]bool)
+	for g := range ids {
+		for _, id := range ids[g] {
+			if all[id] {
+				t.Fatalf("id %d minted twice under concurrency", id)
+			}
+			all[id] = true
+		}
+	}
+	if len(all) != goroutines*perG {
+		t.Fatalf("got %d ids, want %d", len(all), goroutines*perG)
+	}
+}

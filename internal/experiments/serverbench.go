@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/server"
+	"repro/internal/tuple"
+)
+
+// ServerBenchResult summarizes the network-server leg: N real TCP
+// clients on loopback, each its own connection and server-side
+// session, committing explicit transactions through the wire protocol.
+// The group-commit economics must survive the network hop — the WAL
+// still spends at most one fsync per transaction, and concurrently
+// committing connections still merge — while the wire adds a
+// measurable but bounded per-statement round-trip.
+type ServerBenchResult struct {
+	Clients      int
+	TxsPerClient int
+	StmtsPerTx   int
+
+	Txs        int // committed transactions
+	Statements int // statements sent (including BEGIN/COMMIT overhead)
+	Conflicts  int // wait-die retries (shared-relation contention)
+	Seconds    float64
+	StmtPerSec float64
+
+	P50Ms float64 // median statement round-trip
+	P99Ms float64 // tail statement round-trip
+
+	WALFsyncs   int
+	FsyncsPerTx float64 // must be ≤ 1; < 1 once commits merge
+	MaxGroup    int     // most transactions in one fsync
+
+	// every relation equals the single-threaded oracle, live and after
+	// a close/reopen
+	Equivalent bool
+}
+
+// RunServerBench starts an nfr server on a loopback port and drives
+// clients concurrent connections through the public client package:
+// each commits txsPerClient transactions of stmtsPerTx INSERTs on a
+// private relation (every 5th transaction also writes the shared
+// relation, so wait-die conflicts and cross-connection group-commit
+// merging both happen). It reports throughput and per-statement
+// round-trip latency, then verifies every relation against a
+// single-threaded oracle — live, and again after a graceful shutdown
+// and reopen.
+func RunServerBench(w io.Writer, dir string, seed int64, clients, txsPerClient, stmtsPerTx, poolPages int) (ServerBenchResult, error) {
+	res := ServerBenchResult{Clients: clients, TxsPerClient: txsPerClient, StmtsPerTx: stmtsPerTx}
+	sch := schema.MustOf("Student", "Course", "Club")
+	order := schema.MustPermOf(sch, "Course", "Club", "Student")
+	defFor := func(name string) engine.RelationDef {
+		return engine.RelationDef{Name: name, Schema: sch, Order: order}
+	}
+
+	path := filepath.Join(dir, "server-bench.nfrs")
+	db, err := engine.Open(path, engine.WithPoolPages(poolPages))
+	if err != nil {
+		return res, err
+	}
+	oracle := engine.New()
+	names := make([]string, clients)
+	flats := make([][]tuple.Flat, clients)
+	var sharedAll []tuple.Flat
+	perClient := txsPerClient * stmtsPerTx
+	for c := 0; c < clients; c++ {
+		names[c] = fmt.Sprintf("T%d", c)
+		for _, d := range []*engine.Database{db, oracle} {
+			if err := d.Create(defFor(names[c])); err != nil {
+				db.Close()
+				return res, err
+			}
+		}
+		flats[c] = concurrentFlats(seed, c, perClient)
+		if _, err := oracle.InsertMany(names[c], flats[c]); err != nil {
+			db.Close()
+			return res, err
+		}
+		for t := 4; t < txsPerClient; t += 5 {
+			sharedAll = append(sharedAll, flats[c][t*stmtsPerTx])
+		}
+	}
+	for _, d := range []*engine.Database{db, oracle} {
+		if err := d.Create(defFor("shared")); err != nil {
+			db.Close()
+			return res, err
+		}
+	}
+	if _, err := oracle.InsertMany("shared", sharedAll); err != nil {
+		db.Close()
+		return res, err
+	}
+
+	srv := server.New(db, server.Config{MaxConns: clients + 1})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		return res, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+	addr := lis.Addr().String()
+
+	ws0, _ := db.WALStats()
+	var sent, committed, conflicts atomic.Int64
+	lats := make([][]float64, clients) // per-statement round-trips, ms
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr)
+			if err != nil {
+				errCh <- fmt.Errorf("client %d: dial: %w", c, err)
+				return
+			}
+			defer cl.Close()
+			ctx := context.Background()
+			exec := func(stmt string) error {
+				t0 := time.Now()
+				_, err := cl.Exec(ctx, stmt)
+				lats[c] = append(lats[c], float64(time.Since(t0).Microseconds())/1000)
+				sent.Add(1)
+				return err
+			}
+			for t := 0; t < txsPerClient; t++ {
+				rows := flats[c][t*stmtsPerTx : (t+1)*stmtsPerTx]
+				stmts := []string{"BEGIN"}
+				if t%5 == 4 {
+					// shared first, while the transaction holds nothing,
+					// so the wait is always legal under wait-die
+					stmts = append(stmts, insertStmt("shared", rows[0]))
+				}
+				for _, f := range rows {
+					stmts = append(stmts, insertStmt(names[c], f))
+				}
+				stmts = append(stmts, "COMMIT")
+				// wait-die can refuse the shared latch; roll back and
+				// retry the whole transaction
+			retry:
+				for {
+					for _, stmt := range stmts {
+						if err := exec(stmt); err != nil {
+							if errors.Is(err, engine.ErrTxConflict) {
+								conflicts.Add(1)
+								if err := exec("ROLLBACK"); err != nil {
+									errCh <- fmt.Errorf("client %d tx %d: rollback: %w", c, t, err)
+									return
+								}
+								continue retry
+							}
+							errCh <- fmt.Errorf("client %d tx %d: %s: %w", c, t, stmt, err)
+							return
+						}
+					}
+					committed.Add(1)
+					break
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	close(errCh)
+	for err := range errCh {
+		srv.Close()
+		<-serveDone
+		db.Close()
+		return res, err
+	}
+
+	ws1, _ := db.WALStats()
+	res.Txs = int(committed.Load())
+	res.Statements = int(sent.Load())
+	res.Conflicts = int(conflicts.Load())
+	res.WALFsyncs = ws1.Fsyncs - ws0.Fsyncs
+	res.MaxGroup = ws1.MaxGroupBatches
+	if res.Txs > 0 {
+		res.FsyncsPerTx = float64(res.WALFsyncs) / float64(res.Txs)
+	}
+	if res.Seconds > 0 {
+		res.StmtPerSec = float64(res.Statements) / res.Seconds
+	}
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	res.P50Ms = percentile(all, 0.50)
+	res.P99Ms = percentile(all, 0.99)
+
+	// Graceful shutdown before verification: the server must hand the
+	// database back at a committed boundary.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		db.Close()
+		return res, fmt.Errorf("server shutdown: %w", err)
+	}
+	if err := <-serveDone; err != nil && err != server.ErrServerClosed {
+		db.Close()
+		return res, fmt.Errorf("serve: %w", err)
+	}
+
+	verify := func(d *engine.Database) (bool, error) {
+		for _, name := range append(append([]string{}, names...), "shared") {
+			got, err := d.ReadRelation(ctx, name)
+			if err != nil {
+				return false, err
+			}
+			want, err := oracle.ReadRelation(ctx, name)
+			if err != nil {
+				return false, err
+			}
+			if !got.Equal(want) || !got.EquivalentTo(want) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	live, err := verify(db)
+	if err != nil {
+		db.Close()
+		return res, err
+	}
+	if err := db.Close(); err != nil {
+		return res, err
+	}
+	db2, err := engine.Open(path, engine.WithPoolPages(poolPages))
+	if err != nil {
+		return res, fmt.Errorf("reopen after server bench: %w", err)
+	}
+	defer db2.Close()
+	if err := db2.VerifyIndexes(); err != nil {
+		return res, fmt.Errorf("reopened indexes disagree with heap: %w", err)
+	}
+	reopened, err := verify(db2)
+	if err != nil {
+		return res, err
+	}
+	res.Equivalent = live && reopened
+
+	fmt.Fprintf(w, "D4 — network server (TCP loopback, wire frames, one session per connection)\n")
+	fmt.Fprintf(w, "  %d clients × %d txs × %d statements (+1 shared statement per 5th tx): %d committed txs (%d statements incl. BEGIN/COMMIT) in %.3fs (%.0f stmts/s), %d wait-die retries\n",
+		res.Clients, res.TxsPerClient, res.StmtsPerTx, res.Txs, res.Statements, res.Seconds, res.StmtPerSec, res.Conflicts)
+	fmt.Fprintf(w, "  statement round-trip: p50 %.3fms, p99 %.3fms\n", res.P50Ms, res.P99Ms)
+	fmt.Fprintf(w, "  group commit over the wire: %d txs in %d fsyncs → %.3f fsyncs/tx (max group %d)\n",
+		res.Txs, res.WALFsyncs, res.FsyncsPerTx, res.MaxGroup)
+	fmt.Fprintf(w, "  all relations equivalent to single-threaded oracle (live + reopened): %v\n", res.Equivalent)
+	return res, nil
+}
+
+// insertStmt renders one flat tuple as an INSERT statement (the bench
+// rows are bare identifiers, so no quoting is needed).
+func insertStmt(name string, f tuple.Flat) string {
+	return fmt.Sprintf("INSERT INTO %s VALUES (%s, %s, %s)", name, f[0].S, f[1].S, f[2].S)
+}
+
+// percentile reads the p-quantile from an ascending-sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

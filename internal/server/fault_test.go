@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// killScript is one connection's worth of frames: two transactions
+// (BEGIN, INSERTs, COMMIT) whose rows are unique to the iteration, so
+// every connection's effect on the database is distinguishable.
+type killScript struct {
+	stream     []byte         // the raw frame bytes, in order
+	bounds     []int          // cumulative offset at the end of each frame
+	commitEnds []int          // offset at which each transaction's COMMIT frame completes
+	txRows     [][]tuple.Flat // rows inserted by each transaction
+}
+
+func buildKillScript(it int) killScript {
+	txs := [][]tuple.Flat{
+		{
+			flatRow(fmt.Sprintf("s%da", it), fmt.Sprintf("c%da", it), fmt.Sprintf("b%da", it)),
+			flatRow(fmt.Sprintf("s%db", it), fmt.Sprintf("c%db", it), fmt.Sprintf("b%db", it)),
+		},
+		{
+			flatRow(fmt.Sprintf("s%dc", it), fmt.Sprintf("c%dc", it), fmt.Sprintf("b%dc", it)),
+		},
+	}
+	var ks killScript
+	ks.txRows = txs
+	add := func(stmt string) {
+		ks.stream = wire.Append(ks.stream, wire.TQuery, []byte(stmt))
+		ks.bounds = append(ks.bounds, len(ks.stream))
+	}
+	for _, rows := range txs {
+		add("BEGIN")
+		for _, r := range rows {
+			add(stmtInsert("f", r[0].S, r[1].S, r[2].S))
+		}
+		add("COMMIT")
+		ks.commitEnds = append(ks.commitEnds, len(ks.stream))
+	}
+	return ks
+}
+
+// readRelWatchdog reads a relation with a deadline: if an orphaned
+// transaction leaked a latch, the read blocks and the watchdog turns
+// that into a test failure instead of a hang.
+func readRelWatchdog(t *testing.T, db *engine.Database, name string) *core.Relation {
+	t.Helper()
+	type out struct {
+		rel *core.Relation
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		rel, err := db.ReadRelation(context.Background(), name)
+		ch <- out{rel, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("read %s: %v", name, o.err)
+		}
+		return o.rel
+	case <-time.After(10 * time.Second):
+		t.Fatalf("read %s blocked: connection teardown leaked a latch", name)
+		return nil
+	}
+}
+
+// relKeys expands a relation to the set of flat-tuple keys.
+func relKeys(rel *core.Relation) map[string]bool {
+	keys := make(map[string]bool)
+	for _, f := range rel.Expand() {
+		keys[f.Key()] = true
+	}
+	return keys
+}
+
+// TestKillAtEveryFrameBoundary is the fault-injection satellite: a
+// client runs a two-transaction frame script and the connection is
+// killed at every byte offset of the stream — not just frame
+// boundaries — in two ways:
+//
+//   - "drain": half-close after the prefix (FIN, read side open). TCP
+//     delivers every written byte before the EOF, so the outcome is
+//     deterministic: a transaction committed iff its COMMIT frame was
+//     fully inside the prefix.
+//   - "abort": full close with replies unread. The server's response
+//     writes start failing mid-script, so which suffix of delivered
+//     frames still executes is timing-dependent — but the database
+//     must land on a prefix of the script's transactions, whole
+//     transactions only.
+//
+// After every kill the orphaned transaction must be rolled back with
+// no leaked latches (probed by a watchdogged read), and at the end the
+// file must reopen checksum-clean with indexes matching the heap and
+// contents matching the running oracle.
+func TestKillAtEveryFrameBoundary(t *testing.T) {
+	dir := t.TempDir()
+	srv, db, addr := startServer(t, dir, Config{})
+
+	setup, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, setup, "CREATE f (Student, Course, Club)")
+	setup.Close()
+	waitConns(t, srv, 0)
+
+	expect := make(map[string]bool) // oracle: keys of every committed row
+
+	// cutsFor picks the kill offsets for one script. The full run cuts
+	// at every byte; -short keeps the frame boundaries plus a mid-frame
+	// offset per frame, which still covers every boundary case.
+	cutsFor := func(ks killScript) []int {
+		if !testing.Short() {
+			cuts := make([]int, len(ks.stream)+1)
+			for i := range cuts {
+				cuts[i] = i
+			}
+			return cuts
+		}
+		seen := map[int]bool{0: true}
+		for _, b := range ks.bounds {
+			seen[b] = true
+			if b >= 3 {
+				seen[b-3] = true // mid-frame: inside the CRC or payload
+			}
+		}
+		cuts := make([]int, 0, len(seen))
+		for c := range seen {
+			cuts = append(cuts, c)
+		}
+		sort.Ints(cuts)
+		return cuts
+	}
+
+	it := 0
+	for _, mode := range []string{"drain", "abort"} {
+		// Each connection gets a fresh script (unique rows), so the cut
+		// list is recomputed per iteration; the stream only grows as the
+		// iteration counter gains digits, so indexing it by a
+		// monotonically increasing position terminates.
+		for ci := 0; ; ci++ {
+			ks := buildKillScript(it)
+			it++
+			cuts := cutsFor(ks)
+			if ci >= len(cuts) {
+				break
+			}
+			cut := cuts[ci]
+
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatalf("%s cut %d: dial: %v", mode, cut, err)
+			}
+			nc.SetDeadline(time.Now().Add(10 * time.Second))
+			if _, _, err := wire.Read(nc); err != nil { // hello
+				t.Fatalf("%s cut %d: hello: %v", mode, cut, err)
+			}
+			if _, err := nc.Write(ks.stream[:cut]); err != nil {
+				t.Fatalf("%s cut %d: write: %v", mode, cut, err)
+			}
+			if mode == "drain" {
+				// FIN now, but keep reading: the server executes every
+				// delivered frame, answers each, then hits EOF and rolls
+				// back whatever transaction is still open.
+				nc.(*net.TCPConn).CloseWrite()
+				for {
+					if _, _, err := wire.Read(nc); err != nil {
+						break
+					}
+				}
+			}
+			nc.Close()
+			waitConns(t, srv, 0)
+
+			actual := relKeys(readRelWatchdog(t, db, "f"))
+
+			// Which of this script's transactions landed?
+			committed := make([]bool, len(ks.txRows))
+			for i, rows := range ks.txRows {
+				present := 0
+				for _, r := range rows {
+					if actual[r.Key()] {
+						present++
+					}
+				}
+				switch present {
+				case 0:
+				case len(rows):
+					committed[i] = true
+				default:
+					t.Fatalf("%s cut %d: tx %d half-applied: %d of %d rows", mode, cut, i, present, len(rows))
+				}
+			}
+			for i, c := range committed {
+				if c && ks.commitEnds[i] > cut {
+					t.Fatalf("%s cut %d: tx %d committed but its COMMIT frame was never sent", mode, cut, i)
+				}
+				if c && i > 0 && !committed[i-1] {
+					t.Fatalf("%s cut %d: tx %d committed without tx %d", mode, cut, i, i-1)
+				}
+				if mode == "drain" && !c && ks.commitEnds[i] <= cut {
+					t.Fatalf("%s cut %d: tx %d lost despite its COMMIT frame being delivered", mode, cut, i)
+				}
+				if c {
+					for _, r := range ks.txRows[i] {
+						expect[r.Key()] = true
+					}
+				}
+			}
+
+			// The whole relation matches the oracle exactly: nothing
+			// extra survived a rollback, nothing committed went missing.
+			if len(actual) != len(expect) {
+				t.Fatalf("%s cut %d: %d rows, oracle has %d", mode, cut, len(actual), len(expect))
+			}
+			for k := range expect {
+				if !actual[k] {
+					t.Fatalf("%s cut %d: committed row %s missing", mode, cut, k)
+				}
+			}
+		}
+	}
+
+	// Reopen: the file left behind by all those kills must be
+	// checksum-valid, index-consistent, and oracle-equivalent.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	db2, err := engine.Open(filepath.Join(dir, "served.nfrs"))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if err := db2.VerifyIndexes(); err != nil {
+		t.Fatalf("reopened indexes disagree with heap: %v", err)
+	}
+	reopened := relKeys(readRelWatchdog(t, db2, "f"))
+	if len(reopened) != len(expect) {
+		t.Fatalf("reopened: %d rows, oracle has %d", len(reopened), len(expect))
+	}
+	for k := range expect {
+		if !reopened[k] {
+			t.Fatalf("reopened: committed row %s missing", k)
+		}
+	}
+}

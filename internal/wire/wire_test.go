@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("SELECT * FROM enrollment"),
+		bytes.Repeat([]byte{0xA5}, 1<<16),
+	}
+	types := []byte{TQuery, TStats, THello, TMsg, TRows, TErr, TBye}
+	var stream []byte
+	for i, p := range payloads {
+		stream = Append(stream, types[i%len(types)], p)
+	}
+	// Read back via the io.Reader path.
+	r := bytes.NewReader(stream)
+	for i, p := range payloads {
+		typ, got, err := Read(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != types[i%len(types)] {
+			t.Fatalf("frame %d: type 0x%02x, want 0x%02x", i, typ, types[i%len(types)])
+		}
+		if !bytes.Equal(got, p) && !(len(got) == 0 && len(p) == 0) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if _, _, err := Read(r); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+	// And via the slice path.
+	rest := stream
+	for i, p := range payloads {
+		typ, got, n, err := Decode(rest)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if typ != types[i%len(types)] || (!bytes.Equal(got, p) && !(len(got) == 0 && len(p) == 0)) {
+			t.Fatalf("decode %d: wrong frame", i)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+}
+
+// TestTruncated cuts a two-frame stream at every byte offset: every cut
+// must yield the whole frames before the cut, then exactly one
+// ErrTruncated (or io.EOF at a frame boundary), never a panic and
+// never a frame that was not sent.
+func TestTruncated(t *testing.T) {
+	var stream []byte
+	stream = Append(stream, TQuery, []byte("BEGIN"))
+	stream = Append(stream, TQuery, []byte("INSERT INTO r VALUES (a, b)"))
+	boundaries := map[int]bool{0: true, 4 + frameOverhead + len("BEGIN"): true, len(stream): true}
+	for cut := 0; cut <= len(stream); cut++ {
+		r := bytes.NewReader(stream[:cut])
+		frames := 0
+		for {
+			_, _, err := Read(r)
+			if err == nil {
+				frames++
+				continue
+			}
+			if err == io.EOF {
+				if !boundaries[cut] {
+					t.Fatalf("cut %d: clean EOF inside a frame", cut)
+				}
+			} else if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut %d: %v, want ErrTruncated", cut, err)
+			} else if boundaries[cut] {
+				t.Fatalf("cut %d: ErrTruncated at a frame boundary", cut)
+			}
+			break
+		}
+	}
+}
+
+func TestCorrupted(t *testing.T) {
+	base := Append(nil, TQuery, []byte("SHOW r"))
+	// Flip every byte of the frame one at a time: each corruption must
+	// be rejected (bad length, bad CRC, or — for length-field bytes —
+	// truncation), never accepted as the original frame.
+	for i := range base {
+		mut := append([]byte(nil), base...)
+		mut[i] ^= 0xFF
+		typ, payload, _, err := Decode(mut)
+		if err == nil && typ == TQuery && string(payload) == "SHOW r" {
+			t.Fatalf("byte %d flipped: frame accepted unchanged", i)
+		}
+	}
+	// An oversized length prefix is refused before any allocation.
+	huge := binary.BigEndian.AppendUint32(nil, uint32(frameOverhead+MaxPayload+1))
+	huge = append(huge, make([]byte, 64)...)
+	if _, _, err := Read(bytes.NewReader(huge)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized frame: %v, want ErrTooLarge", err)
+	}
+	// A length below the fixed overhead is structurally invalid.
+	tiny := binary.BigEndian.AppendUint32(nil, 3)
+	tiny = append(tiny, 1, 2, 3)
+	if _, _, err := Read(bytes.NewReader(tiny)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("undersized frame: %v, want ErrFrame", err)
+	}
+}
+
+func TestErrHelpers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteErr(&buf, CodeTxConflict, "conflict"); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := Read(&buf)
+	if err != nil || typ != TErr {
+		t.Fatalf("read: type 0x%02x err %v", typ, err)
+	}
+	code, msg := SplitErr(payload)
+	if code != CodeTxConflict || msg != "conflict" {
+		t.Fatalf("got (%d, %q)", code, msg)
+	}
+	if code, msg := SplitErr(nil); code != CodeGeneric || msg == "" {
+		t.Fatalf("empty payload: got (%d, %q)", code, msg)
+	}
+}
+
+func TestAppendRejectsOversizedPayload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append accepted an over-MaxPayload payload")
+		}
+	}()
+	// Do not actually allocate 16 MiB+: a fake-length slice would be
+	// invalid Go, so use a real one — it is transient.
+	Append(nil, TQuery, make([]byte, MaxPayload+1))
+}
+
+// FuzzWireFrame is the codec's adversarial gate: arbitrary bytes must
+// never panic the decoder, decoded frames must re-encode to the exact
+// consumed bytes, and encoding any (type, payload) must decode back to
+// itself.
+func FuzzWireFrame(f *testing.F) {
+	f.Add([]byte{}, byte(TQuery), []byte("SELECT * FROM r"))
+	f.Add(Append(nil, TStats, nil), byte(TMsg), []byte("ok"))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x00}, byte(TErr), []byte{CodeBusy})
+	f.Add([]byte{0, 0, 0, 5, 0x01, 0, 0, 0, 0}, byte(THello), []byte{ProtoVersion})
+	f.Add(bytes.Repeat([]byte{0x00}, 12), byte(TBye), []byte{})
+	f.Fuzz(func(t *testing.T, raw []byte, typ byte, payload []byte) {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		// 1. Arbitrary bytes through both decode paths: no panic, and
+		// the two paths agree frame-for-frame.
+		sTyp, sPayload, n, sErr := Decode(raw)
+		rTyp, rPayload, rErr := Read(bytes.NewReader(raw))
+		if (sErr == nil) != (rErr == nil && rErr != io.EOF) {
+			// Decode treats a clean empty prefix as truncated while Read
+			// reports io.EOF; both are rejections.
+			if !(sErr != nil && rErr == io.EOF) {
+				t.Fatalf("paths disagree: Decode err %v, Read err %v", sErr, rErr)
+			}
+		}
+		if sErr == nil {
+			if sTyp != rTyp || !bytes.Equal(sPayload, rPayload) {
+				t.Fatalf("paths decoded different frames")
+			}
+			// 2. A decoded frame re-encodes to exactly its consumed bytes.
+			if re := Append(nil, sTyp, sPayload); !bytes.Equal(re, raw[:n]) {
+				t.Fatalf("re-encode mismatch")
+			}
+		}
+		// 3. Encode/decode round-trip for the fuzzed (type, payload).
+		enc := Append(nil, typ, payload)
+		gotTyp, gotPayload, n2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		if gotTyp != typ || !bytes.Equal(gotPayload, payload) || n2 != len(enc) {
+			t.Fatalf("round-trip mismatch: type 0x%02x→0x%02x", typ, gotTyp)
+		}
+		// 4. Streams never resynchronize onto garbage: appending a valid
+		// frame after garbage must not make the garbage parse.
+		if len(raw) > 0 && sErr != nil && !errors.Is(sErr, ErrTruncated) {
+			if _, _, err := Read(io.MultiReader(bytes.NewReader(raw), bytes.NewReader(enc))); err == nil {
+				t.Fatalf("garbage prefix accepted once followed by a valid frame")
+			}
+		}
+	})
+}

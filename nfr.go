@@ -42,6 +42,12 @@
 //	tx.Insert("enrollment", nfr.Row("s9", "c2", "b2"))
 //	if err := tx.Commit(); err != nil { ... } // one fsync for both
 //
+// A database file can also be served over TCP: cmd/nfr-server speaks
+// the internal/wire frame protocol, the client package is the Go
+// client (with the same error taxonomy rebuilt across the wire), and
+// cmd/nfr-client is the interactive shell. See docs/server.md for the
+// frame format, connection lifecycle, and shutdown-drain rules.
+//
 // See examples/ for runnable programs and internal/experiments for the
 // paper-reproduction harness.
 package nfr
