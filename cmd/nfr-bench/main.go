@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nfr-bench [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk|reopen|concurrent [clients [perClient]]]
+//	nfr-bench [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk|reopen|readers [readers [students]]|concurrent [clients [perClient]]]
 //
 // The disk experiment drives the enrollment workload through the
 // disk-backed engine (paged file + WAL + buffer pool) and reports pool
@@ -13,7 +13,10 @@
 // crash-recovery replay, and realization equivalence. The reopen
 // experiment measures the open-phase page reads of a clean database
 // and fails if an open ever scans a full heap (the durable hash index
-// must keep opens bounded by catalog + index metadata). The concurrent
+// must keep opens bounded by catalog + index metadata). The readers
+// experiment pits concurrent snapshot readers against a writer
+// transaction stalled mid-statement and fails if any reader blocks
+// behind the writer's latch or throughput collapses. The concurrent
 // experiment runs N client goroutines issuing disk-mode statements in
 // parallel and asserts the merged group commit amortizes fsyncs below
 // one per statement.
@@ -111,8 +114,38 @@ func main() {
 				return fmt.Errorf("durable index diverged from the heap-rebuilt oracle")
 			}
 			if !res.Bounded {
-				return fmt.Errorf("clean open scanned the heap: %d page reads (budget %d, heap %d pages)",
-					res.OpenReads, res.Budget, res.HeapPages)
+				return fmt.Errorf("clean open scanned the heap: store %d / engine %d page reads (budget %d, heap %d pages)",
+					res.OpenReads, res.EngineOpenReads, res.Budget, res.HeapPages)
+			}
+			return nil
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "readers":
+		readers, students := 6, 2500
+		if len(os.Args) > 2 {
+			if n, err := strconv.Atoi(os.Args[2]); err == nil && n > 0 {
+				readers = n
+			}
+		}
+		if len(os.Args) > 3 {
+			if n, err := strconv.Atoi(os.Args[3]); err == nil && n > 0 {
+				students = n
+			}
+		}
+		if err := inTempDir("nfr-bench-readers", func(dir string) error {
+			res, err := experiments.RunReaders(w, dir, 73, readers, students)
+			if err != nil {
+				return err
+			}
+			if !res.NonBlocking {
+				return fmt.Errorf("a snapshot read blocked %.1fms behind a stalled writer (bound 100ms)",
+					res.MaxReadMs)
+			}
+			if !res.ThroughputOK {
+				return fmt.Errorf("read throughput collapsed under a stalled writer: %d reads vs %d idle",
+					res.StalledReads, res.BaselineReads)
 			}
 			return nil
 		}); err != nil {

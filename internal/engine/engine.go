@@ -71,8 +71,18 @@ func SuggestOrder(s *schema.Schema, fds []dep.FD, mvds []dep.MVD) schema.Permuta
 // the maintainer writes through to.
 type Rel struct {
 	def RelationDef
-	m   *update.Maintainer
 	rs  *store.RelStore // nil for in-memory databases
+
+	// The canonical-form maintainer is materialized LAZILY on a
+	// disk-backed database: engine.Open attaches relations without
+	// scanning a single heap page, and the one O(heap) materializing
+	// scan happens on the first statement that needs the resident form
+	// (a write, Stats, ValidateDeps — snapshot reads never do). maint
+	// is the published maintainer (nil until then); maintMu serializes
+	// the one-time materialization. Memory-mode and freshly created
+	// relations publish their maintainer eagerly.
+	maintMu sync.Mutex
+	maint   atomic.Pointer[update.Maintainer]
 
 	// latch serializes statements on THIS relation (the maintainer and
 	// its write-through are single-writer). A transaction holds the
@@ -92,15 +102,84 @@ type Rel struct {
 // Def returns the relation's definition.
 func (r *Rel) Def() RelationDef { return r.def }
 
-// Relation returns the current canonical NFR (not a copy; treat as
-// read-only — ReadRelation returns an isolated snapshot).
-func (r *Rel) Relation() *core.Relation { return r.m.Relation() }
+// maintainer returns the relation's canonical-form maintainer,
+// materializing it on first use: one heap scan (refusing duplicate
+// records — the fail-stop the store's index-attach open no longer
+// provides), re-canonicalization, and the write-through sink hookup.
+// When txn is non-nil and the stored form had drifted from V_P, the
+// heap is resynchronized under txn (write paths pass their statement
+// transaction; read-only paths pass nil and tolerate the drift — it
+// never occurs through this engine).
+func (r *Rel) maintainer(txn *store.Txn) (*update.Maintainer, error) {
+	if m := r.maint.Load(); m != nil {
+		return m, nil
+	}
+	r.maintMu.Lock()
+	defer r.maintMu.Unlock()
+	if m := r.maint.Load(); m != nil {
+		return m, nil
+	}
+	rel := core.NewRelation(r.def.Schema)
+	var dup error
+	if err := r.rs.Scan(func(t tuple.Tuple) bool {
+		if !rel.Add(t) {
+			dup = fmt.Errorf("%w: duplicate record in %q", store.ErrCorrupt, r.def.Name)
+			return false
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if dup != nil {
+		return nil, dup
+	}
+	m, err := update.FromRelationIndexed(rel, r.def.Order)
+	if err != nil {
+		return nil, err
+	}
+	if txn != nil && !m.Relation().Equal(rel) {
+		if err := r.rs.Replace(txn, m.Relation()); err != nil {
+			return nil, err
+		}
+	}
+	m.SetSink(r.rs)
+	r.maint.Store(m)
+	return m, nil
+}
 
-// Stats returns the maintainer's accumulated operation counts.
-func (r *Rel) Stats() update.Stats { return r.m.Stats() }
+// setMaintainer publishes an eagerly built maintainer (memory mode,
+// Create, Load).
+func (r *Rel) setMaintainer(m *update.Maintainer) { r.maint.Store(m) }
+
+// Relation returns the current canonical NFR (not a copy; treat as
+// read-only — ReadRelation returns an isolated snapshot), lazily
+// materializing it on a disk-backed database. It returns nil when
+// materialization fails (a corrupt heap); error-aware callers should
+// use ReadRelation or Stats instead.
+func (r *Rel) Relation() *core.Relation {
+	m, err := r.maintainer(nil)
+	if err != nil {
+		return nil
+	}
+	return m.Relation()
+}
+
+// Stats returns the maintainer's accumulated operation counts (zero
+// when the canonical form was never materialized or fails to).
+func (r *Rel) Stats() update.Stats {
+	m := r.maint.Load()
+	if m == nil {
+		return update.Stats{}
+	}
+	return m.Stats()
+}
 
 // ResetStats zeroes the operation counters.
-func (r *Rel) ResetStats() { r.m.ResetStats() }
+func (r *Rel) ResetStats() {
+	if m := r.maint.Load(); m != nil {
+		m.ResetStats()
+	}
+}
 
 // Database is a catalog of live relations. Methods are safe for
 // concurrent use; each relation serializes its statements behind a
@@ -162,11 +241,11 @@ func New() *Database {
 //	db, err := engine.Open(path, engine.WithPoolPages(256))
 //
 // The store attaches each relation to its durable hash indexes without
-// scanning (store.OpenIOStats stays bounded by catalog + index
-// metadata); the engine then materializes each relation's canonical
-// form by one heap scan through the buffer pool — the Section-4 update
-// algorithms need it resident — and the maintainers write all further
-// mutations through to the store.
+// scanning, and the engine attaches without materializing: the whole
+// open is O(catalog + index directories) page reads, never a heap
+// scan. Each relation's canonical form materializes lazily on the
+// first statement that needs it resident (see Rel.maintainer);
+// snapshot reads (ReadRelation) never do.
 func Open(path string, opts ...Option) (*Database, error) {
 	var cfg openConfig
 	for _, o := range opts {
@@ -183,23 +262,11 @@ func Open(path string, opts ...Option) (*Database, error) {
 	db.st = st
 	db.path = path
 	db.readOnly = cfg.readOnly
-	// one transaction covers any drift resync the attach loop performs
-	txn := st.Begin()
 	for _, name := range st.Relations() {
 		rs, _ := st.Rel(name)
-		if err := db.attach(rs, txn); err != nil {
-			// discard, don't flush: a failed Open must not mutate the
-			// file (an earlier relation's drift resync may have dirtied
-			// pages)
-			st.Discard()
-			return nil, err
-		}
-	}
-	// commit the resync transaction (a no-op — zero fsyncs — when, as
-	// always through this engine, nothing drifted)
-	if err := st.Commit(txn); err != nil {
-		st.Discard()
-		return nil, err
+		sdef := rs.Def()
+		def := RelationDef{Name: sdef.Name, Schema: sdef.Schema, Order: sdef.Order, FDs: sdef.FDs, MVDs: sdef.MVDs}
+		db.rels[def.Name] = &Rel{def: def, rs: rs, latch: newLatch()}
 	}
 	return db, nil
 }
@@ -212,12 +279,11 @@ func OpenWith(path string, poolPages int) (*Database, error) {
 	return Open(path, WithPoolPages(poolPages))
 }
 
-// attach loads one stored relation into a live maintainer; live
-// attachments (Open, txn non-nil) additionally connect the
-// write-through sink and resync the heap under txn if the stored form
-// drifted from canonical, while read-only attachments (Load, txn nil)
-// leave the file untouched.
-func (db *Database) attach(rs *store.RelStore, txn *store.Txn) error {
+// attach eagerly loads one stored relation into a live maintainer —
+// the read-only (Load) path, which materializes everything up front
+// into memory mode and never writes back. The disk-backed Open path
+// does NOT use it: there, materialization is lazy (Rel.maintainer).
+func (db *Database) attach(rs *store.RelStore) error {
 	sdef := rs.Def()
 	// Materialize by scanning, refusing duplicate records as we go: the
 	// store's fast open no longer scans the heap, so this load is where
@@ -242,21 +308,8 @@ func (db *Database) attach(rs *store.RelStore, txn *store.Txn) error {
 	if err != nil {
 		return err
 	}
-	r := &Rel{def: def, m: m, latch: newLatch()}
-	if txn != nil {
-		// FromRelationIndexed re-canonicalizes; if the stored form had
-		// drifted from V_P (it never does through this engine, but the
-		// file format does not forbid it), resync the heap to the
-		// canonical form so write-through deletes always find their
-		// victim records.
-		if !m.Relation().Equal(rel) {
-			if err := rs.Replace(txn, m.Relation()); err != nil {
-				return err
-			}
-		}
-		m.SetSink(rs)
-		r.rs = rs
-	}
+	r := &Rel{def: def, latch: newLatch()}
+	r.setMaintainer(m)
 	db.rels[def.Name] = r
 	return nil
 }
@@ -426,14 +479,29 @@ func (db *Database) autocommit(fn func(tx *Tx) error) error {
 }
 
 // ReadRelation returns a snapshot of the named relation for query
-// evaluation. A disk-backed database materializes it by scanning the
-// relation's heap chain through the buffer pool (the paper's
-// realization view); an in-memory database clones the live canonical
-// relation. Either way the caller owns the copy, and the relation's
-// statement latch is taken for the read, so the snapshot is always a
-// committed transaction boundary, never a half-applied statement. ctx
-// cancels the heap scan at page-fetch granularity (nil = background).
+// evaluation. A disk-backed database pins an MVCC snapshot — the last
+// published commit — and materializes the relation from it WITHOUT
+// taking the relation's statement latch: an open transaction holding
+// the latch (even one stalled mid-statement for seconds) never blocks
+// the read, and the result is always a whole-transaction boundary
+// (see docs/mvcc.md). An in-memory database clones the live canonical
+// relation under the latch. Either way the caller owns the copy. ctx
+// cancels the heap walk at page granularity (nil = background).
 func (db *Database) ReadRelation(ctx context.Context, name string) (*core.Relation, error) {
+	if db.st != nil {
+		if db.isClosed() {
+			return nil, fmt.Errorf("engine: read: %w", ErrClosed)
+		}
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		snap := db.st.PinSnapshot()
+		defer snap.Close()
+		if !snap.Has(name) {
+			return nil, errNotFound(name)
+		}
+		return snap.LoadCtx(ctx, name)
+	}
 	var rel *core.Relation
 	err := db.autocommit(func(tx *Tx) error {
 		var err error
@@ -614,10 +682,10 @@ func (db *Database) ValidateDeps(name string) ([]Violation, error) {
 	return out, err
 }
 
-// validateOf checks r's declared dependencies; the caller holds r's
-// latch.
-func validateOf(name string, r *Rel) []Violation {
-	flats := r.m.Relation().Expand()
+// validateOf checks r's declared dependencies against m's resident
+// canonical form; the caller holds r's latch.
+func validateOf(name string, r *Rel, m *update.Maintainer) []Violation {
+	flats := m.Relation().Expand()
 	var out []Violation
 	for _, f := range r.def.FDs {
 		if !dep.SatisfiesFD(r.def.Schema, flats, f) {
@@ -655,15 +723,16 @@ func (db *Database) Stats(name string) (RelStats, error) {
 	return st, err
 }
 
-// statsOf computes r's statistics; the caller holds r's latch.
-func statsOf(name string, r *Rel) RelStats {
-	rel := r.m.Relation()
+// statsOf computes the statistics of m's resident canonical form; the
+// caller holds the relation's latch.
+func statsOf(name string, m *update.Maintainer) RelStats {
+	rel := m.Relation()
 	st := RelStats{
 		Name:       name,
 		NFRTuples:  rel.Len(),
 		FlatTuples: rel.ExpansionSize(),
 		FixedOn:    rel.FixedDomains(),
-		Ops:        r.m.Stats(),
+		Ops:        m.Stats(),
 	}
 	if st.NFRTuples > 0 {
 		st.Compression = float64(st.FlatTuples) / float64(st.NFRTuples)

@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"repro/internal/store"
+	"repro/internal/update"
 )
 
 // Save persists a point-in-time snapshot of the database into a single
@@ -46,9 +47,13 @@ func (db *Database) Save(path string) error {
 			FDs: def.FDs, MVDs: def.MVDs,
 		})
 		if err == nil {
-			rel := r.Relation()
-			for i := 0; i < rel.Len() && err == nil; i++ {
-				err = rs.Insert(txn, rel.Tuple(i))
+			// materialize explicitly: Relation() hides errors behind nil
+			var m *update.Maintainer
+			if m, err = r.maintainer(nil); err == nil {
+				rel := m.Relation()
+				for i := 0; i < rel.Len() && err == nil; i++ {
+					err = rs.Insert(txn, rel.Tuple(i))
+				}
 			}
 		}
 		if err != nil {
@@ -129,9 +134,8 @@ func Load(path string) (*Database, error) {
 	db := New()
 	for _, name := range st.Relations() {
 		rs, _ := st.Rel(name)
-		// read-only attach (nil txn): no sink, and never writes back to
-		// the file
-		if err := db.attach(rs, nil); err != nil {
+		// read-only attach: no sink, and never writes back to the file
+		if err := db.attach(rs); err != nil {
 			return nil, err
 		}
 	}

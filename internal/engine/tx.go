@@ -11,6 +11,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/store"
 	"repro/internal/tuple"
+	"repro/internal/update"
 )
 
 // latch is a relation's statement latch, owned by one transaction at a
@@ -324,16 +325,22 @@ func (tx *Tx) write(name string, f tuple.Flat, isInsert bool) (bool, error) {
 		return false, err
 	}
 	tx.attach(r)
+	// materialize the canonical form on first touch, under the latch we
+	// hold; a drift resync rides this statement's transaction
+	m, err := r.maintainer(tx.stx)
+	if err != nil {
+		return false, err
+	}
 	var ch bool
 	if isInsert {
-		ch, err = r.m.Insert(f)
+		ch, err = m.Insert(f)
 	} else {
-		ch, err = r.m.Delete(f)
+		ch, err = m.Delete(f)
 	}
 	if err != nil {
 		return ch, err
 	}
-	if err := tx.syncAfterWrite(r, ch, f, isInsert); err != nil {
+	if err := tx.syncAfterWrite(r, m, ch, f, isInsert); err != nil {
 		return false, err
 	}
 	if ch && r.rs == nil {
@@ -353,7 +360,7 @@ func (tx *Tx) write(name string, f tuple.Flat, isInsert bool) (bool, error) {
 // their repair stay one atomic unit — and the original failure is
 // returned. The transaction remains open and consistent; only this one
 // statement was rejected.
-func (tx *Tx) syncAfterWrite(r *Rel, changed bool, f tuple.Flat, wasInsert bool) error {
+func (tx *Tx) syncAfterWrite(r *Rel, m *update.Maintainer, changed bool, f tuple.Flat, wasInsert bool) error {
 	if r.rs == nil {
 		return nil
 	}
@@ -363,12 +370,12 @@ func (tx *Tx) syncAfterWrite(r *Rel, changed bool, f tuple.Flat, wasInsert bool)
 	}
 	if changed {
 		if wasInsert {
-			r.m.Delete(f)
+			m.Delete(f)
 		} else {
-			r.m.Insert(f)
+			m.Insert(f)
 		}
 	}
-	if rerr := r.rs.Replace(tx.stx, r.m.Relation()); rerr != nil {
+	if rerr := r.rs.Replace(tx.stx, m.Relation()); rerr != nil {
 		return fmt.Errorf("engine: write-through failed (%v) and heap resync failed: %w", err, rerr)
 	}
 	r.rs.ResetErr()
@@ -401,7 +408,8 @@ func (tx *Tx) Create(def RelationDef) error {
 	if _, err := tx.db.Rel(def.Name); err == nil {
 		return errExists(def.Name)
 	}
-	r := &Rel{def: def, m: m, latch: newLatch()}
+	r := &Rel{def: def, latch: newLatch()}
+	r.setMaintainer(m)
 	if tx.db.st != nil {
 		if tx.stx == nil {
 			tx.stx = tx.db.st.Begin()
@@ -515,7 +523,11 @@ func (tx *Tx) ReadRelation(ctx context.Context, name string) (*core.Relation, er
 	if r.rs != nil {
 		return r.rs.LoadCtx(ctx)
 	}
-	return r.m.Relation().Clone(), nil
+	m, err := r.maintainer(nil)
+	if err != nil {
+		return nil, err
+	}
+	return m.Relation().Clone(), nil
 }
 
 // Stats reports size and maintenance statistics for the named relation
@@ -534,7 +546,11 @@ func (tx *Tx) Stats(name string) (RelStats, error) {
 	if err := tx.latchRel(r); err != nil {
 		return RelStats{}, err
 	}
-	return statsOf(name, r), nil
+	m, err := r.maintainer(nil)
+	if err != nil {
+		return RelStats{}, err
+	}
+	return statsOf(name, m), nil
 }
 
 // ValidateDeps checks the named relation's declared dependencies
@@ -553,7 +569,11 @@ func (tx *Tx) ValidateDeps(name string) ([]Violation, error) {
 	if err := tx.latchRel(r); err != nil {
 		return nil, err
 	}
-	return validateOf(name, r), nil
+	m, err := r.maintainer(nil)
+	if err != nil {
+		return nil, err
+	}
+	return validateOf(name, r, m), nil
 }
 
 // Def returns the named relation's definition as this transaction sees
@@ -680,15 +700,22 @@ func (tx *Tx) rollbackLocked() error {
 				}
 				continue
 			}
-			r.m.ResetRelation(rel)
+			// a relation touched but never materialized (the maintainer
+			// scan itself failed) has no resident form to reset
+			if m := r.maint.Load(); m != nil {
+				m.ResetRelation(rel)
+			}
 		}
 	} else {
 		for i := len(tx.undo) - 1; i >= 0; i-- {
 			u := tx.undo[i]
+			// the undo log only records memory-mode writes, whose
+			// relations always have a resident maintainer
+			m := u.r.maint.Load()
 			if u.wasInsert {
-				u.r.m.Delete(u.f)
+				m.Delete(u.f)
 			} else {
-				u.r.m.Insert(u.f)
+				m.Insert(u.f)
 			}
 		}
 	}

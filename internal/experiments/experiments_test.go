@@ -293,11 +293,32 @@ func TestRunReopen(t *testing.T) {
 		t.Error("durable index diverged from heap oracle")
 	}
 	if !res.Bounded {
-		t.Errorf("clean open not bounded: %d reads, budget %d, heap %d pages",
-			res.OpenReads, res.Budget, res.HeapPages)
+		t.Errorf("clean open not bounded: store %d / engine %d reads, budget %d, heap %d pages",
+			res.OpenReads, res.EngineOpenReads, res.Budget, res.HeapPages)
+	}
+	if res.EngineOpenReads > res.Budget {
+		t.Errorf("clean engine.Open read %d pages, budget %d — lazy materialization regressed",
+			res.EngineOpenReads, res.Budget)
 	}
 	if res.OracleReads <= res.OpenReads {
 		t.Errorf("oracle pass (%d reads) should dwarf the fast open (%d reads)",
 			res.OracleReads, res.OpenReads)
+	}
+}
+
+func TestRunReaders(t *testing.T) {
+	res, err := RunReaders(io.Discard, t.TempDir(), 7, 4, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineReads == 0 || res.StalledReads == 0 {
+		t.Fatalf("no reads completed: baseline %d, stalled %d", res.BaselineReads, res.StalledReads)
+	}
+	if !res.NonBlocking {
+		t.Errorf("a snapshot read blocked %.1fms behind the stalled writer (bound 100ms)", res.MaxReadMs)
+	}
+	if !res.ThroughputOK {
+		t.Errorf("throughput collapsed under the stalled writer: %d reads vs %d idle",
+			res.StalledReads, res.BaselineReads)
 	}
 }

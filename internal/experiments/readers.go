@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// maxReaderStall is the hard bound on a single snapshot read while a
+// writer transaction is stalled mid-flight. Before MVCC snapshots,
+// Database.ReadRelation queued on the per-relation latch and a single
+// stalled writer froze every reader for its whole lifetime; with
+// snapshot reads, a reader never touches the latch at all.
+const maxReaderStall = 100 * time.Millisecond
+
+// ReadersResult summarizes the reader-vs-stalled-writer experiment: N
+// goroutines hammering Database.ReadRelation while a writer transaction
+// sits mid-statement, latch held, dirty pages claimed, never
+// committing.
+type ReadersResult struct {
+	Readers   int
+	NFRTuples int
+
+	BaselineReads   int     // reads completed with no writer in flight
+	BaselinePerSec  float64 // baseline throughput
+	BaselineMaxMs   float64 // slowest single read with no writer in flight
+	StalledReads    int     // reads completed under the stalled writer
+	StalledPerSec   float64 // throughput under the stalled writer
+	MaxReadMs       float64 // slowest single read under the stalled writer
+	ThroughputRatio float64 // stalled / baseline
+
+	// NonBlocking: no read under the stalled writer took more than the
+	// 100ms stall bound beyond the idle baseline's own worst read — a
+	// read may be slow (pool-mutex contention hits the idle fleet too)
+	// but it must not WAIT on the writer (pre-MVCC, every read blocked
+	// for the writer's whole lifetime). ThroughputOK: stalled
+	// throughput held at ≥ 1/4 of the idle baseline (pre-MVCC it was
+	// zero).
+	NonBlocking  bool
+	ThroughputOK bool
+}
+
+// RunReaders builds an enrollment database, then measures snapshot-read
+// throughput twice over the same wall-clock window: once idle and once
+// with a writer transaction stalled mid-statement on the relation. The
+// acceptance bar (enforced by nfr-bench and CI): no reader may block
+// past maxReaderStall and throughput must not collapse — committed-
+// snapshot reads take no latch, so a stalled writer is invisible to
+// them.
+func RunReaders(w io.Writer, dir string, seed int64, readers, students int) (ReadersResult, error) {
+	e := workload.GenEnrollment(seed, workload.EnrollmentParams{
+		Students: students, CoursePool: 80, ClubPool: 15, SemesterPool: 8,
+		CoursesPerStudent: 4, ClubsPerStudent: 2,
+	})
+	def := engine.RelationDef{
+		Name:   "R1",
+		Schema: e.R1.Schema(),
+		Order:  schema.MustPermOf(e.R1.Schema(), "Course", "Club", "Student"),
+	}
+	ctx := context.Background()
+	db, err := engine.Open(filepath.Join(dir, "readers.nfrs"), engine.WithPoolPages(128))
+	if err != nil {
+		return ReadersResult{}, err
+	}
+	defer db.Close()
+	if err := db.Create(def); err != nil {
+		return ReadersResult{}, err
+	}
+	load, err := db.Begin(ctx)
+	if err != nil {
+		return ReadersResult{}, err
+	}
+	if _, err := load.InsertMany("R1", e.R1.Expand()); err != nil {
+		return ReadersResult{}, err
+	}
+	if err := load.Commit(); err != nil {
+		return ReadersResult{}, err
+	}
+	res := ReadersResult{Readers: readers}
+
+	// measure runs the reader fleet for one fixed window and reports
+	// completed reads plus the slowest single read.
+	const window = 250 * time.Millisecond
+	measure := func() (int, time.Duration, error) {
+		var (
+			wg       sync.WaitGroup
+			total    int64
+			maxNanos int64
+			firstErr atomic.Value
+		)
+		deadline := time.Now().Add(window)
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					t0 := time.Now()
+					rel, err := db.ReadRelation(ctx, "R1")
+					d := time.Since(t0)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					if rel.Len() == 0 {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("snapshot read returned an empty relation"))
+						return
+					}
+					atomic.AddInt64(&total, 1)
+					for {
+						cur := atomic.LoadInt64(&maxNanos)
+						if int64(d) <= cur || atomic.CompareAndSwapInt64(&maxNanos, cur, int64(d)) {
+							break
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err, _ := firstErr.Load().(error); err != nil {
+			return 0, 0, err
+		}
+		return int(total), time.Duration(atomic.LoadInt64(&maxNanos)), nil
+	}
+
+	// one warm-up read so the first measured window is not charged for
+	// faulting the heap into the pool
+	warm, err := db.ReadRelation(ctx, "R1")
+	if err != nil {
+		return res, err
+	}
+	res.NFRTuples = warm.Len()
+
+	base, baseMax, err := measure()
+	if err != nil {
+		return res, err
+	}
+	res.BaselineReads = base
+	res.BaselinePerSec = float64(base) / window.Seconds()
+	res.BaselineMaxMs = float64(baseMax) / float64(time.Millisecond)
+
+	// stall a writer mid-transaction: the statement has run (latch
+	// taken, pages claimed and dirtied) but commit never comes
+	tx, err := db.Begin(ctx)
+	if err != nil {
+		return res, err
+	}
+	if _, err := tx.Insert("R1", tuple.FlatOfStrings("zz-student", "zz-course", "zz-club")); err != nil {
+		return res, err
+	}
+	stalled, maxD, err := measure()
+	if rerr := tx.Rollback(); rerr != nil && err == nil {
+		err = rerr
+	}
+	if err != nil {
+		return res, err
+	}
+	res.StalledReads = stalled
+	res.StalledPerSec = float64(stalled) / window.Seconds()
+	res.MaxReadMs = float64(maxD) / float64(time.Millisecond)
+	if base > 0 {
+		res.ThroughputRatio = float64(stalled) / float64(base)
+	}
+	res.NonBlocking = maxD <= maxReaderStall+baseMax
+	res.ThroughputOK = stalled*4 >= base
+
+	fmt.Fprintf(w, "D6 — snapshot readers vs a stalled writer\n")
+	fmt.Fprintf(w, "  %d readers over %d NFR tuples, %s windows\n", readers, res.NFRTuples, window)
+	fmt.Fprintf(w, "  idle: %d reads (%.0f/s); stalled writer: %d reads (%.0f/s), ratio %.2f\n",
+		res.BaselineReads, res.BaselinePerSec, res.StalledReads, res.StalledPerSec, res.ThroughputRatio)
+	fmt.Fprintf(w, "  slowest read: %.1fms stalled vs %.1fms idle (stall bound %s); non-blocking: %v, throughput held: %v\n",
+		res.MaxReadMs, res.BaselineMaxMs, maxReaderStall, res.NonBlocking, res.ThroughputOK)
+	return res, nil
+}

@@ -22,12 +22,13 @@ type ReopenResult struct {
 	HeapPages int // pages across all relation heap chains
 	FilePages uint32
 
-	OpenReads   int // pool misses store.Open consumed on the clean reopen
-	Budget      int // the bound: catalog + free list + index directories + slack
-	OracleReads int // pool misses one full heap-scan verification costs (the old open price)
+	OpenReads       int // pool misses store.Open consumed on the clean reopen
+	EngineOpenReads int // pool misses a clean engine.Open consumed (lazy attach: no heap scan)
+	Budget          int // the bound: catalog + free list + index directories + slack
+	OracleReads     int // pool misses one full heap-scan verification costs (the old open price)
 
 	IndexOK bool // durable index ≡ rebuilt-from-heap oracle
-	Bounded bool // OpenReads within Budget and below HeapPages
+	Bounded bool // OpenReads AND EngineOpenReads within Budget and below HeapPages
 }
 
 // reopenBudget mirrors the store regression test's bound: a clean open
@@ -73,13 +74,41 @@ func RunReopen(w io.Writer, dir string, seed int64, students, poolPages int) (Re
 		return ReopenResult{}, err
 	}
 
-	// the measured leg: a clean store-level reopen
+	// measured leg 1: a clean ENGINE reopen. Lazy canonical
+	// materialization means engine.Open attaches every relation without
+	// reading a single heap page — open-phase I/O is store.Open's
+	// catalog + index-directory reads (OpenIOStats) and the engine adds
+	// nothing on top (steady-state counters stay zero until a read).
+	edb, err := engine.Open(path, engine.WithPoolPages(poolPages))
+	if err != nil {
+		return ReopenResult{}, err
+	}
+	var res ReopenResult
+	if open, ok := edb.OpenIOStats(); ok {
+		res.EngineOpenReads = open.Misses
+	}
+	if all, ok := edb.AllPoolStats(); ok {
+		res.EngineOpenReads += all.Misses
+	}
+	reRel, err := edb.ReadRelation(context.Background(), "R1")
+	if err != nil {
+		edb.Close()
+		return res, err
+	}
+	if !reRel.Equal(memRel) {
+		edb.Close()
+		return res, fmt.Errorf("engine reopen content diverged from the written relation")
+	}
+	if err := edb.Close(); err != nil {
+		return res, err
+	}
+
+	// measured leg 2: a clean store-level reopen
 	st, err := store.Open(path, store.Options{PoolPages: poolPages})
 	if err != nil {
 		return ReopenResult{}, err
 	}
 	defer st.Close()
-	var res ReopenResult
 	open := st.OpenIOStats()
 	res.OpenReads = open.Misses
 	res.Relations = len(st.Relations())
@@ -111,13 +140,14 @@ func RunReopen(w io.Writer, dir string, seed int64, students, poolPages int) (Re
 	if !rel.Equal(memRel) {
 		return res, fmt.Errorf("reopened content diverged from the written relation")
 	}
-	res.Bounded = res.OpenReads <= res.Budget && res.OpenReads < res.HeapPages
+	res.Bounded = res.OpenReads <= res.Budget && res.OpenReads < res.HeapPages &&
+		res.EngineOpenReads <= res.Budget && res.EngineOpenReads < res.HeapPages
 
 	fmt.Fprintf(w, "D4 — reopen (durable hash indexes vs rebuild-on-open)\n")
 	fmt.Fprintf(w, "  %d students → %d NFR tuples on %d heap pages (%d-page file, %d relation(s))\n",
 		students, res.NFRTuples, res.HeapPages, res.FilePages, res.Relations)
-	fmt.Fprintf(w, "  clean open read %d page(s) — budget %d (catalog + index directories); the old rebuild-on-open price was %d page reads\n",
-		res.OpenReads, res.Budget, res.OracleReads)
+	fmt.Fprintf(w, "  clean store open read %d page(s), clean engine open %d — budget %d (catalog + index directories); the old rebuild-on-open price was %d page reads\n",
+		res.OpenReads, res.EngineOpenReads, res.Budget, res.OracleReads)
 	fmt.Fprintf(w, "  durable index ≡ heap-rebuilt oracle: %v; open bounded (no heap scan): %v\n",
 		res.IndexOK, res.Bounded)
 	return res, nil

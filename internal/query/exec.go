@@ -33,7 +33,12 @@ func (r Result) String() string {
 // Execer is the statement target the executor runs DDL/DML/query
 // statements against. Both *engine.Database (every statement
 // autocommits) and *engine.Tx (statements pool under the transaction
-// until Commit) implement it.
+// until Commit) implement it. The read methods inherit each target's
+// concurrency contract: through a Database, ReadRelation serves a
+// latch-free MVCC snapshot of the last committed state (docs/mvcc.md),
+// so queries outside a transaction never wait on writers; through a
+// Tx, reads stay on the latched path and see the transaction's own
+// uncommitted statements.
 type Execer interface {
 	Create(def engine.RelationDef) error
 	Drop(name string) error

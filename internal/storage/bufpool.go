@@ -56,6 +56,7 @@ var ErrWriteThroughFailed = errors.New("storage: write-through after commit fail
 type commitReq struct {
 	txn    *Txn
 	frames []*Frame
+	lsn    uint64 // commit LSN assigned at publish (0 if the commit failed)
 	err    error
 	done   chan struct{}
 }
@@ -92,6 +93,20 @@ type BufferPool struct {
 	// bp.mu held: implementations may re-enter the pool.
 	allocate func(txn *Txn) (uint32, bool)
 
+	// MVCC state (see snapshot.go), all under bp.mu. lsn is the
+	// committed LSN clock, bumped once per published commit group; lsns
+	// maps each page to the LSN of its current committed image (absent
+	// = 0, "as old as the database"); bases holds the committed image
+	// of every frame currently claimed by an uncommitted transaction,
+	// captured at claim time; versions holds superseded committed
+	// images retained for pinned snapshots; pins is the multiset of
+	// pinned snapshot LSNs.
+	lsn      uint64
+	lsns     map[uint32]uint64
+	bases    map[uint32]*Page
+	versions map[uint32][]pageVersion
+	pins     map[uint64]int
+
 	stats PoolStats
 }
 
@@ -105,6 +120,10 @@ func NewBufferPool(pager *Pager, capacity int) (*BufferPool, error) {
 		capacity: capacity,
 		frames:   make(map[uint32]*Frame, capacity),
 		lru:      list.New(),
+		lsns:     make(map[uint32]uint64),
+		bases:    make(map[uint32]*Page),
+		versions: make(map[uint32][]pageVersion),
+		pins:     make(map[uint64]int),
 	}
 	bp.ownerCond = sync.NewCond(&bp.mu)
 	return bp, nil
@@ -185,6 +204,12 @@ func (bp *BufferPool) GetMut(txn *Txn, pid uint32) (*Frame, error) {
 			return fr, nil
 		}
 		if fr.owner == nil || fr.owner == txn {
+			if fr.owner == nil {
+				// First claim: the frame still holds the committed image.
+				// Capture it now, before the claimant can touch the bytes
+				// — snapshot readers bypass owned frames via this copy.
+				bp.captureBaseLocked(fr)
+			}
 			fr.owner = txn
 			return fr, nil
 		}
@@ -257,9 +282,11 @@ func (bp *BufferPool) NewPage(txn *Txn) (*Frame, error) {
 	alloc := bp.allocate
 	bp.mu.Unlock()
 	var pid uint32
+	recycled := false
 	if alloc != nil {
 		if p, ok := alloc(txn); ok {
 			pid = p
+			recycled = true
 		}
 	}
 	if pid == 0 {
@@ -285,6 +312,12 @@ func (bp *BufferPool) NewPage(txn *Txn) (*Frame, error) {
 			bp.lru.Remove(fr.elem)
 			fr.elem = nil
 		}
+		if fr.owner == nil {
+			// The cached content is the page's last committed life; a
+			// pinned snapshot may still reach it through a since-dropped
+			// chain. Capture before Init wipes it.
+			bp.captureBaseLocked(fr)
+		}
 		fr.page.Init()
 		fr.pins = 1
 		bp.markDirtyLocked(fr, txn)
@@ -294,6 +327,18 @@ func (bp *BufferPool) NewPage(txn *Txn) (*Frame, error) {
 		return nil, err
 	}
 	fr := &Frame{pid: pid, pins: 1}
+	if recycled && bp.wal != nil {
+		// Uncached recycled page: its last committed life is on disk and
+		// may still be snapshot-reachable. Best-effort capture — a page
+		// that never made it to disk intact has no committed readers.
+		var prev Page
+		if err := bp.pager.Read(pid, &prev); err == nil && prev.VerifyChecksum() == nil {
+			if _, ok := bp.bases[pid]; !ok {
+				cp := prev
+				bp.bases[pid] = &cp
+			}
+		}
+	}
 	fr.page.Init()
 	bp.frames[pid] = fr
 	bp.markDirtyLocked(fr, txn)
@@ -329,8 +374,10 @@ func (bp *BufferPool) Unpin(fr *Frame, dirty bool) error {
 	if fr.pins == 0 {
 		if !fr.dirty && fr.owner != nil {
 			// claimed but never modified: release the claim so the
-			// frame stays evictable and unblocks waiters
+			// frame stays evictable and unblocks waiters; the base
+			// captured at claim time matches the frame again
 			fr.owner = nil
+			delete(bp.bases, fr.pid)
 			bp.ownerCond.Broadcast()
 		}
 		fr.elem = bp.lru.PushFront(fr)
@@ -395,15 +442,21 @@ func (bp *BufferPool) evictLocked() error {
 // so fsyncs per statement drop below one under load. A transaction with
 // no dirty pages costs nothing. After a successful commit the handle is
 // empty and may be reused.
-func (bp *BufferPool) CommitTxn(txn *Txn) error {
+//
+// The returned LSN is the commit's position on the pool's committed-LSN
+// clock: every page the transaction wrote is visible to snapshots
+// pinned at or after it. An empty transaction returns the current
+// clock (it is trivially "visible" everywhere).
+func (bp *BufferPool) CommitTxn(txn *Txn) (uint64, error) {
 	bp.mu.Lock()
 	if bp.wal == nil {
 		bp.mu.Unlock()
-		return fmt.Errorf("storage: CommitTxn on a pool without a WAL")
+		return 0, fmt.Errorf("storage: CommitTxn on a pool without a WAL")
 	}
 	if len(txn.dirty) == 0 {
+		lsn := bp.lsn
 		bp.mu.Unlock()
-		return nil
+		return lsn, nil
 	}
 	frames := make([]*Frame, 0, len(txn.dirty))
 	for _, fr := range txn.dirty {
@@ -430,7 +483,7 @@ func (bp *BufferPool) CommitTxn(txn *Txn) error {
 	}
 	bp.leaderMu.Unlock()
 	<-req.done // a previous leader may have committed us already
-	return req.err
+	return req.lsn, req.err
 }
 
 // PendingCommits reports how many transactions are queued behind the
@@ -481,16 +534,32 @@ func (bp *BufferPool) commitGroup(group []*commitReq) {
 		}
 	}
 	bp.ckptMu.RUnlock()
+	// Publish: the whole group becomes visible under one new committed
+	// LSN, atomically with the frames going clean — a snapshot pinned
+	// before this critical section sees none of the group's pages, one
+	// pinned after sees all of them. Superseded committed images move
+	// into the retained-version chain iff a pinned snapshot still needs
+	// them (every pin is ≤ the pre-bump clock, so "pin ≥ old image's
+	// LSN" is exactly reachability).
 	bp.mu.Lock()
+	newLSN := bp.lsn + 1
+	published := false
 	for _, req := range group {
 		if req.err != nil {
 			continue
 		}
+		published = true
 		for _, fr := range req.frames {
+			bp.retireBaseLocked(fr.pid, bp.lsns[fr.pid])
+			bp.lsns[fr.pid] = newLSN
 			fr.dirty = false
 			fr.owner = nil
 		}
 		req.txn.dirty = make(map[uint32]*Frame)
+		req.lsn = newLSN
+	}
+	if published {
+		bp.lsn = newLSN
 	}
 	bp.ownerCond.Broadcast()
 	bp.mu.Unlock()
@@ -521,6 +590,7 @@ func (bp *BufferPool) Rollback(txn *Txn) error {
 			fr.elem = nil
 		}
 		delete(bp.frames, pid)
+		delete(bp.bases, pid) // next read reloads the same committed image
 		fr.dirty = false
 		fr.owner = nil
 	}

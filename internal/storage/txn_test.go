@@ -59,7 +59,7 @@ func TestTxnDirtySetsAreIsolated(t *testing.T) {
 	if t1.DirtyPages() != 1 || t2.DirtyPages() != 1 {
 		t.Fatalf("dirty sets: %d/%d, want 1/1", t1.DirtyPages(), t2.DirtyPages())
 	}
-	if err := bp.CommitTxn(t1); err != nil {
+	if _, err := bp.CommitTxn(t1); err != nil {
 		t.Fatal(err)
 	}
 	st := w.Stats()
@@ -75,7 +75,7 @@ func TestTxnDirtySetsAreIsolated(t *testing.T) {
 	if t1.DirtyPages() != 0 || t2.DirtyPages() != 1 {
 		t.Fatalf("dirty sets after t1 commit: %d/%d, want 0/1", t1.DirtyPages(), t2.DirtyPages())
 	}
-	if err := bp.CommitTxn(t2); err != nil {
+	if _, err := bp.CommitTxn(t2); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := w.Image(p2); !ok {
@@ -104,7 +104,7 @@ func TestGetMutBlocksUntilOwnerCommits(t *testing.T) {
 		t.Fatal("claim of an owned page did not block")
 	case <-time.After(20 * time.Millisecond):
 	}
-	if err := bp.CommitTxn(t1); err != nil {
+	if _, err := bp.CommitTxn(t1); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -112,7 +112,7 @@ func TestGetMutBlocksUntilOwnerCommits(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("claim still blocked after the owner committed")
 	}
-	if err := bp.CommitTxn(t2); err != nil {
+	if _, err := bp.CommitTxn(t2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -124,7 +124,7 @@ func TestDirtyUnpinOutsideTxnRejected(t *testing.T) {
 	_, _, bp := newWALPool(t, 4)
 	txn := bp.Begin()
 	pid := dirtyNewPage(t, bp, txn, "x")
-	if err := bp.CommitTxn(txn); err != nil {
+	if _, err := bp.CommitTxn(txn); err != nil {
 		t.Fatal(err)
 	}
 	fr, err := bp.Get(pid) // read pin
@@ -188,7 +188,7 @@ func TestConcurrentCommitsMergeAndSurvive(t *testing.T) {
 				errs <- err
 				return
 			}
-			if err := bp.CommitTxn(txn); err != nil {
+			if _, err := bp.CommitTxn(txn); err != nil {
 				errs <- err
 			}
 		}(i)
@@ -335,7 +335,7 @@ func TestWriteThroughFailureKeepsFramesDirty(t *testing.T) {
 	if err := bp.Unpin(fr, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := bp.CommitTxn(txn); err != nil {
+	if _, err := bp.CommitTxn(txn); err != nil {
 		t.Fatal(err)
 	}
 
@@ -352,7 +352,7 @@ func TestWriteThroughFailureKeepsFramesDirty(t *testing.T) {
 		t.Fatal(err)
 	}
 	ff.setFailing(true)
-	if err := bp.CommitTxn(txn2); err == nil {
+	if _, err := bp.CommitTxn(txn2); err == nil {
 		t.Fatal("write-through failure not surfaced")
 	}
 	ff.setFailing(false)
@@ -369,7 +369,7 @@ func TestWriteThroughFailureKeepsFramesDirty(t *testing.T) {
 	}
 	bp.Unpin(rfr, false)
 	// retry lands it on disk
-	if err := bp.CommitTxn(txn2); err != nil {
+	if _, err := bp.CommitTxn(txn2); err != nil {
 		t.Fatalf("retried commit failed: %v", err)
 	}
 	var onDisk Page
@@ -391,7 +391,7 @@ func TestRollbackDiscardsDirtyFrames(t *testing.T) {
 	_, _, bp := newWALPool(t, 8)
 	t1 := bp.Begin()
 	pid := dirtyNewPage(t, bp, t1, "committed")
-	if err := bp.CommitTxn(t1); err != nil {
+	if _, err := bp.CommitTxn(t1); err != nil {
 		t.Fatal(err)
 	}
 	t2 := bp.Begin()

@@ -236,7 +236,7 @@ func TestChecksumRepairFromWAL(t *testing.T) {
 	if err := bp.Unpin(fr, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := bp.CommitTxn(txn); err != nil {
+	if _, err := bp.CommitTxn(txn); err != nil {
 		t.Fatal(err)
 	}
 
@@ -265,7 +265,7 @@ func TestChecksumRepairFromWAL(t *testing.T) {
 		if err := bp.Unpin(nf, false); err != nil {
 			t.Fatal(err)
 		}
-		if err := bp.CommitTxn(ftxn); err != nil {
+		if _, err := bp.CommitTxn(ftxn); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -303,7 +303,7 @@ func TestChecksumRepairFromWAL(t *testing.T) {
 		ftxn := bp.Begin()
 		nf, _ := bp.NewPage(ftxn)
 		bp.Unpin(nf, false)
-		bp.CommitTxn(ftxn)
+		bp.CommitTxn(ftxn) //nolint:errcheck // crash-injection path: errors expected
 	}
 	if _, err := bp.Get(pid); err == nil {
 		t.Fatal("torn page with no WAL image loaded without error")

@@ -125,6 +125,115 @@ func TestStaleWALFromOldIncarnationRefused(t *testing.T) {
 	}
 }
 
+// flipByte XORs one byte of the file at off, tearing whatever page
+// contains it (the page checksum no longer matches).
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornHeaderMispairedWALRefused: page 1 torn (checksum broken) but
+// with the header's raw id bytes still legible, next to another
+// database's sidecar. The checksum-gated probe sees nothing, but the
+// raw fixed-offset probe must still catch the id mismatch and refuse —
+// "the page is torn" must not become a license to replay a foreign log.
+func TestTornHeaderMispairedWALRefused(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.nfrs")
+	b := filepath.Join(dir, "b.nfrs")
+	crashedPair(t, a)
+	crashedPair(t, b)
+
+	// tear page 1 of a beyond the header record's id bytes (page 1 is at
+	// file offset 0; magic [12:16), version [16], id [17:25))
+	flipByte(t, a, 100)
+	// pair it with b's sidecar
+	wal, err := os.ReadFile(b + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a+".wal", wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(a, Options{}); !errors.Is(err, ErrMispaired) {
+		t.Fatalf("torn+mispaired pair opened with err=%v, want ErrMispaired", err)
+	}
+}
+
+// TestTornHeaderMatchingWALRepairs: the same torn page 1, but paired
+// with the database's OWN sidecar — the raw probe confirms the ids
+// match and recovery repairs the page from the log. This is the
+// legitimate crash pairing the raw probe must not break.
+func TestTornHeaderMatchingWALRepairs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.nfrs")
+	crashedPair(t, path)
+	flipByte(t, path, 100)
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("torn page 1 with matching sidecar refused: %v", err)
+	}
+	defer st.Close()
+	rs, ok := st.Rel("R1")
+	if !ok {
+		t.Fatal("relation lost across torn-header recovery")
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("recovered %d tuples, want 1", rs.Len())
+	}
+}
+
+// TestDestroyedHeaderBestEffort pins the probe's documented limit: when
+// the tear destroys the header's own magic bytes, no id survives at
+// either probe and recovery falls back to trusting the sidecar. With a
+// mispaired sidecar the replay rebuilds the file in the foreign
+// database's image — detectably wrong to a human, but structurally a
+// valid database. This is best-effort by design; the test exists so a
+// behavior change here is a conscious one.
+func TestDestroyedHeaderBestEffort(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.nfrs")
+	b := filepath.Join(dir, "b.nfrs")
+	crashedPair(t, a)
+	crashedPair(t, b)
+
+	flipByte(t, a, 12) // first magic byte: raw probe now returns 0
+	wal, err := os.ReadFile(b + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a+".wal", wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(a, Options{})
+	if err != nil {
+		t.Fatalf("destroyed-header pair refused: %v (best-effort path should replay)", err)
+	}
+	defer st.Close()
+	// the replayed file is b's image, id included
+	if st.DBID() == 0 {
+		t.Fatal("replayed database has no id")
+	}
+	rs, ok := st.Rel("R1")
+	if !ok {
+		t.Fatal("replayed database lost its relation")
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("replayed database has %d tuples, want 1", rs.Len())
+	}
+}
+
 // TestDBIDStableAcrossReopen: the id is minted once at initialization
 // and survives clean closes, reopens, and crash recovery.
 func TestDBIDStableAcrossReopen(t *testing.T) {

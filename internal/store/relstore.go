@@ -71,6 +71,14 @@ type RelStore struct {
 	heap   *storage.HeapFile
 	catRID storage.RID
 
+	// Snapshot visibility window, guarded by st.mu (not r.mu): the
+	// relation exists for pins in [visibleAt, droppedAt). 0/0 means
+	// "since before any pin, still live"; a pending create sits at
+	// visibleAt = MaxUint64 until its commit publishes the real LSN.
+	// See store snapshot.go.
+	visibleAt uint64
+	droppedAt uint64
+
 	mu    sync.Mutex
 	rids  relIndex // tuple key -> RID
 	fixed relIndex // determinant atom -> RID

@@ -137,6 +137,13 @@ type Store struct {
 	catalog *storage.HeapFile
 	rels    map[string]*RelStore
 
+	// Snapshot visibility (see snapshot.go), under mu: pending maps each
+	// open transaction to the catalog marks its commit will publish;
+	// ghosts retains dropped relations still readable by pinned
+	// snapshots.
+	pending map[*Txn]*txnMarks
+	ghosts  []*RelStore
+
 	// The free list is shared mutable state between concurrent
 	// transactions, so it has a transaction-scoped owner: the first
 	// push/pop by a transaction takes ownership until that transaction
@@ -240,14 +247,27 @@ func Open(path string, opts Options) (*Store, error) {
 	// Pairing check, BEFORE any replay: if both the data file's header
 	// (readable without the log) and the sidecar carry a database id
 	// and they differ, the sidecar belongs to another database and
-	// replaying it would corrupt this one. A data file whose page 1 is
-	// torn skips the probe — only its own WAL can repair it, which is
-	// exactly what a legitimate crash pairing looks like.
+	// replaying it would corrupt this one.
 	if dataID := probeDBID(pg); dataID != 0 && wal.DBID() != 0 && dataID != wal.DBID() {
 		pg.Close()
 		closeWAL()
 		return nil, fmt.Errorf("%w: data file id %016x, sidecar id %016x",
 			ErrMispaired, dataID, wal.DBID())
+	} else if dataID == 0 && wal.DBID() != 0 {
+		// Page 1 failed its checksum (or lacks an id): before trusting
+		// the sidecar to repair it, cross-check the header's raw
+		// fixed-offset bytes. A torn prefix-write usually preserves the
+		// first few dozen bytes of the page, so a still-legible id that
+		// contradicts the sidecar exposes a mispaired restore that the
+		// checksum-gated probe above is blind to; only a header whose id
+		// bytes are themselves destroyed falls back to the best-effort
+		// behavior (trust the sidecar — a legitimate crash pairing).
+		if rawID := probeDBIDRaw(pg); rawID != 0 && rawID != wal.DBID() {
+			pg.Close()
+			closeWAL()
+			return nil, fmt.Errorf("%w: torn data file header id %016x, sidecar id %016x",
+				ErrMispaired, rawID, wal.DBID())
+		}
 	}
 
 	// Redo: apply the latest committed image of every logged page, then
@@ -288,7 +308,8 @@ func Open(path string, opts Options) (*Store, error) {
 	s := &Store{
 		pager: pg, bp: bp, wal: wal, walPath: walPath,
 		remove: remove, ckptAt: ckptAt,
-		rels: make(map[string]*RelStore),
+		rels:    make(map[string]*RelStore),
+		pending: make(map[*Txn]*txnMarks),
 	}
 	s.freeCond = sync.NewCond(&s.freeMu)
 	existing := pg.NumPages() > 0
@@ -364,6 +385,35 @@ func probeDBID(pg *storage.Pager) uint64 {
 		return 0
 	}
 	return binary.LittleEndian.Uint64(rec[5:])
+}
+
+// probeDBIDRaw reads the database id from page 1's FIXED byte offsets,
+// deliberately ignoring the failed checksum and the (end-of-page, so
+// least-torn-write-safe) slot directory: the catalog header record is
+// pinned to page 1, slot 0, record offset 0, so its magic, version
+// byte, and id always live at the same raw positions. Returns 0 unless
+// the magic and a known version byte survive — garbage never
+// impersonates an id. Files old enough to carry the short id-less
+// header always pair with an id-less sidecar, which skips this check
+// entirely.
+func probeDBIDRaw(pg *storage.Pager) uint64 {
+	if pg.NumPages() < catalogRoot {
+		return 0
+	}
+	var p storage.Page
+	if pg.Read(catalogRoot, &p) != nil {
+		return 0
+	}
+	// Records grow up from byte 12 (the page header), and the catalog
+	// header is always the page's first record, so:
+	// [12:16) magic, [16] version, [17:25) database id.
+	if string(p[12:16]) != string(Magic[:]) {
+		return 0
+	}
+	if v := p[16]; v != FormatVersion && v != formatV2 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p[17:25])
 }
 
 // headerRecordLen is the catalog header record's size with the database
@@ -634,6 +684,8 @@ func (s *Store) CreateRelation(txn *Txn, def RelationDef) (*RelStore, error) {
 		return nil, err
 	}
 	rs := newRelStore(s, def, heap, rid, ridsD, fixedD)
+	rs.visibleAt = ^uint64(0) // invisible to snapshots until the commit publishes it
+	s.markCreateLocked(txn, rs)
 	s.rels[def.Name] = rs
 	return rs, nil
 }
@@ -662,6 +714,7 @@ func (s *Store) DropRelation(txn *Txn, name string) error {
 	if err := s.catalog.Delete(txn, rs.catRID); err != nil {
 		return err
 	}
+	s.markDropLocked(txn, rs)
 	if err := s.freePages(txn, pids); err != nil {
 		// the relation is gone either way; the unfreed pages are
 		// orphaned until the next open's sweep reclaims them
@@ -671,10 +724,19 @@ func (s *Store) DropRelation(txn *Txn, name string) error {
 }
 
 // CompleteDrop removes the in-memory catalog entry of a dropped
-// relation — call it after the drop's transaction committed.
+// relation — call it after the drop's transaction committed. If a
+// pinned snapshot predates the drop, the entry parks on the ghost list
+// (still readable through those pins) until the last such pin closes.
 func (s *Store) CompleteDrop(name string) {
 	s.mu.Lock()
-	delete(s.rels, name)
+	if rs, ok := s.rels[name]; ok {
+		delete(s.rels, name)
+		if rs.droppedAt != 0 {
+			if min, any := s.bp.MinPinnedLSN(); any && min < rs.droppedAt {
+				s.ghosts = append(s.ghosts, rs)
+			}
+		}
+	}
 	s.mu.Unlock()
 }
 
@@ -701,6 +763,7 @@ func (s *Store) Rollback(txn *Txn) error {
 	// re-walk the chain so the cached insertion target never names a
 	// page that is no longer linked.
 	s.mu.Lock()
+	s.dropMarksLocked(txn)
 	if rerr := s.catalog.Rewind(); rerr != nil && err == nil {
 		err = rerr
 	}
@@ -766,11 +829,14 @@ func (s *Store) Relations() []string {
 // checkpoint threshold the commit is followed by an automatic
 // checkpoint.
 func (s *Store) Commit(txn *Txn) error {
-	err := s.bp.CommitTxn(txn)
+	lsn, err := s.bp.CommitTxn(txn)
 	s.releaseFree(txn)
 	if err != nil {
+		// marks stay pending: a retried commit (ErrWriteThroughFailed)
+		// publishes them, a rollback drops them
 		return err
 	}
+	s.publishMarks(txn, lsn)
 	if s.ckptAt > 0 && s.wal.Size() >= s.ckptAt {
 		return s.Flush()
 	}
