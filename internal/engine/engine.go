@@ -41,6 +41,14 @@ type RelationDef struct {
 	Order schema.Permutation
 	FDs   []dep.FD
 	MVDs  []dep.MVD
+	// Shards is the number of heap chains a disk-backed relation's
+	// canonical form is partitioned across, keyed by determinant atom
+	// (store.ShardOfAtom). 0 and 1 both mean the classic single-chain
+	// layout. Writers on different shards of one relation run and commit
+	// concurrently; reads merge the shard partitions back into the
+	// global canonical form (see docs/concurrency.md). Memory-mode
+	// databases keep one resident canonical form regardless.
+	Shards int
 }
 
 // SuggestOrder derives a nest order from the declared dependencies:
@@ -66,64 +74,125 @@ func SuggestOrder(s *schema.Schema, fds []dep.FD, mvds []dep.MVD) schema.Permuta
 	return schema.Permutation(append(first, last...))
 }
 
-// Rel is one live relation: its definition plus the canonical-form
-// maintainer, and — when the database is disk-backed — the paged store
-// the maintainer writes through to.
+// Rel is one live relation: its definition plus one relShard per heap
+// chain — each pairing a shard of the paged store with the maintainer
+// of that shard's canonical partition and the latch serializing
+// statements on it. A classic relation (and every memory-mode
+// relation) has exactly one shard.
 type Rel struct {
 	def RelationDef
 	rs  *store.RelStore // nil for in-memory databases
 
-	// The canonical-form maintainer is materialized LAZILY on a
+	// shards always holds at least one entry; its length equals
+	// rs.ShardCount() on a disk-backed relation and 1 in memory mode.
+	shards []*relShard
+
+	// dropped is written while the dropping transaction holds EVERY
+	// shard latch, and read under any one of them, so a statement that
+	// was waiting while the relation was dropped fails cleanly instead
+	// of writing into freed pages.
+	dropped bool
+}
+
+// relShard is one independently-latched slice of a relation: the
+// Section-4 maintainer of one shard partition, the store shard it
+// writes through to, and the write pipeline batching autocommit
+// statements on it. Statements on different shards of one relation
+// dirty disjoint pages and commit concurrently (their WAL batches
+// merged by the store's group-commit scheduler); reads latch or
+// snapshot ALL shards and re-canonicalize the union.
+type relShard struct {
+	r   *Rel
+	ord int
+	ss  *store.Shard // nil in memory mode
+
+	// The shard's canonical-form maintainer is materialized LAZILY on a
 	// disk-backed database: engine.Open attaches relations without
-	// scanning a single heap page, and the one O(heap) materializing
-	// scan happens on the first statement that needs the resident form
-	// (a write, Stats, ValidateDeps — snapshot reads never do). maint
-	// is the published maintainer (nil until then); maintMu serializes
-	// the one-time materialization. Memory-mode and freshly created
-	// relations publish their maintainer eagerly.
+	// scanning a single heap page, and the one O(shard heap)
+	// materializing scan happens on the first statement that needs the
+	// resident form (a write, Stats, ValidateDeps — snapshot reads
+	// never do). maint is the published maintainer (nil until then);
+	// maintMu serializes the one-time materialization. Memory-mode and
+	// freshly created relations publish their maintainers eagerly.
 	maintMu sync.Mutex
 	maint   atomic.Pointer[update.Maintainer]
 
-	// latch serializes statements on THIS relation (the maintainer and
-	// its write-through are single-writer). A transaction holds the
-	// latch from its first statement on the relation until it commits
-	// or rolls back, so readers taking it observe only committed
-	// transaction boundaries; transactions on different relations run
-	// and commit in parallel, their WAL batches merged by the store's
-	// group-commit scheduler. Deadlocks across multi-relation
-	// transactions are avoided with wait-die (see latch). dropped is
-	// read under the latch so a statement that was waiting while the
-	// relation was dropped fails cleanly instead of writing into freed
-	// pages.
-	latch   *latch
-	dropped bool
+	// latch serializes statements on THIS shard (the shard maintainer
+	// and its write-through are single-writer). A transaction holds it
+	// from its first statement touching the shard until it commits or
+	// rolls back. Deadlocks are avoided with wait-die (see latch).
+	latch *latch
+
+	// pipe batches concurrent autocommit writes on this shard into
+	// single-fsync group applications (see pipeline).
+	pipe pipeline
+}
+
+// newRel assembles a Rel over rs (nil for memory mode, which always
+// gets exactly one shard).
+func newRel(def RelationDef, rs *store.RelStore) *Rel {
+	k := 1
+	if rs != nil {
+		k = rs.ShardCount()
+	}
+	r := &Rel{def: def, rs: rs, shards: make([]*relShard, k)}
+	for i := range r.shards {
+		sh := &relShard{r: r, ord: i, latch: newLatch()}
+		if rs != nil {
+			sh.ss = rs.Shard(i)
+		}
+		r.shards[i] = sh
+	}
+	return r
 }
 
 // Def returns the relation's definition.
 func (r *Rel) Def() RelationDef { return r.def }
 
-// maintainer returns the relation's canonical-form maintainer,
-// materializing it on first use: one heap scan (refusing duplicate
-// records — the fail-stop the store's index-attach open no longer
-// provides), re-canonicalization, and the write-through sink hookup.
-// When txn is non-nil and the stored form had drifted from V_P, the
-// heap is resynchronized under txn (write paths pass their statement
+// shardFor routes a flat tuple to the shard owning it: the hash of its
+// determinant atom (the attribute the canonical form is fixed on). A
+// malformed flat — wrong degree — routes to shard 0, where the
+// maintainer's own validation rejects it.
+func (r *Rel) shardFor(f tuple.Flat) *relShard {
+	if len(r.shards) == 1 {
+		return r.shards[0]
+	}
+	fixedAt := r.def.Order[len(r.def.Order)-1]
+	if fixedAt >= len(f) {
+		return r.shards[0]
+	}
+	return r.shards[store.ShardOfAtom(f[fixedAt], len(r.shards))]
+}
+
+// maintainer returns the shard's canonical-form maintainer,
+// materializing it on first use: one shard-heap scan (refusing
+// duplicate records — the fail-stop the store's index-attach open no
+// longer provides), re-canonicalization of the shard partition, and
+// the write-through sink hookup. When txn is non-nil and the stored
+// form had drifted from the partition's canonical form, the shard heap
+// is resynchronized under txn (write paths pass their statement
 // transaction; read-only paths pass nil and tolerate the drift — it
 // never occurs through this engine).
-func (r *Rel) maintainer(txn *store.Txn) (*update.Maintainer, error) {
-	if m := r.maint.Load(); m != nil {
+func (sh *relShard) maintainer(txn *store.Txn) (*update.Maintainer, error) {
+	if m := sh.maint.Load(); m != nil {
 		return m, nil
 	}
-	r.maintMu.Lock()
-	defer r.maintMu.Unlock()
-	if m := r.maint.Load(); m != nil {
+	sh.maintMu.Lock()
+	defer sh.maintMu.Unlock()
+	if m := sh.maint.Load(); m != nil {
 		return m, nil
 	}
-	rel := core.NewRelation(r.def.Schema)
+	def := sh.r.def
+	if sh.ss == nil {
+		// memory-mode maintainers are published eagerly at Create/Load;
+		// reaching here means the relation handle escaped its database
+		return nil, fmt.Errorf("engine: relation %q has no resident canonical form", def.Name)
+	}
+	rel := core.NewRelation(def.Schema)
 	var dup error
-	if err := r.rs.Scan(func(t tuple.Tuple) bool {
+	if err := sh.ss.Scan(func(t tuple.Tuple) bool {
 		if !rel.Add(t) {
-			dup = fmt.Errorf("%w: duplicate record in %q", store.ErrCorrupt, r.def.Name)
+			dup = fmt.Errorf("%w: duplicate record in %q", store.ErrCorrupt, def.Name)
 			return false
 		}
 		return true
@@ -133,51 +202,88 @@ func (r *Rel) maintainer(txn *store.Txn) (*update.Maintainer, error) {
 	if dup != nil {
 		return nil, dup
 	}
-	m, err := update.FromRelationIndexed(rel, r.def.Order)
+	m, err := update.FromRelationIndexed(rel, def.Order)
 	if err != nil {
 		return nil, err
 	}
 	if txn != nil && !m.Relation().Equal(rel) {
-		if err := r.rs.Replace(txn, m.Relation()); err != nil {
+		// the canonical form of the shard's flats keeps every fixed atom
+		// routing to this shard, so the shard-local Replace is sound
+		if err := sh.ss.Replace(txn, m.Relation()); err != nil {
 			return nil, err
 		}
 	}
-	m.SetSink(r.rs)
-	r.maint.Store(m)
+	m.SetSink(sh.ss)
+	sh.maint.Store(m)
 	return m, nil
 }
 
-// setMaintainer publishes an eagerly built maintainer (memory mode,
-// Create, Load).
-func (r *Rel) setMaintainer(m *update.Maintainer) { r.maint.Store(m) }
+// setMaintainer publishes an eagerly built maintainer on the sole
+// shard (memory mode, Load).
+func (r *Rel) setMaintainer(m *update.Maintainer) { r.shards[0].maint.Store(m) }
 
-// Relation returns the current canonical NFR (not a copy; treat as
-// read-only — ReadRelation returns an isolated snapshot), lazily
-// materializing it on a disk-backed database. It returns nil when
-// materialization fails (a corrupt heap); error-aware callers should
-// use ReadRelation or Stats instead.
+// canonical materializes every shard and returns the GLOBAL canonical
+// relation plus the summed maintenance stats. For a single-shard
+// relation it is the resident form itself (not a copy); a K-sharded
+// relation re-canonicalizes the union of the shard partitions. Callers
+// must hold every shard latch (or otherwise exclude writers).
+func (r *Rel) canonical(txn *store.Txn) (*core.Relation, update.Stats, error) {
+	if len(r.shards) == 1 {
+		m, err := r.shards[0].maintainer(txn)
+		if err != nil {
+			return nil, update.Stats{}, err
+		}
+		return m.Relation(), m.Stats(), nil
+	}
+	union := core.NewRelation(r.def.Schema)
+	var st update.Stats
+	for _, sh := range r.shards {
+		m, err := sh.maintainer(txn)
+		if err != nil {
+			return nil, update.Stats{}, err
+		}
+		rel := m.Relation()
+		for i := 0; i < rel.Len(); i++ {
+			union.Add(rel.Tuple(i))
+		}
+		st.Add(m.Stats())
+	}
+	canon, _ := union.CanonicalFromFlats(r.def.Order)
+	return canon, st, nil
+}
+
+// Relation returns the current canonical NFR (not a copy for
+// single-shard relations; treat as read-only — ReadRelation returns an
+// isolated snapshot), lazily materializing it on a disk-backed
+// database. It returns nil when materialization fails (a corrupt
+// heap); error-aware callers should use ReadRelation or Stats instead.
 func (r *Rel) Relation() *core.Relation {
-	m, err := r.maintainer(nil)
+	rel, _, err := r.canonical(nil)
 	if err != nil {
 		return nil
 	}
-	return m.Relation()
+	return rel
 }
 
-// Stats returns the maintainer's accumulated operation counts (zero
-// when the canonical form was never materialized or fails to).
+// Stats returns the maintainers' accumulated operation counts, summed
+// across shards (zero when the canonical form was never materialized
+// or fails to).
 func (r *Rel) Stats() update.Stats {
-	m := r.maint.Load()
-	if m == nil {
-		return update.Stats{}
+	var st update.Stats
+	for _, sh := range r.shards {
+		if m := sh.maint.Load(); m != nil {
+			st.Add(m.Stats())
+		}
 	}
-	return m.Stats()
+	return st
 }
 
 // ResetStats zeroes the operation counters.
 func (r *Rel) ResetStats() {
-	if m := r.maint.Load(); m != nil {
-		m.ResetStats()
+	for _, sh := range r.shards {
+		if m := sh.maint.Load(); m != nil {
+			m.ResetStats()
+		}
 	}
 }
 
@@ -265,8 +371,8 @@ func Open(path string, opts ...Option) (*Database, error) {
 	for _, name := range st.Relations() {
 		rs, _ := st.Rel(name)
 		sdef := rs.Def()
-		def := RelationDef{Name: sdef.Name, Schema: sdef.Schema, Order: sdef.Order, FDs: sdef.FDs, MVDs: sdef.MVDs}
-		db.rels[def.Name] = &Rel{def: def, rs: rs, latch: newLatch()}
+		def := RelationDef{Name: sdef.Name, Schema: sdef.Schema, Order: sdef.Order, FDs: sdef.FDs, MVDs: sdef.MVDs, Shards: rs.ShardCount()}
+		db.rels[def.Name] = newRel(def, rs)
 	}
 	return db, nil
 }
@@ -303,12 +409,12 @@ func (db *Database) attach(rs *store.RelStore) error {
 	if dup != nil {
 		return dup
 	}
-	def := RelationDef{Name: sdef.Name, Schema: sdef.Schema, Order: sdef.Order, FDs: sdef.FDs, MVDs: sdef.MVDs}
+	def := RelationDef{Name: sdef.Name, Schema: sdef.Schema, Order: sdef.Order, FDs: sdef.FDs, MVDs: sdef.MVDs, Shards: sdef.Shards}
 	m, err := update.FromRelationIndexed(rel, def.Order)
 	if err != nil {
 		return err
 	}
-	r := &Rel{def: def, latch: newLatch()}
+	r := newRel(def, nil)
 	r.setMaintainer(m)
 	db.rels[def.Name] = r
 	return nil
@@ -354,7 +460,9 @@ func (db *Database) Close() error {
 	// never end.
 	db.mu.RLock()
 	for _, r := range db.rels {
-		r.latch.interrupt()
+		for _, sh := range r.shards {
+			sh.latch.interrupt()
+		}
 	}
 	db.mu.RUnlock()
 	db.ddl.interrupt()
@@ -500,7 +608,16 @@ func (db *Database) ReadRelation(ctx context.Context, name string) (*core.Relati
 		if !snap.Has(name) {
 			return nil, errNotFound(name)
 		}
-		return snap.LoadCtx(ctx, name)
+		rel, err := snap.LoadCtx(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		// a K-sharded heap stores K shard-canonical partitions; merge
+		// them back into the global canonical form
+		if def, _ := snap.Def(name); def.Shards > 1 {
+			rel, _ = rel.CanonicalFromFlats(def.Order)
+		}
+		return rel, nil
 	}
 	var rel *core.Relation
 	err := db.autocommit(func(tx *Tx) error {
@@ -512,16 +629,54 @@ func (db *Database) ReadRelation(ctx context.Context, name string) (*core.Relati
 }
 
 // LatchWaits reports how many statement-latch acquisitions blocked on a
-// concurrent statement, summed over all relations — the contention
-// metric of the concurrent bench leg.
+// concurrent statement, summed over all relations and their shards —
+// the contention metric of the concurrent bench leg.
 func (db *Database) LatchWaits() int64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var n int64
 	for _, r := range db.rels {
-		n += r.latch.waits.Load()
+		for _, sh := range r.shards {
+			n += sh.latch.waits.Load()
+		}
 	}
 	return n
+}
+
+// RelPipelineStats reports one relation's write-pipeline and shard
+// contention counters (see Database.PipelineStats).
+type RelPipelineStats struct {
+	Shards     int   // heap chains the relation is partitioned across
+	Batches    int64 // pipeline batches applied (each ≤ 1 fsync)
+	Ops        int64 // autocommit statements that rode a pipeline batch
+	MaxBatch   int64 // largest batch applied on any shard
+	QueuePeak  int64 // high-water pipeline queue depth on any shard
+	LatchWaits int64 // contended shard-latch acquisitions
+}
+
+// PipelineStats reports, per relation, how the write pipeline batched
+// concurrent autocommit statements and how contended the shard latches
+// were — the \stats surface of the same-relation scaling bench.
+func (db *Database) PipelineStats() map[string]RelPipelineStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]RelPipelineStats, len(db.rels))
+	for name, r := range db.rels {
+		st := RelPipelineStats{Shards: len(r.shards)}
+		for _, sh := range r.shards {
+			st.Batches += sh.pipe.batches.Load()
+			st.Ops += sh.pipe.ops.Load()
+			if m := sh.pipe.maxBatch.Load(); m > st.MaxBatch {
+				st.MaxBatch = m
+			}
+			if p := sh.pipe.peak.Load(); p > st.QueuePeak {
+				st.QueuePeak = p
+			}
+			st.LatchWaits += sh.latch.waits.Load()
+		}
+		out[name] = st
+	}
+	return out
 }
 
 // normalizeDef validates a relation definition, fills in the suggested
@@ -552,6 +707,11 @@ func normalizeDef(def RelationDef) (RelationDef, *update.Maintainer, error) {
 	}
 	if !def.Order.Valid(def.Schema) {
 		return def, nil, fmt.Errorf("engine: invalid nest order %v for %q", def.Order, def.Name)
+	}
+	// mirror the store's catalog bound so a bad shard count fails here,
+	// before any catalog write, in memory mode too
+	if def.Shards < 0 || def.Shards > 64 {
+		return def, nil, fmt.Errorf("engine: relation %q shard count %d out of range [0,64]", def.Name, def.Shards)
 	}
 	m, err := update.NewMaintainerIndexed(def.Schema, def.Order)
 	if err != nil {
@@ -608,27 +768,19 @@ func (db *Database) Names() []string {
 }
 
 // Insert adds a flat tuple to the named relation, maintaining the
-// canonical form (autocommit: one one-shot transaction, one group
-// commit). It reports whether the relation changed.
+// canonical form. It is an autocommit statement that rides the
+// relation's write pipeline: concurrent Inserts and Deletes on one
+// shard batch into a single group-applied transaction (one fsync for
+// the whole batch — see pipeline). It reports whether the relation
+// changed.
 func (db *Database) Insert(name string, f tuple.Flat) (bool, error) {
-	var ch bool
-	err := db.autocommit(func(tx *Tx) error {
-		var err error
-		ch, err = tx.Insert(name, f)
-		return err
-	})
-	return ch, err
+	return db.writePipelined(name, f, true)
 }
 
-// Delete removes a flat tuple from the named relation (autocommit).
+// Delete removes a flat tuple from the named relation (autocommit,
+// pipelined like Insert).
 func (db *Database) Delete(name string, f tuple.Flat) (bool, error) {
-	var ch bool
-	err := db.autocommit(func(tx *Tx) error {
-		var err error
-		ch, err = tx.Delete(name, f)
-		return err
-	})
-	return ch, err
+	return db.writePipelined(name, f, false)
 }
 
 // InsertMany bulk-inserts flat tuples, each as its own autocommit
@@ -682,10 +834,10 @@ func (db *Database) ValidateDeps(name string) ([]Violation, error) {
 	return out, err
 }
 
-// validateOf checks r's declared dependencies against m's resident
-// canonical form; the caller holds r's latch.
-func validateOf(name string, r *Rel, m *update.Maintainer) []Violation {
-	flats := m.Relation().Expand()
+// validateOf checks r's declared dependencies against the materialized
+// canonical form rel; the caller holds every shard latch.
+func validateOf(name string, r *Rel, rel *core.Relation) []Violation {
+	flats := rel.Expand()
 	var out []Violation
 	for _, f := range r.def.FDs {
 		if !dep.SatisfiesFD(r.def.Schema, flats, f) {
@@ -723,16 +875,16 @@ func (db *Database) Stats(name string) (RelStats, error) {
 	return st, err
 }
 
-// statsOf computes the statistics of m's resident canonical form; the
-// caller holds the relation's latch.
-func statsOf(name string, m *update.Maintainer) RelStats {
-	rel := m.Relation()
+// statsOf computes the statistics of the materialized canonical form
+// rel; the caller holds every shard latch. ops is the summed
+// maintenance counters of the relation's shard maintainers.
+func statsOf(name string, rel *core.Relation, ops update.Stats) RelStats {
 	st := RelStats{
 		Name:       name,
 		NFRTuples:  rel.Len(),
 		FlatTuples: rel.ExpansionSize(),
 		FixedOn:    rel.FixedDomains(),
-		Ops:        m.Stats(),
+		Ops:        ops,
 	}
 	if st.NFRTuples > 0 {
 		st.Compression = float64(st.FlatTuples) / float64(st.NFRTuples)

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/store"
-	"repro/internal/update"
 )
 
 // Save persists a point-in-time snapshot of the database into a single
@@ -44,16 +44,16 @@ func (db *Database) Save(path string) error {
 		def := r.Def()
 		rs, err := st.CreateRelation(txn, store.RelationDef{
 			Name: def.Name, Schema: def.Schema, Order: def.Order,
-			FDs: def.FDs, MVDs: def.MVDs,
+			FDs: def.FDs, MVDs: def.MVDs, Shards: def.Shards,
 		})
 		if err == nil {
 			// materialize explicitly: Relation() hides errors behind nil
-			var m *update.Maintainer
-			if m, err = r.maintainer(nil); err == nil {
-				rel := m.Relation()
-				for i := 0; i < rel.Len() && err == nil; i++ {
-					err = rs.Insert(txn, rel.Tuple(i))
-				}
+			var rel *core.Relation
+			if rel, _, err = r.canonical(nil); err == nil {
+				// Fill re-partitions the global canonical form across the
+				// snapshot's shards (a global tuple's fixed atoms can span
+				// shards)
+				err = rs.Fill(txn, rel)
 			}
 		}
 		if err != nil {

@@ -14,7 +14,7 @@ import (
 	"repro/internal/update"
 )
 
-// latch is a relation's statement latch, owned by one transaction at a
+// latch is a shard's statement latch, owned by one transaction at a
 // time and held until that transaction commits or rolls back (strict
 // two-phase latching). Deadlocks between transactions holding several
 // latches are avoided with the wait-die policy: a transaction that
@@ -117,10 +117,12 @@ func (l *latch) interrupt() {
 // committing transactions — and Rollback discards the dirty frames,
 // leaving the file bit-identical to the pre-Begin state.
 //
-// A Tx is used from one goroutine at a time. Every relation a statement
+// A Tx is used from one goroutine at a time. Every shard a statement
 // touches is latched for the transaction's remaining lifetime, so
-// readers outside the transaction block until Commit/Rollback (read
-// committed) while the transaction itself reads its own writes. A
+// writers outside the transaction block until Commit/Rollback (read
+// committed) while the transaction itself reads its own writes; a
+// write latches only the one shard owning its tuple, so transactions
+// writing different shards of one relation run concurrently. A
 // statement refused with ErrTxConflict (wait-die deadlock avoidance)
 // leaves the transaction open and consistent — roll back and retry.
 // After Commit or Rollback every method returns ErrTxDone.
@@ -133,12 +135,12 @@ type Tx struct {
 	// Tx per statement, and most statements never touch the DDL maps.
 	mu      sync.Mutex
 	done    bool
-	stx     *store.Txn      // lazily-begun storage transaction (disk mode)
-	held    map[*Rel]bool   // relation latches held until commit/rollback
-	ddl     bool            // DDL latch held
-	touched map[*Rel]bool   // relations with write-throughs under stx
-	creates map[string]*Rel // pending creates still visible to this tx
-	drops   map[string]*Rel // pending drops
+	stx     *store.Txn         // lazily-begun storage transaction (disk mode)
+	held    map[*relShard]bool // shard latches held until commit/rollback
+	ddl     bool               // DDL latch held
+	touched map[*relShard]bool // shards with write-throughs under stx
+	creates map[string]*Rel    // pending creates still visible to this tx
+	drops   map[string]*Rel    // pending drops
 	// selfCreated names every relation this transaction created — even
 	// one it later dropped — so rollback can forget their store entries
 	// without reindexing relations that no longer exist.
@@ -147,7 +149,7 @@ type Tx struct {
 }
 
 type undoRec struct {
-	r         *Rel
+	sh        *relShard
 	f         tuple.Flat
 	wasInsert bool
 }
@@ -222,21 +224,33 @@ func (tx *Tx) rel(name string) (*Rel, error) {
 	return tx.db.Rel(name)
 }
 
-// latchRel takes r's statement latch for the rest of the transaction
-// and re-checks the dropped flag under it (the relation may have been
-// dropped by a committed transaction while we waited).
-func (tx *Tx) latchRel(r *Rel) error {
-	if err := r.latch.acquire(tx); err != nil {
+// latchShard takes sh's statement latch for the rest of the
+// transaction and re-checks the relation's dropped flag under it (the
+// relation may have been dropped by a committed transaction while we
+// waited — the dropper held every shard latch when it set the flag).
+func (tx *Tx) latchShard(sh *relShard) error {
+	if err := sh.latch.acquire(tx); err != nil {
 		return err
 	}
 	if tx.held == nil {
-		tx.held = make(map[*Rel]bool)
+		tx.held = make(map[*relShard]bool)
 	}
-	tx.held[r] = true
-	if r.dropped {
-		r.latch.release(tx)
-		delete(tx.held, r)
-		return errNotFound(r.def.Name)
+	tx.held[sh] = true
+	if sh.r.dropped {
+		sh.latch.release(tx)
+		delete(tx.held, sh)
+		return errNotFound(sh.r.def.Name)
+	}
+	return nil
+}
+
+// latchRel takes EVERY shard latch of r (in shard order) — the
+// whole-relation paths: reads, Drop, and relation-wide statistics.
+func (tx *Tx) latchRel(r *Rel) error {
+	for _, sh := range r.shards {
+		if err := tx.latchShard(sh); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -255,22 +269,22 @@ func (tx *Tx) latchDDL() error {
 	return nil
 }
 
-// attach routes r's write-throughs to this transaction: the storage
-// transaction is begun lazily, and the relation store is switched into
-// external-transaction mode until commit/rollback.
-func (tx *Tx) attach(r *Rel) {
-	if r.rs == nil {
+// attachShard routes sh's write-throughs to this transaction: the
+// storage transaction is begun lazily, and the store shard is switched
+// into external-transaction mode until commit/rollback.
+func (tx *Tx) attachShard(sh *relShard) {
+	if sh.ss == nil {
 		return
 	}
 	if tx.stx == nil {
 		tx.stx = tx.db.st.Begin()
 	}
-	if !tx.touched[r] {
+	if !tx.touched[sh] {
 		if tx.touched == nil {
-			tx.touched = make(map[*Rel]bool)
+			tx.touched = make(map[*relShard]bool)
 		}
-		tx.touched[r] = true
-		r.rs.UseTxn(tx.stx)
+		tx.touched[sh] = true
+		sh.ss.UseTxn(tx.stx)
 	}
 }
 
@@ -307,7 +321,9 @@ func (tx *Tx) InsertMany(name string, fs []tuple.Flat) (int, error) {
 	return n, nil
 }
 
-// write is one Insert/Delete statement under the transaction.
+// write is one Insert/Delete statement under the transaction. Only the
+// shard owning the tuple is latched, so statements on other shards of
+// the same relation — from other transactions — proceed concurrently.
 func (tx *Tx) write(name string, f tuple.Flat, isInsert bool) (bool, error) {
 	if err := tx.usableWrite(); err != nil {
 		return false, err
@@ -321,13 +337,15 @@ func (tx *Tx) write(name string, f tuple.Flat, isInsert bool) (bool, error) {
 			return false, err
 		}
 	}
-	if err := tx.latchRel(r); err != nil {
+	sh := r.shardFor(f)
+	if err := tx.latchShard(sh); err != nil {
 		return false, err
 	}
-	tx.attach(r)
-	// materialize the canonical form on first touch, under the latch we
-	// hold; a drift resync rides this statement's transaction
-	m, err := r.maintainer(tx.stx)
+	tx.attachShard(sh)
+	// materialize the shard's canonical partition on first touch, under
+	// the latch we hold; a drift resync rides this statement's
+	// transaction
+	m, err := sh.maintainer(tx.stx)
 	if err != nil {
 		return false, err
 	}
@@ -340,31 +358,31 @@ func (tx *Tx) write(name string, f tuple.Flat, isInsert bool) (bool, error) {
 	if err != nil {
 		return ch, err
 	}
-	if err := tx.syncAfterWrite(r, m, ch, f, isInsert); err != nil {
+	if err := tx.syncAfterWrite(sh, m, ch, f, isInsert); err != nil {
 		return false, err
 	}
-	if ch && r.rs == nil {
+	if ch && sh.ss == nil {
 		cp := make(tuple.Flat, len(f))
 		copy(cp, f)
-		tx.undo = append(tx.undo, undoRec{r: r, f: cp, wasInsert: isInsert})
+		tx.undo = append(tx.undo, undoRec{sh: sh, f: cp, wasInsert: isInsert})
 	}
 	return ch, nil
 }
 
 // syncAfterWrite surfaces a write-through failure latched by the
-// relation's store sink without leaving memory and disk divergent: the
+// shard's store sink without leaving memory and disk divergent: the
 // in-memory mutation is rolled back (the Section-4 algorithms are exact
 // inverses on R*, and the canonical form is unique, so memory returns
-// to its pre-statement state), the heap is rewritten from the canonical
-// form UNDER THE SAME open transaction — so the half-applied pages and
-// their repair stay one atomic unit — and the original failure is
-// returned. The transaction remains open and consistent; only this one
-// statement was rejected.
-func (tx *Tx) syncAfterWrite(r *Rel, m *update.Maintainer, changed bool, f tuple.Flat, wasInsert bool) error {
-	if r.rs == nil {
+// to its pre-statement state), the shard heap is rewritten from the
+// shard's canonical partition UNDER THE SAME open transaction — so the
+// half-applied pages and their repair stay one atomic unit — and the
+// original failure is returned. The transaction remains open and
+// consistent; only this one statement was rejected.
+func (tx *Tx) syncAfterWrite(sh *relShard, m *update.Maintainer, changed bool, f tuple.Flat, wasInsert bool) error {
+	if sh.ss == nil {
 		return nil
 	}
-	err := r.rs.Err()
+	err := sh.ss.Err()
 	if err == nil {
 		return nil
 	}
@@ -375,10 +393,10 @@ func (tx *Tx) syncAfterWrite(r *Rel, m *update.Maintainer, changed bool, f tuple
 			m.Insert(f)
 		}
 	}
-	if rerr := r.rs.Replace(tx.stx, m.Relation()); rerr != nil {
+	if rerr := sh.ss.Replace(tx.stx, m.Relation()); rerr != nil {
 		return fmt.Errorf("engine: write-through failed (%v) and heap resync failed: %w", err, rerr)
 	}
-	r.rs.ResetErr()
+	sh.ss.ResetErr()
 	return fmt.Errorf("engine: write-through to store failed (statement rolled back): %w", err)
 }
 
@@ -408,36 +426,53 @@ func (tx *Tx) Create(def RelationDef) error {
 	if _, err := tx.db.Rel(def.Name); err == nil {
 		return errExists(def.Name)
 	}
-	r := &Rel{def: def, latch: newLatch()}
-	r.setMaintainer(m)
+	var r *Rel
 	if tx.db.st != nil {
 		if tx.stx == nil {
 			tx.stx = tx.db.st.Begin()
 		}
 		rs, err := tx.db.st.CreateRelation(tx.stx, store.RelationDef{
 			Name: def.Name, Schema: def.Schema, Order: def.Order,
-			FDs: def.FDs, MVDs: def.MVDs,
+			FDs: def.FDs, MVDs: def.MVDs, Shards: def.Shards,
 		})
 		if err != nil {
 			return err
 		}
-		m.SetSink(rs)
-		r.rs = rs
-		rs.UseTxn(tx.stx)
-		if tx.touched == nil {
-			tx.touched = make(map[*Rel]bool)
+		def.Shards = rs.ShardCount()
+		r = newRel(def, rs)
+		// the relation is empty: publish an empty maintainer per shard
+		// eagerly, each sinking to its own store shard
+		for i, sh := range r.shards {
+			mi := m
+			if i > 0 {
+				if mi, err = update.NewMaintainerIndexed(def.Schema, def.Order); err != nil {
+					return err
+				}
+			}
+			mi.SetSink(sh.ss)
+			sh.maint.Store(mi)
+			sh.ss.UseTxn(tx.stx)
+			if tx.touched == nil {
+				tx.touched = make(map[*relShard]bool)
+			}
+			tx.touched[sh] = true
 		}
-		tx.touched[r] = true
+	} else {
+		r = newRel(def, nil)
+		r.setMaintainer(m)
 	}
-	// private to this transaction: own the latch so our statements pass
-	// (nobody else can even look it up until commit publishes it)
-	if err := r.latch.acquire(tx); err != nil {
-		return err
+	// private to this transaction: own every shard latch so our
+	// statements pass (nobody else can even look it up until commit
+	// publishes it)
+	for _, sh := range r.shards {
+		if err := sh.latch.acquire(tx); err != nil {
+			return err
+		}
+		if tx.held == nil {
+			tx.held = make(map[*relShard]bool)
+		}
+		tx.held[sh] = true
 	}
-	if tx.held == nil {
-		tx.held = make(map[*Rel]bool)
-	}
-	tx.held[r] = true
 	if tx.creates == nil {
 		tx.creates = make(map[string]*Rel)
 		tx.selfCreated = make(map[*Rel]string)
@@ -448,7 +483,8 @@ func (tx *Tx) Create(def RelationDef) error {
 }
 
 // Drop removes a relation. The removal is visible to other transactions
-// only after Commit; until then they block on the relation's latch.
+// only after Commit; until then they block on the relation's shard
+// latches (all of which Drop takes).
 func (tx *Tx) Drop(name string) error {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -499,11 +535,12 @@ func (tx *Tx) setDrop(name string, r *Rel) {
 }
 
 // ReadRelation returns a snapshot of the named relation as this
-// transaction sees it — including its own uncommitted writes. The
-// relation's latch is taken for the rest of the transaction (repeatable
-// reads). The snapshot is the caller's to mutate. ctx (nil = the
-// transaction's context) cancels the heap scan at page-fetch
-// granularity on a disk-backed database.
+// transaction sees it — including its own uncommitted writes. Every
+// shard latch is taken for the rest of the transaction (repeatable
+// reads). The snapshot is the caller's to mutate; a K-sharded heap's
+// union of shard partitions is merged back into the global canonical
+// form. ctx (nil = the transaction's context) cancels the heap scan at
+// page-fetch granularity on a disk-backed database.
 func (tx *Tx) ReadRelation(ctx context.Context, name string) (*core.Relation, error) {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -521,9 +558,16 @@ func (tx *Tx) ReadRelation(ctx context.Context, name string) (*core.Relation, er
 		return nil, err
 	}
 	if r.rs != nil {
-		return r.rs.LoadCtx(ctx)
+		rel, err := r.rs.LoadCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if r.rs.ShardCount() > 1 {
+			rel, _ = rel.CanonicalFromFlats(r.def.Order)
+		}
+		return rel, nil
 	}
-	m, err := r.maintainer(nil)
+	m, err := r.shards[0].maintainer(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -531,8 +575,8 @@ func (tx *Tx) ReadRelation(ctx context.Context, name string) (*core.Relation, er
 }
 
 // Stats reports size and maintenance statistics for the named relation
-// as this transaction sees it (its own writes included); the
-// relation's latch is taken for the rest of the transaction.
+// as this transaction sees it (its own writes included); every shard
+// latch is taken for the rest of the transaction.
 func (tx *Tx) Stats(name string) (RelStats, error) {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -546,16 +590,16 @@ func (tx *Tx) Stats(name string) (RelStats, error) {
 	if err := tx.latchRel(r); err != nil {
 		return RelStats{}, err
 	}
-	m, err := r.maintainer(nil)
+	rel, ops, err := r.canonical(nil)
 	if err != nil {
 		return RelStats{}, err
 	}
-	return statsOf(name, m), nil
+	return statsOf(name, rel, ops), nil
 }
 
 // ValidateDeps checks the named relation's declared dependencies
-// against its expansion as this transaction sees it; the relation's
-// latch is taken for the rest of the transaction.
+// against its expansion as this transaction sees it; every shard latch
+// is taken for the rest of the transaction.
 func (tx *Tx) ValidateDeps(name string) ([]Violation, error) {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -569,11 +613,11 @@ func (tx *Tx) ValidateDeps(name string) ([]Violation, error) {
 	if err := tx.latchRel(r); err != nil {
 		return nil, err
 	}
-	m, err := r.maintainer(nil)
+	rel, _, err := r.canonical(nil)
 	if err != nil {
 		return nil, err
 	}
-	return validateOf(name, r, m), nil
+	return validateOf(name, r, rel), nil
 }
 
 // Def returns the named relation's definition as this transaction sees
@@ -631,9 +675,9 @@ func (tx *Tx) Commit() error {
 			return fmt.Errorf("engine: commit failed (transaction rolled back): %w", err)
 		}
 	}
-	for r := range tx.touched {
-		if r.rs != nil {
-			r.rs.ReleaseTxn()
+	for sh := range tx.touched {
+		if sh.ss != nil {
+			sh.ss.ReleaseTxn()
 		}
 	}
 	db := tx.db
@@ -658,8 +702,8 @@ func (tx *Tx) Commit() error {
 // Rollback discards the transaction: on a disk-backed database every
 // dirty frame is dropped from the buffer pool (no-steal guarantees
 // nothing uncommitted reached the file, so the file is bit-identical to
-// the pre-Begin state) and each touched relation's in-memory state —
-// hash indexes, heap insertion target, canonical form — is rebuilt from
+// the pre-Begin state) and each touched shard's in-memory state — hash
+// indexes, heap insertion target, canonical partition — is rebuilt from
 // its heap; in memory mode the statement log is undone in reverse
 // (the Section-4 algorithms are exact inverses). Latches are released
 // and the handle is done.
@@ -678,9 +722,9 @@ func (tx *Tx) rollbackLocked() error {
 		// leave external-transaction mode before rebuilding (Reindex
 		// resets the sink bookkeeping too, but created relations are
 		// forgotten, not reindexed)
-		for r := range tx.touched {
-			if r.rs != nil {
-				r.rs.ReleaseTxn()
+		for sh := range tx.touched {
+			if sh.ss != nil {
+				sh.ss.ReleaseTxn()
 			}
 		}
 		if rerr := tx.db.st.Rollback(tx.stx); rerr != nil {
@@ -689,20 +733,20 @@ func (tx *Tx) rollbackLocked() error {
 		for _, name := range tx.selfCreated {
 			tx.db.st.ForgetRelation(name)
 		}
-		for r := range tx.touched {
-			if _, wasCreated := tx.selfCreated[r]; wasCreated || r.rs == nil {
+		for sh := range tx.touched {
+			if _, wasCreated := tx.selfCreated[sh.r]; wasCreated || sh.ss == nil {
 				continue
 			}
-			rel, rerr := r.rs.Reindex()
+			rel, rerr := sh.ss.Reindex()
 			if rerr != nil {
 				if err == nil {
 					err = rerr
 				}
 				continue
 			}
-			// a relation touched but never materialized (the maintainer
+			// a shard touched but never materialized (the maintainer
 			// scan itself failed) has no resident form to reset
-			if m := r.maint.Load(); m != nil {
+			if m := sh.maint.Load(); m != nil {
 				m.ResetRelation(rel)
 			}
 		}
@@ -711,7 +755,7 @@ func (tx *Tx) rollbackLocked() error {
 			u := tx.undo[i]
 			// the undo log only records memory-mode writes, whose
 			// relations always have a resident maintainer
-			m := u.r.maint.Load()
+			m := u.sh.maint.Load()
 			if u.wasInsert {
 				m.Delete(u.f)
 			} else {
@@ -725,8 +769,8 @@ func (tx *Tx) rollbackLocked() error {
 
 // finish releases every latch and retires the handle.
 func (tx *Tx) finish() {
-	for r := range tx.held {
-		r.latch.release(tx)
+	for sh := range tx.held {
+		sh.latch.release(tx)
 	}
 	tx.held = nil
 	if tx.ddl {

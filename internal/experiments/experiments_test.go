@@ -275,7 +275,10 @@ func TestRunConcurrent(t *testing.T) {
 	if !res.Equivalent {
 		t.Error("concurrent run not equivalent to single-threaded oracle")
 	}
-	if res.Statements == 0 || res.WALBatches != res.Statements {
+	// the write pipeline may batch several concurrent statements into
+	// one transaction, so batches ≤ statements (equality when nothing
+	// overlapped)
+	if res.Statements == 0 || res.WALBatches == 0 || res.WALBatches > res.Statements {
 		t.Errorf("accounting: %d statements vs %d batches", res.Statements, res.WALBatches)
 	}
 	if res.FsyncsPerStatement > 1 {

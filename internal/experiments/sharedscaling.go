@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+)
+
+// SharedScalingResult summarizes the same-relation write-scaling
+// experiment: every client hammers ONE sharded relation, so throughput
+// can only scale if the per-shard write pipeline batches concurrent
+// statements under shared commit fsyncs (and the shards spread the
+// maintenance work across independent latches).
+type SharedScalingResult struct {
+	Clients   int
+	PerClient int
+	Shards    int
+
+	// BaselineStmtsPerSec is one client running the same per-client
+	// workload alone: the un-batched cost of a statement (each pays its
+	// own commit fsync).
+	BaselineStmtsPerSec float64
+
+	Statements       int
+	Seconds          float64
+	StatementsPerSec float64
+	// Scaling = StatementsPerSec / BaselineStmtsPerSec: >1 means the
+	// pipeline turned concurrency into throughput on a single relation.
+	Scaling float64
+
+	WALFsyncs          int
+	WALBatches         int
+	FsyncsPerStatement float64
+
+	// pipeline accounting for the hot relation
+	PipelineBatches  int64
+	PipelineOps      int64
+	PipelineMaxBatch int64
+	LatchWaits       int64
+
+	// per-statement latency of the scaled phase
+	P50Micros float64
+	P99Micros float64
+
+	// the hot relation equals the single-threaded oracle, live and
+	// after a close/reopen, with durable indexes verified
+	Equivalent bool
+}
+
+// sharedScalingFlats synthesizes client c's statements: distinct flat
+// tuples whose students spread across every shard chain while courses
+// and clubs repeat enough to exercise real Section-4 compositions.
+func sharedScalingFlats(seed int64, c, n int) []tuple.Flat {
+	out := make([]tuple.Flat, 0, n)
+	for i := 0; i < n; i++ {
+		k := int(seed)*911 + c*131 + i
+		// distinct students dominate (they spread across shard chains and
+		// keep each statement's maintenance cost flat); every 8th
+		// statement reuses a student so compositions still happen
+		s := fmt.Sprintf("s%d_%d", c, i)
+		if i%8 == 7 {
+			s = fmt.Sprintf("s%d_%d", c, i-1)
+		}
+		out = append(out, tuple.FlatOfStrings(
+			s,
+			fmt.Sprintf("c%d_%d", c, i),
+			fmt.Sprintf("b%d", k%5),
+		))
+	}
+	return out
+}
+
+// RunSharedScaling measures write throughput on ONE shared relation:
+// first one client alone (the per-statement fsync baseline), then
+// clients goroutines concurrently. Both phases run the same per-client
+// statement count against a fresh Shards=shards relation, and the
+// concurrent phase is verified against a single-threaded in-memory
+// oracle live and across a reopen.
+func RunSharedScaling(w io.Writer, dir string, seed int64, clients, perClient, shards, poolPages int) (SharedScalingResult, error) {
+	res := SharedScalingResult{Clients: clients, PerClient: perClient, Shards: shards}
+	sch := schema.MustOf("Student", "Course", "Club")
+	def := engine.RelationDef{
+		Name:   "hot",
+		Schema: sch,
+		Order:  schema.MustPermOf(sch, "Course", "Club", "Student"),
+		Shards: shards,
+	}
+
+	// phase 1: baseline — ONE client issues the ENTIRE workload
+	// sequentially into its own file. Same statements, same final
+	// relation, but no concurrency: every statement is a batch of one
+	// and pays its own commit fsync. This is the 1/fsync wall the
+	// pipeline exists to break.
+	{
+		db, err := engine.Open(filepath.Join(dir, "baseline.nfrs"), engine.WithPoolPages(poolPages))
+		if err != nil {
+			return res, err
+		}
+		if err := db.Create(def); err != nil {
+			db.Close()
+			return res, err
+		}
+		total := 0
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			for _, f := range sharedScalingFlats(seed, c, perClient) {
+				if _, err := db.Insert("hot", f); err != nil {
+					db.Close()
+					return res, err
+				}
+				total++
+			}
+		}
+		secs := time.Since(start).Seconds()
+		if err := db.Close(); err != nil {
+			return res, err
+		}
+		if secs > 0 {
+			res.BaselineStmtsPerSec = float64(total) / secs
+		}
+	}
+
+	// phase 2: the same per-client load from N clients at once
+	path := filepath.Join(dir, "shared.nfrs")
+	db, err := engine.Open(path, engine.WithPoolPages(poolPages))
+	if err != nil {
+		return res, err
+	}
+	if err := db.Create(def); err != nil {
+		db.Close()
+		return res, err
+	}
+	oracle := engine.New()
+	oracleDef := def
+	oracleDef.Shards = 0 // the oracle stays a classic single-chain relation
+	if err := oracle.Create(oracleDef); err != nil {
+		db.Close()
+		return res, err
+	}
+	flats := make([][]tuple.Flat, clients)
+	for c := 0; c < clients; c++ {
+		flats[c] = sharedScalingFlats(seed, c, perClient)
+		if _, err := oracle.InsertMany("hot", flats[c]); err != nil {
+			db.Close()
+			return res, err
+		}
+	}
+
+	ws0, _ := db.WALStats()
+	lat := make([][]time.Duration, clients)
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat[c] = make([]time.Duration, 0, perClient)
+			for i, f := range flats[c] {
+				t0 := time.Now()
+				ch, err := db.Insert("hot", f)
+				lat[c] = append(lat[c], time.Since(t0))
+				if err != nil {
+					errCh <- fmt.Errorf("client %d stmt %d: %w", c, i, err)
+					return
+				}
+				if !ch {
+					errCh <- fmt.Errorf("client %d stmt %d: no-op (workload must be all-changing)", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	close(errCh)
+	for err := range errCh {
+		db.Close()
+		return res, err
+	}
+	ws1, _ := db.WALStats()
+	res.Statements = clients * perClient
+	res.WALFsyncs = ws1.Fsyncs - ws0.Fsyncs
+	res.WALBatches = ws1.Batches - ws0.Batches
+	res.LatchWaits = db.LatchWaits()
+	if res.Seconds > 0 {
+		res.StatementsPerSec = float64(res.Statements) / res.Seconds
+	}
+	if res.Statements > 0 {
+		res.FsyncsPerStatement = float64(res.WALFsyncs) / float64(res.Statements)
+	}
+	if res.BaselineStmtsPerSec > 0 {
+		res.Scaling = res.StatementsPerSec / res.BaselineStmtsPerSec
+	}
+	if ps, ok := db.PipelineStats()["hot"]; ok {
+		res.PipelineBatches = ps.Batches
+		res.PipelineOps = ps.Ops
+		res.PipelineMaxBatch = ps.MaxBatch
+	}
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		res.P50Micros = float64(all[len(all)/2].Microseconds())
+		res.P99Micros = float64(all[len(all)*99/100].Microseconds())
+	}
+
+	verify := func(d *engine.Database) (bool, error) {
+		got, err := d.ReadRelation(context.Background(), "hot")
+		if err != nil {
+			return false, err
+		}
+		want, err := oracle.ReadRelation(context.Background(), "hot")
+		if err != nil {
+			return false, err
+		}
+		return got.Equal(want) && sameExpansion(got, want), nil
+	}
+	live, err := verify(db)
+	if err != nil {
+		db.Close()
+		return res, err
+	}
+	if err := db.VerifyIndexes(); err != nil {
+		db.Close()
+		return res, fmt.Errorf("live index verification: %w", err)
+	}
+	if err := db.Close(); err != nil {
+		return res, err
+	}
+	db2, err := engine.Open(path, engine.WithPoolPages(poolPages))
+	if err != nil {
+		return res, fmt.Errorf("reopen after shared-scaling run: %w", err)
+	}
+	defer db2.Close()
+	reopened, err := verify(db2)
+	if err != nil {
+		return res, err
+	}
+	if err := db2.VerifyIndexes(); err != nil {
+		return res, fmt.Errorf("reopened index verification: %w", err)
+	}
+	res.Equivalent = live && reopened
+
+	fmt.Fprintf(w, "D5 — same-relation write scaling (%d shards, per-shard pipelines)\n", shards)
+	fmt.Fprintf(w, "  baseline: 1 client × %d statements: %.0f stmts/s (one fsync each)\n",
+		clients*perClient, res.BaselineStmtsPerSec)
+	fmt.Fprintf(w, "  loaded:   %d clients × %d statements: %.0f stmts/s → %.2fx scaling\n",
+		clients, perClient, res.StatementsPerSec, res.Scaling)
+	fmt.Fprintf(w, "  pipeline: %d statements in %d batches (max batch %d), %.3f fsyncs/statement, %d latch waits\n",
+		res.PipelineOps, res.PipelineBatches, res.PipelineMaxBatch, res.FsyncsPerStatement, res.LatchWaits)
+	fmt.Fprintf(w, "  latency:  p50 %.0fµs  p99 %.0fµs\n", res.P50Micros, res.P99Micros)
+	fmt.Fprintf(w, "  hot relation equivalent to single-threaded oracle (live + reopened): %v\n", res.Equivalent)
+	return res, nil
+}

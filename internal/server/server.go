@@ -280,6 +280,19 @@ func (s *Server) Stats() wire.ServerStats {
 	if ws, ok := s.db.WALStats(); ok {
 		st.WAL = ws
 	}
+	if ps := s.db.PipelineStats(); len(ps) > 0 {
+		st.Pipelines = make(map[string]wire.RelPipeline, len(ps))
+		for name, p := range ps {
+			st.Pipelines[name] = wire.RelPipeline{
+				Shards:     p.Shards,
+				Batches:    p.Batches,
+				Ops:        p.Ops,
+				MaxBatch:   p.MaxBatch,
+				QueuePeak:  p.QueuePeak,
+				LatchWaits: p.LatchWaits,
+			}
+		}
+	}
 	return st
 }
 

@@ -122,6 +122,15 @@ func TestStatementsAndStatsOverWire(t *testing.T) {
 	if st.WAL.Fsyncs == 0 {
 		t.Fatalf("stats carried no WAL counters: %+v", st.WAL)
 	}
+	// The autocommit inserts rode the relation's write pipeline; the
+	// stats frame must surface that per-relation accounting.
+	pp, ok := st.Pipelines["enrollment"]
+	if !ok {
+		t.Fatalf("stats carried no pipeline counters: %+v", st.Pipelines)
+	}
+	if pp.Shards < 1 || pp.Ops < 1 || pp.Batches < 1 || pp.MaxBatch < 1 {
+		t.Fatalf("pipeline counters empty: %+v", pp)
+	}
 	_ = srv
 }
 

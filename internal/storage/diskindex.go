@@ -74,6 +74,10 @@ type DiskHashIndex struct {
 	// use it to force splits from tiny workloads; 0 = page capacity
 	// decides).
 	maxEntries int
+	// released accumulates overflow pages emptied by deletes and
+	// unlinked from their bucket chains, until the owner drains them
+	// via TakeReleased (to hand to a free list under the same txn).
+	released []uint32
 }
 
 // CreateDiskIndex allocates a fresh empty index under txn and returns
@@ -138,7 +142,12 @@ func OpenDiskIndex(bp *BufferPool, root uint32) (*DiskHashIndex, error) {
 // discarded uncommitted index frames: the pages have reverted to the
 // committed state and the mirror (split pointer, appended buckets,
 // count) must follow.
-func (ix *DiskHashIndex) Refresh() error { return ix.load() }
+func (ix *DiskHashIndex) Refresh() error {
+	// pages shed under a since-rolled-back txn are back on their chains;
+	// handing them to a free list now would double-own them
+	ix.released = nil
+	return ix.load()
+}
 
 func (ix *DiskHashIndex) load() error {
 	var (
@@ -628,11 +637,16 @@ func (ix *DiskHashIndex) Get(key []byte) ([]RID, error) {
 }
 
 // Delete removes one key → rid mapping under txn, reporting whether a
-// mapping was removed. Buckets are never merged; the tombstoned space
-// is reclaimed by in-page compaction on a later insert.
+// mapping was removed. Buckets themselves are never merged, but an
+// overflow page the delete leaves empty is unlinked from its bucket
+// chain under the same txn and queued on TakeReleased for the caller
+// to return to its free list — so a fill/drain cycle gives chain pages
+// back instead of leaving ever-longer walks over tombstones. Primary
+// pages stay in place (the directory references them).
 func (ix *DiskHashIndex) Delete(txn *Txn, key []byte, rid RID) (bool, error) {
+	primary := ix.buckets[ix.bucketOf(hashKey(key))]
 	foundPid, foundSlot := uint32(0), -1
-	err := ix.walkBucket(ix.buckets[ix.bucketOf(hashKey(key))], func(pid uint32, slot int, k []byte, r RID) bool {
+	err := ix.walkBucket(primary, func(pid uint32, slot int, k []byte, r RID) bool {
 		if r == rid && bytes.Equal(k, key) {
 			foundPid, foundSlot = pid, slot
 			return false
@@ -653,11 +667,69 @@ func (ix *DiskHashIndex) Delete(txn *Txn, key []byte, rid RID) (bool, error) {
 		ix.bp.Unpin(fr, false)
 		return false, derr
 	}
+	empty := fr.Page().NumLive() == 0
+	victimNext := fr.Page().Next()
 	if err := ix.bp.Unpin(fr, true); err != nil {
 		return false, err
 	}
 	ix.count--
+	if empty && foundPid != primary {
+		if err := ix.unlinkOverflow(txn, primary, foundPid, victimNext); err != nil {
+			return false, err
+		}
+	}
 	return true, ix.writeMeta(txn)
+}
+
+// unlinkOverflow splices the empty overflow page victim out of the
+// bucket chain rooted at primary (victim's successor is next) and
+// queues it for TakeReleased. All page writes ride txn, so a rollback
+// or crash reverts the splice together with the delete that caused it.
+func (ix *DiskHashIndex) unlinkOverflow(txn *Txn, primary, victim, next uint32) error {
+	prev := primary
+	limit := ix.chainLimit()
+	for steps := 0; ; {
+		if steps++; steps > limit {
+			return fmt.Errorf("%w: bucket chain cycle at page %d", ErrCorruptIndex, prev)
+		}
+		fr, err := ix.bp.Get(prev)
+		if err != nil {
+			return err
+		}
+		n := fr.Page().Next()
+		if err := ix.bp.Unpin(fr, false); err != nil {
+			return err
+		}
+		if n == victim {
+			break
+		}
+		if n == 0 {
+			// already unlinked (should not happen; be conservative and
+			// keep the page rather than double-free it)
+			return nil
+		}
+		prev = n
+	}
+	fr, err := ix.bp.GetMut(txn, prev)
+	if err != nil {
+		return err
+	}
+	fr.Page().SetNext(next)
+	if err := ix.bp.Unpin(fr, true); err != nil {
+		return err
+	}
+	ix.released = append(ix.released, victim)
+	return nil
+}
+
+// TakeReleased drains the overflow pages shed by deletes since the
+// last call. The caller must hand them to a free list (or accept them
+// as orphans for the open-time sweep); they are no longer reachable
+// from the index.
+func (ix *DiskHashIndex) TakeReleased() []uint32 {
+	out := ix.released
+	ix.released = nil
+	return out
 }
 
 // Pages returns every page the index owns — the directory chain and

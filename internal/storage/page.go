@@ -119,6 +119,17 @@ func (p *Page) FreeSpace() int {
 // NumSlots returns the number of slot entries (including tombstones).
 func (p *Page) NumSlots() int { return p.numSlots() }
 
+// NumLive returns the number of live (non-tombstoned) records.
+func (p *Page) NumLive() int {
+	n := 0
+	for i := 0; i < p.numSlots(); i++ {
+		if off, _ := p.slotAt(i); off != 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // Insert stores the record and returns its slot number. Tombstoned
 // slots are reused when the record fits in a fresh region.
 func (p *Page) Insert(rec []byte) (int, error) {

@@ -23,7 +23,18 @@ type RelationDef struct {
 	Order schema.Permutation
 	FDs   []dep.FD
 	MVDs  []dep.MVD
+	// Shards is the number of heap chains the relation's tuples are
+	// partitioned across, keyed by the hash of the determinant atom
+	// (0 and 1 both mean one chain — the classic layout, byte-identical
+	// on disk to pre-shard files). Each shard owns a disjoint heap chain
+	// and its own pair of hash indexes, so statements on different
+	// shards of one hot relation run and commit concurrently.
+	Shards int
 }
+
+// maxShards bounds the catalog encoding; far above any useful fan-out
+// (shard count should track writer concurrency, not data volume).
+const maxShards = 64
 
 func (d RelationDef) validate() error {
 	if d.Name == "" {
@@ -35,7 +46,18 @@ func (d RelationDef) validate() error {
 	if !d.Order.Valid(d.Schema) {
 		return fmt.Errorf("store: invalid nest order %v for %q", d.Order, d.Name)
 	}
+	if d.Shards < 0 || d.Shards > maxShards {
+		return fmt.Errorf("store: relation %q shard count %d out of range [0,%d]", d.Name, d.Shards, maxShards)
+	}
 	return nil
+}
+
+// shardRoots locates one shard's durable structures: its heap chain
+// head and the directory roots of its two hash indexes.
+type shardRoots struct {
+	heapFirst uint32
+	ridsRoot  uint32
+	fixedRoot uint32
 }
 
 // catalogEntry is a decoded catalog record plus its location.
@@ -47,7 +69,11 @@ type catalogEntry struct {
 	// are upgraded (rebuild once, persist) on the first writable open.
 	ridsRoot  uint32
 	fixedRoot uint32
-	rid       storage.RID
+	// extra holds the roots of shards 1..K-1 for sharded relations
+	// (shard 0 lives in heapFirst/ridsRoot/fixedRoot above); empty for
+	// the classic single-chain layout.
+	extra []shardRoots
+	rid   storage.RID
 }
 
 // encodeCatalogRecord serializes a relation definition:
@@ -55,12 +81,19 @@ type catalogEntry struct {
 //	tag:'R' nameLen:uvarint name heapFirst:uvarint schema
 //	orderLen:uvarint idx:uvarint* nFDs:uvarint fd* nMVDs:uvarint mvd*
 //	fd/mvd := nLhs:uvarint (len name)* nRhs:uvarint (len name)*
-//	[ridsRoot:uvarint fixedRoot:uvarint]
+//	[ridsRoot:uvarint fixedRoot:uvarint
+//	 [nExtra:uvarint (heapFirst ridsRoot fixedRoot)*]]
 //
 // The trailing index roots are the version-3 extension; records
 // without them (version 2) decode with zero roots. Passing zero roots
 // encodes a v2 record — tests use that to manufacture upgrade inputs.
-func encodeCatalogRecord(def RelationDef, heapFirst, ridsRoot, fixedRoot uint32) []byte {
+// The second trailing-optional block carries the roots of shards
+// 1..K-1 for sharded relations; single-chain relations omit it and
+// stay byte-identical to pre-shard records, so old files read
+// unchanged and new files without sharding stay downgrade-readable.
+// shards[0] supplies heapFirst/ridsRoot/fixedRoot.
+func encodeCatalogRecord(def RelationDef, shards []shardRoots) []byte {
+	heapFirst, ridsRoot, fixedRoot := shards[0].heapFirst, shards[0].ridsRoot, shards[0].fixedRoot
 	b := []byte{relRecordTag}
 	b = appendString(b, def.Name)
 	b = binary.AppendUvarint(b, uint64(heapFirst))
@@ -79,9 +112,17 @@ func encodeCatalogRecord(def RelationDef, heapFirst, ridsRoot, fixedRoot uint32)
 		b = appendAttrSet(b, m.Lhs)
 		b = appendAttrSet(b, m.Rhs)
 	}
-	if ridsRoot != 0 || fixedRoot != 0 {
+	if ridsRoot != 0 || fixedRoot != 0 || len(shards) > 1 {
 		b = binary.AppendUvarint(b, uint64(ridsRoot))
 		b = binary.AppendUvarint(b, uint64(fixedRoot))
+	}
+	if len(shards) > 1 {
+		b = binary.AppendUvarint(b, uint64(len(shards)-1))
+		for _, s := range shards[1:] {
+			b = binary.AppendUvarint(b, uint64(s.heapFirst))
+			b = binary.AppendUvarint(b, uint64(s.ridsRoot))
+			b = binary.AppendUvarint(b, uint64(s.fixedRoot))
+		}
 	}
 	return b
 }
@@ -152,7 +193,9 @@ func decodeCatalogRecord(rec []byte) (catalogEntry, error) {
 		ce.def.MVDs = append(ce.def.MVDs, dep.NewMVD(lhs, rhs))
 	}
 	if len(b) == 0 {
-		// version-2 record: no durable index yet (roots stay 0)
+		// version-2 record: no durable index yet (roots stay 0),
+		// necessarily single-chain
+		ce.def.Shards = 1
 		return ce, nil
 	}
 	rr, b, err := takeUvarint(b)
@@ -163,13 +206,42 @@ func decodeCatalogRecord(rec []byte) (catalogEntry, error) {
 	if err != nil {
 		return ce, fmt.Errorf("%w: fixed index root of %q", ErrCorrupt, name)
 	}
-	if len(b) != 0 {
-		return ce, fmt.Errorf("%w: %d trailing bytes in catalog record of %q", ErrCorrupt, len(b), name)
-	}
 	if rr == 0 || fr == 0 || rr > 1<<32-1 || fr > 1<<32-1 {
 		return ce, fmt.Errorf("%w: impossible index roots %d/%d of %q", ErrCorrupt, rr, fr, name)
 	}
 	ce.ridsRoot, ce.fixedRoot = uint32(rr), uint32(fr)
+	if len(b) == 0 {
+		// single-chain relation (the pre-shard record shape)
+		ce.def.Shards = 1
+		return ce, nil
+	}
+	nx, b, err := takeUvarint(b)
+	if err != nil || nx == 0 || nx >= maxShards {
+		return ce, fmt.Errorf("%w: shard count of %q", ErrCorrupt, name)
+	}
+	for i := uint64(0); i < nx; i++ {
+		var s shardRoots
+		var h, r2, f2 uint64
+		h, b, err = takeUvarint(b)
+		if err == nil {
+			r2, b, err = takeUvarint(b)
+		}
+		if err == nil {
+			f2, b, err = takeUvarint(b)
+		}
+		if err != nil {
+			return ce, fmt.Errorf("%w: shard %d roots of %q: %v", ErrCorrupt, i+1, name, err)
+		}
+		if h == 0 || r2 == 0 || f2 == 0 || h > 1<<32-1 || r2 > 1<<32-1 || f2 > 1<<32-1 {
+			return ce, fmt.Errorf("%w: impossible shard %d roots %d/%d/%d of %q", ErrCorrupt, i+1, h, r2, f2, name)
+		}
+		s.heapFirst, s.ridsRoot, s.fixedRoot = uint32(h), uint32(r2), uint32(f2)
+		ce.extra = append(ce.extra, s)
+	}
+	if len(b) != 0 {
+		return ce, fmt.Errorf("%w: %d trailing bytes in catalog record of %q", ErrCorrupt, len(b), name)
+	}
+	ce.def.Shards = 1 + len(ce.extra)
 	return ce, nil
 }
 

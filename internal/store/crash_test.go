@@ -230,7 +230,7 @@ func TestReopenDuplicateRecord(t *testing.T) {
 	if err := rs.Insert(txn, tp); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rs.heap.Insert(txn, encoding.EncodeTuple(tp)); err != nil {
+	if _, err := rs.shards[0].heap.Insert(txn, encoding.EncodeTuple(tp)); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Commit(txn); err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"repro/internal/core"
@@ -22,6 +23,10 @@ type relIndex interface {
 	Get(key []byte) ([]storage.RID, error)
 	Delete(txn *storage.Txn, key []byte, rid storage.RID) (bool, error)
 	Len() int
+	// TakeReleased drains the page ids the index shed since the last
+	// call (overflow pages emptied by deletes); nil for indexes that
+	// never shed pages.
+	TakeReleased() []uint32
 }
 
 // memIndex adapts storage.HashIndex (rebuild-on-open, never durable) to
@@ -36,17 +41,41 @@ func (m memIndex) Get(key []byte) ([]storage.RID, error) { return m.ix.Get(key),
 func (m memIndex) Delete(_ *storage.Txn, key []byte, rid storage.RID) (bool, error) {
 	return m.ix.Delete(key, rid), nil
 }
-func (m memIndex) Len() int { return m.ix.Len() }
+func (m memIndex) Len() int               { return m.ix.Len() }
+func (m memIndex) TakeReleased() []uint32 { return nil }
 
-// RelStore is one relation's on-disk realization: a heap file of
-// encoded canonical NFR tuples plus two durable hash indexes whose
-// pages live in the same file —
+// ShardOfAtom maps a determinant atom to its shard ordinal in a
+// K-sharded relation: FNV-1a over the atom's stable encoding, mod K.
+// The encoding (not Go's map iteration or pointer identity) keys the
+// hash, so the routing is deterministic across restarts — the invariant
+// the catalog relies on is that every tuple whose fixed component
+// contains atom a lives in shard ShardOfAtom(a, K).
+func ShardOfAtom(a value.Atom, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write(encoding.AppendAtom(nil, a))
+	return int(h.Sum32() % uint32(k))
+}
+
+// Shard is one heap chain of a relation plus the pair of durable hash
+// indexes that describe it —
 //
 //   - a primary index keyed on the full tuple key, so the write-through
 //     delete path locates the victim record in O(1), and
 //   - a fixed-attribute index keyed on each atom of the tuple's fixed
 //     (determinant) component, so point lookups by determinant value
 //     (the NFR analogue of a key probe) avoid scanning the heap.
+//
+// A classic relation has exactly one shard; a K-sharded relation
+// partitions its canonical tuples across K shards by ShardOfAtom of the
+// determinant, each shard holding the Section-4 canonical form of its
+// own partition. Because a shard owns a disjoint set of pages (its heap
+// chain and its two index structures), statements on different shards
+// of one relation dirty disjoint frames and commit concurrently through
+// the merged group commit — the union of the shard canonical forms is
+// re-canonicalized on read (engine side) to recover the global V_P.
 //
 // Index mutations ride the same transaction as the heap mutation that
 // caused them, so a commit makes heap and index durable as one batch
@@ -57,27 +86,21 @@ func (m memIndex) Len() int { return m.ix.Len() }
 // heap-scan oracle: it verifies the durable index against the heap and
 // rebuilds it only on divergence.
 //
-// RelStore implements update.BatchSink; because the sink interface
-// cannot return errors mid-algorithm, write failures are latched and
-// surfaced via Err. Each StatementBegin/StatementEnd bracket is one
-// transaction: the statement's writes accumulate under a Txn begun at
-// the bracket's start and group-commit at its end, so statements on
-// different relations commit concurrently (and merge into shared
-// fsyncs). The engine serializes statements per relation, so at most
-// one statement transaction is open per RelStore at a time.
-type RelStore struct {
-	st     *Store
-	def    RelationDef
-	heap   *storage.HeapFile
-	catRID storage.RID
+// Shard implements update.BatchSink; because the sink interface cannot
+// return errors mid-algorithm, write failures are latched and surfaced
+// via Err. Each StatementBegin/StatementEnd bracket is one transaction:
+// the statement's writes accumulate under a Txn begun at the bracket's
+// start and group-commit at its end, so statements on different
+// relations — and different shards of one relation — commit
+// concurrently (and merge into shared fsyncs). The engine serializes
+// statements per shard, so at most one statement transaction is open
+// per Shard at a time.
+type Shard struct {
+	st  *Store
+	def RelationDef
+	ord int // shard ordinal within the relation
 
-	// Snapshot visibility window, guarded by st.mu (not r.mu): the
-	// relation exists for pins in [visibleAt, droppedAt). 0/0 means
-	// "since before any pin, still live"; a pending create sits at
-	// visibleAt = MaxUint64 until its commit publishes the real LSN.
-	// See store snapshot.go.
-	visibleAt uint64
-	droppedAt uint64
+	heap *storage.HeapFile
 
 	mu    sync.Mutex
 	rids  relIndex // tuple key -> RID
@@ -93,60 +116,94 @@ type RelStore struct {
 	err    error // first write-through failure
 }
 
+// RelStore is one relation's on-disk realization: its shards (one for
+// the classic layout) behind a thin router. Writes of canonical tuples
+// route to the owning shard by determinant atom; reads union the
+// shards' heaps. Callers that partition work per shard (the engine's
+// concurrent write path) address shards directly via Shard(i).
+type RelStore struct {
+	st     *Store
+	def    RelationDef
+	catRID storage.RID
+
+	// Snapshot visibility window, guarded by st.mu (not shard mu): the
+	// relation exists for pins in [visibleAt, droppedAt). 0/0 means
+	// "since before any pin, still live"; a pending create sits at
+	// visibleAt = MaxUint64 until its commit publishes the real LSN.
+	// See store snapshot.go.
+	visibleAt uint64
+	droppedAt uint64
+
+	shards []*Shard
+}
+
 // fixedAttr returns the schema position of the last-nested attribute —
 // the component the canonical form is fixed on when the nest order
 // follows the paper's Section 3.4 guidance.
+func (r *Shard) fixedAttr() int { return r.def.Order[len(r.def.Order)-1] }
+
 func (r *RelStore) fixedAttr() int { return r.def.Order[len(r.def.Order)-1] }
 
-// newRelStore wires a RelStore around an attached heap and (when
-// non-nil) durable indexes; without them, fresh in-memory indexes stand
-// in and the caller populates them by scanning.
-func newRelStore(s *Store, def RelationDef, heap *storage.HeapFile, catRID storage.RID, ridsD, fixedD *storage.DiskHashIndex) *RelStore {
-	rs := &RelStore{st: s, def: def, heap: heap, catRID: catRID, ridsD: ridsD, fixedD: fixedD}
+// newShard wires a Shard around an attached heap and (when non-nil)
+// durable indexes; without them, fresh in-memory indexes stand in and
+// the caller populates them by scanning.
+func newShard(s *Store, def RelationDef, ord int, heap *storage.HeapFile, ridsD, fixedD *storage.DiskHashIndex) *Shard {
+	sh := &Shard{st: s, def: def, ord: ord, heap: heap, ridsD: ridsD, fixedD: fixedD}
 	if ridsD != nil {
-		rs.rids, rs.fixed = ridsD, fixedD
-		rs.count = ridsD.Len()
+		sh.rids, sh.fixed = ridsD, fixedD
+		sh.count = ridsD.Len()
 	} else {
-		rs.rids = memIndex{storage.NewHashIndex()}
-		rs.fixed = memIndex{storage.NewHashIndex()}
+		sh.rids = memIndex{storage.NewHashIndex()}
+		sh.fixed = memIndex{storage.NewHashIndex()}
 	}
-	return rs
+	return sh
+}
+
+// newRelStore assembles a RelStore from already-built shards.
+func newRelStore(s *Store, def RelationDef, catRID storage.RID, shards []*Shard) *RelStore {
+	return &RelStore{st: s, def: def, catRID: catRID, shards: shards}
 }
 
 // openRelStore attaches to an existing relation. With durable index
 // roots in the catalog record the attach touches no heap page at all —
 // the indexes' directories describe themselves and carry the tuple
-// count. A v2 record (zero roots) falls back to the classic
-// rebuild-by-scan; Store.upgradeIndexes persists durable indexes right
-// after, unless the open is a no-write one (Options.NoSweep).
+// count. A v2 record (zero roots, necessarily single-shard) falls back
+// to the classic rebuild-by-scan; Store.upgradeIndexes persists durable
+// indexes right after, unless the open is a no-write one
+// (Options.NoSweep).
 func openRelStore(s *Store, ce catalogEntry) (*RelStore, error) {
 	if ce.ridsRoot != 0 {
-		ridsD, err := storage.OpenDiskIndex(s.bp, ce.ridsRoot)
-		if err != nil {
-			return nil, fmt.Errorf("%w: opening primary index of %q: %v", ErrCorrupt, ce.def.Name, err)
+		roots := append([]shardRoots{{ce.heapFirst, ce.ridsRoot, ce.fixedRoot}}, ce.extra...)
+		shards := make([]*Shard, 0, len(roots))
+		for ord, rt := range roots {
+			ridsD, err := storage.OpenDiskIndex(s.bp, rt.ridsRoot)
+			if err != nil {
+				return nil, fmt.Errorf("%w: opening primary index %d of %q: %v", ErrCorrupt, ord, ce.def.Name, err)
+			}
+			fixedD, err := storage.OpenDiskIndex(s.bp, rt.fixedRoot)
+			if err != nil {
+				return nil, fmt.Errorf("%w: opening fixed index %d of %q: %v", ErrCorrupt, ord, ce.def.Name, err)
+			}
+			heap := storage.OpenHeapAt(s.bp, rt.heapFirst)
+			shards = append(shards, newShard(s, ce.def, ord, heap, ridsD, fixedD))
 		}
-		fixedD, err := storage.OpenDiskIndex(s.bp, ce.fixedRoot)
-		if err != nil {
-			return nil, fmt.Errorf("%w: opening fixed index of %q: %v", ErrCorrupt, ce.def.Name, err)
-		}
-		heap := storage.OpenHeapAt(s.bp, ce.heapFirst)
-		return newRelStore(s, ce.def, heap, ce.rid, ridsD, fixedD), nil
+		return newRelStore(s, ce.def, ce.rid, shards), nil
 	}
 	heap, err := storage.OpenHeap(s.bp, ce.heapFirst)
 	if err != nil {
 		return nil, fmt.Errorf("%w: opening heap of %q: %v", ErrCorrupt, ce.def.Name, err)
 	}
-	rs := newRelStore(s, ce.def, heap, ce.rid, nil, nil)
+	sh := newShard(s, ce.def, 0, heap, nil, nil)
 	var dupErr error
-	if err := rs.scanRaw(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
+	if err := sh.scanRaw(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
 		// The engine never writes the same tuple twice; a duplicate
 		// record would make deletes leave a stale copy behind, so it is
 		// corruption, not data.
-		if hits, _ := rs.rids.Get([]byte(t.Key())); len(hits) > 0 {
+		if hits, _ := sh.rids.Get([]byte(t.Key())); len(hits) > 0 {
 			dupErr = fmt.Errorf("%w: duplicate record at %v in %q", ErrCorrupt, rid, ce.def.Name)
 			return false
 		}
-		rs.indexTuple(nil, t, rid)
+		sh.indexTuple(nil, t, rid)
 		return true
 	}); err != nil {
 		return nil, err
@@ -154,28 +211,72 @@ func openRelStore(s *Store, ce catalogEntry) (*RelStore, error) {
 	if dupErr != nil {
 		return nil, dupErr
 	}
-	return rs, nil
+	return newRelStore(s, ce.def, ce.rid, []*Shard{sh}), nil
 }
 
 // Def returns the relation's durable definition.
 func (r *RelStore) Def() RelationDef { return r.def }
 
-// Len returns the number of stored NFR tuples.
+// ShardCount returns the number of heap chains the relation is
+// partitioned across (1 for the classic layout).
+func (r *RelStore) ShardCount() int { return len(r.shards) }
+
+// Shard returns the i-th shard for callers that partition their work
+// per shard (the engine's concurrent write path).
+func (r *RelStore) Shard(i int) *Shard { return r.shards[i] }
+
+// ShardFor returns the shard owning the canonical tuples whose fixed
+// component contains atom a.
+func (r *RelStore) ShardFor(a value.Atom) *Shard {
+	return r.shards[ShardOfAtom(a, len(r.shards))]
+}
+
+// shardOfTuple routes a canonical tuple by (any) one atom of its fixed
+// component — the shard invariant guarantees they all agree.
+func (r *RelStore) shardOfTuple(t tuple.Tuple) *Shard {
+	if len(r.shards) == 1 {
+		return r.shards[0]
+	}
+	atoms := t.Set(r.fixedAttr()).Atoms()
+	return r.ShardFor(atoms[0])
+}
+
+// Len returns the number of stored NFR tuples across all shards.
 func (r *RelStore) Len() int {
+	n := 0
+	for _, sh := range r.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Len returns the number of tuples stored in this shard.
+func (r *Shard) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.count
 }
 
+// Err returns the first write-through failure recorded by any shard's
+// sink callbacks (nil when all writes succeeded).
+func (r *RelStore) Err() error {
+	for _, sh := range r.shards {
+		if err := sh.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Err returns the first write-through failure recorded by the sink
 // callbacks (nil when all writes succeeded).
-func (r *RelStore) Err() error {
+func (r *Shard) Err() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.err
 }
 
-func (r *RelStore) indexTuple(txn *Txn, t tuple.Tuple, rid storage.RID) error {
+func (r *Shard) indexTuple(txn *Txn, t tuple.Tuple, rid storage.RID) error {
 	if err := r.rids.Put(txn, []byte(t.Key()), rid); err != nil {
 		return err
 	}
@@ -188,7 +289,7 @@ func (r *RelStore) indexTuple(txn *Txn, t tuple.Tuple, rid storage.RID) error {
 	return nil
 }
 
-func (r *RelStore) unindexTuple(txn *Txn, t tuple.Tuple, rid storage.RID) error {
+func (r *Shard) unindexTuple(txn *Txn, t tuple.Tuple, rid storage.RID) error {
 	if _, err := r.rids.Delete(txn, []byte(t.Key()), rid); err != nil {
 		return err
 	}
@@ -198,18 +299,45 @@ func (r *RelStore) unindexTuple(txn *Txn, t tuple.Tuple, rid storage.RID) error 
 		}
 	}
 	r.count--
+	r.reclaimIndexPagesLocked(txn)
 	return nil
 }
 
-// Insert appends one canonical tuple to the heap under txn and indexes
-// it.
+// reclaimIndexPagesLocked returns overflow pages the durable indexes
+// shed (emptied by deletes and unlinked from their bucket chains) to
+// the free list under the same transaction as the delete that emptied
+// them. Best-effort: a refused free (foreign free-list owner) just
+// orphans the pages until the next open-time sweep, exactly like the
+// drop path's degraded mode.
+func (r *Shard) reclaimIndexPagesLocked(txn *Txn) {
+	if r.ridsD == nil || txn == nil {
+		return
+	}
+	released := r.ridsD.TakeReleased()
+	released = append(released, r.fixedD.TakeReleased()...)
+	if len(released) == 0 {
+		return
+	}
+	_ = r.st.freePages(txn, released)
+}
+
+// Insert appends one canonical tuple to the owning shard's heap under
+// txn and indexes it. For K-sharded relations the tuple must be a
+// shard-canonical tuple (all fixed atoms in one shard) — global
+// canonical relations go through Fill/Replace, which re-partition.
 func (r *RelStore) Insert(txn *Txn, t tuple.Tuple) error {
+	return r.shardOfTuple(t).Insert(txn, t)
+}
+
+// Insert appends one canonical tuple to the shard's heap under txn and
+// indexes it.
+func (r *Shard) Insert(txn *Txn, t tuple.Tuple) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.insertLocked(txn, t)
 }
 
-func (r *RelStore) insertLocked(txn *Txn, t tuple.Tuple) error {
+func (r *Shard) insertLocked(txn *Txn, t tuple.Tuple) error {
 	rid, err := r.heap.Insert(txn, encoding.EncodeTuple(t))
 	if err != nil {
 		return err
@@ -219,12 +347,17 @@ func (r *RelStore) insertLocked(txn *Txn, t tuple.Tuple) error {
 
 // Remove deletes the record holding the exact tuple t under txn.
 func (r *RelStore) Remove(txn *Txn, t tuple.Tuple) error {
+	return r.shardOfTuple(t).Remove(txn, t)
+}
+
+// Remove deletes the record holding the exact tuple t under txn.
+func (r *Shard) Remove(txn *Txn, t tuple.Tuple) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.removeLocked(txn, t)
 }
 
-func (r *RelStore) removeLocked(txn *Txn, t tuple.Tuple) error {
+func (r *Shard) removeLocked(txn *Txn, t tuple.Tuple) error {
 	key := []byte(t.Key())
 	rids, err := r.rids.Get(key)
 	if err != nil {
@@ -243,7 +376,7 @@ func (r *RelStore) removeLocked(txn *Txn, t tuple.Tuple) error {
 // TupleAdded implements update.Sink: write-through of a composition
 // result under the open statement transaction. Errors are latched (see
 // Err).
-func (r *RelStore) TupleAdded(t tuple.Tuple) {
+func (r *Shard) TupleAdded(t tuple.Tuple) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.cur == nil {
@@ -258,7 +391,7 @@ func (r *RelStore) TupleAdded(t tuple.Tuple) {
 // TupleRemoved implements update.Sink: write-through of a decomposition
 // victim under the open statement transaction. Errors are latched (see
 // Err).
-func (r *RelStore) TupleRemoved(t tuple.Tuple) {
+func (r *Shard) TupleRemoved(t tuple.Tuple) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.cur == nil {
@@ -276,7 +409,7 @@ func (r *RelStore) TupleRemoved(t tuple.Tuple) {
 // nothing reaches the data file yet (the pool is no-steal). A still-
 // open transaction from a failed statement is reused so the engine's
 // rollback repairs land in the same atomic batch.
-func (r *RelStore) StatementBegin() {
+func (r *Shard) StatementBegin() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.cur == nil {
@@ -284,13 +417,13 @@ func (r *RelStore) StatementBegin() {
 	}
 }
 
-// UseTxn puts the relation store into external-transaction mode: every
+// UseTxn puts the shard into external-transaction mode: every
 // write-through between now and ReleaseTxn is attributed to txn, and
 // the BatchSink brackets stop owning the commit boundary (StatementEnd
 // becomes a no-op). The engine's multi-statement Tx uses this so the
 // adds and drops of MANY statements pool under one transaction and
 // group-commit together at Tx.Commit.
-func (r *RelStore) UseTxn(txn *Txn) {
+func (r *Shard) UseTxn(txn *Txn) {
 	r.mu.Lock()
 	r.cur = txn
 	r.ext = true
@@ -300,11 +433,50 @@ func (r *RelStore) UseTxn(txn *Txn) {
 // ReleaseTxn leaves external-transaction mode (after the owning Tx
 // committed or rolled back); the BatchSink brackets own the commit
 // boundary again.
-func (r *RelStore) ReleaseTxn() {
+func (r *Shard) ReleaseTxn() {
 	r.mu.Lock()
 	r.cur = nil
 	r.ext = false
 	r.mu.Unlock()
+}
+
+// sole returns the single shard of a classic relation; multi-shard
+// relations have no relation-level statement stream, so using the
+// RelStore-level sink there is a caller bug.
+func (r *RelStore) sole() *Shard {
+	if len(r.shards) != 1 {
+		panic(fmt.Sprintf("store: relation-level statement API on %d-sharded %q", len(r.shards), r.def.Name))
+	}
+	return r.shards[0]
+}
+
+// TupleAdded implements update.Sink on the classic single-shard layout.
+func (r *RelStore) TupleAdded(t tuple.Tuple) { r.sole().TupleAdded(t) }
+
+// TupleRemoved implements update.Sink on the classic single-shard
+// layout.
+func (r *RelStore) TupleRemoved(t tuple.Tuple) { r.sole().TupleRemoved(t) }
+
+// StatementBegin implements update.BatchSink on the classic
+// single-shard layout.
+func (r *RelStore) StatementBegin() { r.sole().StatementBegin() }
+
+// StatementEnd implements update.BatchSink on the classic single-shard
+// layout.
+func (r *RelStore) StatementEnd() { r.sole().StatementEnd() }
+
+// UseTxn forwards external-transaction mode to every shard.
+func (r *RelStore) UseTxn(txn *Txn) {
+	for _, sh := range r.shards {
+		sh.UseTxn(txn)
+	}
+}
+
+// ReleaseTxn leaves external-transaction mode on every shard.
+func (r *RelStore) ReleaseTxn() {
+	for _, sh := range r.shards {
+		sh.ReleaseTxn()
+	}
 }
 
 // ridTuple pairs a heap record with its decoded tuple for the oracle
@@ -314,17 +486,40 @@ type ridTuple struct {
 	t   tuple.Tuple
 }
 
-// Reindex resets the relation's derived state from the heap — the
+// Reindex resets the relation's derived state from its heaps — the
 // heap-scan oracle — returning the relation materialized by the same
 // single scan (the engine's rollback resets the maintainer from it, so
-// the heap is walked once, not twice). A transaction rollback discards
-// uncommitted frames from the pool, reverting heap AND index pages to
-// their last committed content; the durable index is then re-attached
-// from its (reverted) directory, checked entry-for-entry against the
-// heap, and rebuilt in place only if the check fails — so a clean
-// rollback performs no writes and leaves the file untouched. Legacy
-// in-memory indexes are simply rebuilt by the scan.
+// each heap is walked once, not twice). For a K-sharded relation the
+// result is the union of the shard partitions re-canonicalized into the
+// global V_P.
 func (r *RelStore) Reindex() (*core.Relation, error) {
+	if len(r.shards) == 1 {
+		return r.shards[0].Reindex()
+	}
+	union := core.NewRelation(r.def.Schema)
+	for _, sh := range r.shards {
+		rel, err := sh.Reindex()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < rel.Len(); i++ {
+			union.Add(rel.Tuple(i))
+		}
+	}
+	canon, _ := union.CanonicalFromFlats(r.def.Order)
+	return canon, nil
+}
+
+// Reindex resets the shard's derived state from the heap — the
+// heap-scan oracle — returning the shard's partition materialized by
+// the same single scan. A transaction rollback discards uncommitted
+// frames from the pool, reverting heap AND index pages to their last
+// committed content; the durable index is then re-attached from its
+// (reverted) directory, checked entry-for-entry against the heap, and
+// rebuilt in place only if the check fails — so a clean rollback
+// performs no writes and leaves the file untouched. Legacy in-memory
+// indexes are simply rebuilt by the scan.
+func (r *Shard) Reindex() (*core.Relation, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.heap.Rewind(); err != nil {
@@ -375,7 +570,7 @@ func (r *RelStore) Reindex() (*core.Relation, error) {
 // what a rebuilt-from-heap index would — every tuple probeable by its
 // full key and by each atom of its fixed component, entry counts equal
 // (no extras), and every index page readable and checksum-valid.
-func (r *RelStore) checkLocked(rts []ridTuple) error {
+func (r *Shard) checkLocked(rts []ridTuple) error {
 	if n := r.rids.Len(); n != len(rts) {
 		return fmt.Errorf("store: %q primary index holds %d entries, heap %d tuples",
 			r.def.Name, n, len(rts))
@@ -435,7 +630,7 @@ func containsRID(rids []storage.RID, rid storage.RID) bool {
 // statement on those pages — and re-attaches the in-memory mirrors to
 // the reverted on-disk state (the damage survives for the next repair
 // attempt; a wedge would not recover at all).
-func (r *RelStore) rebuildLocked(rts []ridTuple) (err error) {
+func (r *Shard) rebuildLocked(rts []ridTuple) (err error) {
 	txn := r.st.Begin()
 	defer func() {
 		if err == nil {
@@ -482,12 +677,22 @@ func (r *RelStore) rebuildLocked(rts []ridTuple) (err error) {
 	return r.st.Commit(txn)
 }
 
-// VerifyIndex checks the relation's indexes against a fresh heap scan —
+// VerifyIndex checks every shard's indexes against a fresh heap scan —
 // the rebuild-on-open oracle. The durable index must never be more than
 // a view of the heap; any divergence (missing or extra entries, torn or
 // unreachable index pages) is returned as an error. Tests and the
 // reopen bench leg use it; it performs no writes.
 func (r *RelStore) VerifyIndex() error {
+	for _, sh := range r.shards {
+		if err := sh.VerifyIndex(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyIndex checks the shard's indexes against a fresh heap scan.
+func (r *Shard) VerifyIndex() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var rts []ridTuple
@@ -500,10 +705,23 @@ func (r *RelStore) VerifyIndex() error {
 	return r.checkLocked(rts)
 }
 
-// pages returns every page the relation owns: its heap chain and, when
-// durable, both index structures' chains. The drop path hands them to
-// the free list; the open-time sweep treats them as referenced.
+// pages returns every page the relation owns: all shards' heap chains
+// and, when durable, their index structures' chains. The drop path
+// hands them to the free list; the open-time sweep treats them as
+// referenced.
 func (r *RelStore) pages() ([]uint32, error) {
+	var out []uint32
+	for _, sh := range r.shards {
+		p, err := sh.pages()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+func (r *Shard) pages() ([]uint32, error) {
 	out, err := r.heap.Pages()
 	if err != nil {
 		return nil, err
@@ -525,9 +743,9 @@ func (r *RelStore) pages() ([]uint32, error) {
 
 // StatementEnd implements update.BatchSink: the group-commit point. All
 // pages the statement dirtied go to the WAL as one batch — merged with
-// concurrently committing statements on other relations into a single
-// fsync — then through to the data file. Errors are latched (see Err)
-// so the engine's rollback path can surface them.
+// concurrently committing statements on other relations or shards into
+// a single fsync — then through to the data file. Errors are latched
+// (see Err) so the engine's rollback path can surface them.
 //
 // A statement whose write-through already failed mid-stream is NOT
 // committed: its half-applied pages stay buffered under the still-open
@@ -539,7 +757,7 @@ func (r *RelStore) pages() ([]uint32, error) {
 // In external-transaction mode (UseTxn) the bracket does not own the
 // commit boundary: the statement's pages stay pooled under the
 // engine-level transaction until its Commit.
-func (r *RelStore) StatementEnd() {
+func (r *Shard) StatementEnd() {
 	r.mu.Lock()
 	txn := r.cur
 	failed := r.err != nil || r.ext
@@ -563,7 +781,7 @@ func (r *RelStore) StatementEnd() {
 // the maintainer brackets — the engine uses it after resynchronizing
 // the heap on a rollback. A no-op when no statement transaction is
 // open.
-func (r *RelStore) CommitStatement() error {
+func (r *Shard) CommitStatement() error {
 	r.mu.Lock()
 	txn := r.cur
 	r.mu.Unlock()
@@ -579,31 +797,46 @@ func (r *RelStore) CommitStatement() error {
 	return nil
 }
 
+// CommitStatement forwards to the classic single shard.
+func (r *RelStore) CommitStatement() error { return r.sole().CommitStatement() }
+
 // StatementTxn returns the open statement transaction (nil between
 // statements). The engine's rollback path uses it to repair the heap
 // within the same atomic batch as the failed statement.
-func (r *RelStore) StatementTxn() *Txn {
+func (r *Shard) StatementTxn() *Txn {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.cur
 }
 
-// ResetErr clears the latched write-through failure. Callers must
-// first restore heap↔memory consistency (see Replace); the engine's
-// rollback path does exactly that.
+// StatementTxn forwards to the classic single shard.
+func (r *RelStore) StatementTxn() *Txn { return r.sole().StatementTxn() }
+
+// ResetErr clears the latched write-through failure on every shard.
+// Callers must first restore heap↔memory consistency (see Replace);
+// the engine's rollback path does exactly that.
 func (r *RelStore) ResetErr() {
+	for _, sh := range r.shards {
+		sh.ResetErr()
+	}
+}
+
+// ResetErr clears the latched write-through failure.
+func (r *Shard) ResetErr() {
 	r.mu.Lock()
 	r.err = nil
 	r.mu.Unlock()
 }
 
-func (r *RelStore) setErr(err error) {
+func (r *RelStore) setErr(err error) { r.sole().setErr(err) }
+
+func (r *Shard) setErr(err error) {
 	r.mu.Lock()
 	r.setErrLocked(err)
 	r.mu.Unlock()
 }
 
-func (r *RelStore) setErrLocked(err error) {
+func (r *Shard) setErrLocked(err error) {
 	if r.err == nil {
 		r.err = err
 	}
@@ -612,13 +845,13 @@ func (r *RelStore) setErrLocked(err error) {
 // scanRaw decodes every live record in chain order, reporting rids.
 // r.mu is held for the whole walk so readers never observe page bytes
 // mid-mutation from a concurrent write-through.
-func (r *RelStore) scanRaw(ctx context.Context, fn func(rid storage.RID, t tuple.Tuple) bool) error {
+func (r *Shard) scanRaw(ctx context.Context, fn func(rid storage.RID, t tuple.Tuple) bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.scanRawLocked(ctx, fn)
 }
 
-func (r *RelStore) scanRawLocked(ctx context.Context, fn func(rid storage.RID, t tuple.Tuple) bool) error {
+func (r *Shard) scanRawLocked(ctx context.Context, fn func(rid storage.RID, t tuple.Tuple) bool) error {
 	deg := r.def.Schema.Degree()
 	var decodeErr error
 	err := r.heap.ScanCtx(ctx, func(rid storage.RID, rec []byte) bool {
@@ -644,13 +877,43 @@ func (r *RelStore) scanRawLocked(ctx context.Context, fn func(rid storage.RID, t
 	return decodeErr
 }
 
-// Scan calls fn for every stored tuple in heap order, reading pages
-// through the shared buffer pool. fn returning false stops the scan.
+// scanRaw walks every shard's heap in shard order.
+func (r *RelStore) scanRaw(ctx context.Context, fn func(rid storage.RID, t tuple.Tuple) bool) error {
+	for _, sh := range r.shards {
+		stopped := false
+		if err := sh.scanRaw(ctx, func(rid storage.RID, t tuple.Tuple) bool {
+			if !fn(rid, t) {
+				stopped = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Scan calls fn for every stored tuple in heap order (shard by shard),
+// reading pages through the shared buffer pool. fn returning false
+// stops the scan.
 func (r *RelStore) Scan(fn func(t tuple.Tuple) bool) error {
 	return r.scanRaw(context.Background(), func(_ storage.RID, t tuple.Tuple) bool { return fn(t) })
 }
 
-// Load materializes the stored relation by scanning its heap.
+// Scan calls fn for every tuple stored in THIS shard in heap order —
+// the engine materializes each shard's resident partition from it.
+func (r *Shard) Scan(fn func(t tuple.Tuple) bool) error {
+	return r.scanRaw(context.Background(), func(_ storage.RID, t tuple.Tuple) bool { return fn(t) })
+}
+
+// Load materializes the stored relation by scanning its heaps. For a
+// K-sharded relation the result is the UNION of the shard partitions —
+// each shard-canonical, together not necessarily globally canonical;
+// the engine re-canonicalizes (see Def().Shards).
 func (r *RelStore) Load() (*core.Relation, error) {
 	return r.LoadCtx(context.Background())
 }
@@ -670,9 +933,15 @@ func (r *RelStore) LoadCtx(ctx context.Context) (*core.Relation, error) {
 }
 
 // LookupFixed returns every stored tuple whose fixed (determinant)
-// component contains atom a — an index point lookup instead of a heap
-// scan.
+// component contains atom a — an index point lookup on the owning
+// shard instead of a heap scan.
 func (r *RelStore) LookupFixed(a value.Atom) ([]tuple.Tuple, error) {
+	return r.ShardFor(a).LookupFixed(a)
+}
+
+// LookupFixed returns every tuple in this shard whose fixed component
+// contains atom a.
+func (r *Shard) LookupFixed(a value.Atom) ([]tuple.Tuple, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rids, err := r.fixed.Get(encoding.AppendAtom(nil, a))
@@ -694,19 +963,96 @@ func (r *RelStore) LookupFixed(a value.Atom) ([]tuple.Tuple, error) {
 	return out, nil
 }
 
-// HeapStats reports the heap occupancy of this relation.
+// HeapStats reports the heap occupancy of this relation, summed across
+// shards.
 func (r *RelStore) HeapStats() (storage.HeapStats, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.heap.Stats()
+	var total storage.HeapStats
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		st, err := sh.heap.Stats()
+		sh.mu.Unlock()
+		if err != nil {
+			return storage.HeapStats{}, err
+		}
+		total.Pages += st.Pages
+		total.LiveRecords += st.LiveRecords
+		total.LiveBytes += st.LiveBytes
+		total.FreeBytes += st.FreeBytes
+	}
+	return total, nil
 }
 
 // Replace atomically (with respect to this process) swaps the stored
 // content for the given relation under txn: every live record is
 // tombstoned, the indexes are reset, and rel's tuples are inserted
 // fresh. Used by the engine when the stored form has drifted from the
-// canonical form it maintains.
+// canonical form it maintains. rel is the GLOBAL canonical relation;
+// sharded layouts re-partition it (a global tuple's fixed atoms can
+// span shards, so it is expanded and each partition re-canonicalized).
 func (r *RelStore) Replace(txn *Txn, rel *core.Relation) error {
+	for _, sh := range r.shards {
+		if err := sh.clear(txn); err != nil {
+			return err
+		}
+	}
+	return r.Fill(txn, rel)
+}
+
+// Fill inserts rel's content into empty shards under txn, partitioning
+// by determinant atom and re-canonicalizing each partition for sharded
+// layouts. The paged Save path and Replace use it.
+func (r *RelStore) Fill(txn *Txn, rel *core.Relation) error {
+	if len(r.shards) == 1 {
+		sh := r.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for i := 0; i < rel.Len(); i++ {
+			if err := sh.insertLocked(txn, rel.Tuple(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	parts := PartitionCanonical(rel, r.def.Order, len(r.shards))
+	for ord, part := range parts {
+		sh := r.shards[ord]
+		sh.mu.Lock()
+		for i := 0; i < part.Len(); i++ {
+			if err := sh.insertLocked(txn, part.Tuple(i)); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// PartitionCanonical splits a relation into K shard-canonical
+// relations: its expansion is routed flat-by-flat via ShardOfAtom of
+// the determinant (order[len-1]) and each partition is re-canonicalized
+// with the Section-4 nest order. The union of the partitions' expansions
+// equals the input's expansion.
+func PartitionCanonical(rel *core.Relation, order []int, k int) []*core.Relation {
+	fixedAt := order[len(order)-1]
+	buckets := make([]*core.Relation, k)
+	for i := range buckets {
+		buckets[i] = core.NewRelation(rel.Schema())
+	}
+	for _, f := range rel.Expand() {
+		buckets[ShardOfAtom(f[fixedAt], k)].Add(tuple.FromFlat(f))
+	}
+	out := make([]*core.Relation, k)
+	for i, b := range buckets {
+		canon, _ := b.CanonicalFromFlats(order)
+		out[i] = canon
+	}
+	return out
+}
+
+// Replace swaps this shard's content for the given SHARD-canonical
+// relation under txn (every fixed atom must route to this shard).
+func (r *Shard) Replace(txn *Txn, rel *core.Relation) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.clearLocked(txn); err != nil {
@@ -720,10 +1066,16 @@ func (r *RelStore) Replace(txn *Txn, rel *core.Relation) error {
 	return nil
 }
 
+func (r *Shard) clear(txn *Txn) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clearLocked(txn)
+}
+
 // clearLocked tombstones every live record and resets the indexes; the
 // pages a durable index sheds go to the free list under the same
 // transaction.
-func (r *RelStore) clearLocked(txn *Txn) error {
+func (r *Shard) clearLocked(txn *Txn) error {
 	var rids []storage.RID
 	if err := r.heap.Scan(func(rid storage.RID, _ []byte) bool {
 		rids = append(rids, rid)

@@ -123,7 +123,7 @@ func downgradeToV2(t *testing.T, path string) {
 		if err := st.catalog.Delete(txn, rs.catRID); err != nil {
 			t.Fatal(err)
 		}
-		rid, err := st.catalog.Insert(txn, encodeCatalogRecord(rs.def, rs.heap.FirstPage(), 0, 0))
+		rid, err := st.catalog.Insert(txn, encodeCatalogRecord(rs.def, []shardRoots{{rs.shards[0].heap.FirstPage(), 0, 0}}))
 		if err != nil {
 			t.Fatal(err)
 		}

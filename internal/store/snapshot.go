@@ -35,11 +35,12 @@ type txnMarks struct {
 	drops   []*RelStore
 }
 
-// snapRel is one relation frozen into a Snap: its definition and heap
-// chain head (both immutable for the life of the RelStore).
+// snapRel is one relation frozen into a Snap: its definition and the
+// chain head of every shard heap (all immutable for the life of the
+// RelStore).
 type snapRel struct {
-	def   RelationDef
-	first uint32
+	def    RelationDef
+	firsts []uint32
 }
 
 // Snap is a consistent read view of the whole store as of one commit
@@ -64,7 +65,11 @@ func (s *Store) PinSnapshot() *Snap {
 	rels := make(map[string]snapRel, len(s.rels))
 	add := func(rs *RelStore) {
 		if rs.visibleAt <= lsn && (rs.droppedAt == 0 || lsn < rs.droppedAt) {
-			rels[rs.def.Name] = snapRel{def: rs.def, first: rs.heap.FirstPage()}
+			firsts := make([]uint32, len(rs.shards))
+			for i, sh := range rs.shards {
+				firsts[i] = sh.heap.FirstPage()
+			}
+			rels[rs.def.Name] = snapRel{def: rs.def, firsts: firsts}
 		}
 	}
 	for _, rs := range s.rels {
@@ -110,10 +115,13 @@ func (sn *Snap) Load(name string) (*core.Relation, error) {
 }
 
 // LoadCtx is Load with cancellation checked at page granularity. The
-// heap walk reads every page — chain pointers included — through the
+// heap walks read every page — chain pointers included — through the
 // pinned snapshot, so a concurrent writer splicing pages or committing
 // tuples is invisible: the result is exactly the relation's content at
-// the pin's transaction boundary.
+// the pin's transaction boundary. For a K-sharded relation the result
+// is the UNION of the shard partitions (each shard-canonical, together
+// not necessarily globally canonical); the engine re-canonicalizes
+// when Def(name).Shards > 1.
 func (sn *Snap) LoadCtx(ctx context.Context, name string) (*core.Relation, error) {
 	if sn.st == nil {
 		return nil, fmt.Errorf("store: read through a closed snapshot")
@@ -124,28 +132,30 @@ func (sn *Snap) LoadCtx(ctx context.Context, name string) (*core.Relation, error
 	}
 	rel := core.NewRelation(sr.def.Schema)
 	deg := sr.def.Schema.Degree()
-	var decodeErr error
-	err := storage.ScanHeapSnapshot(ctx, sn.ps, sr.first, func(rid storage.RID, rec []byte) bool {
-		t, n, derr := encoding.DecodeTuple(rec)
-		if derr != nil {
-			decodeErr = fmt.Errorf("%w: record %v of %q: %v", ErrCorrupt, rid, name, derr)
-			return false
+	for _, first := range sr.firsts {
+		var decodeErr error
+		err := storage.ScanHeapSnapshot(ctx, sn.ps, first, func(rid storage.RID, rec []byte) bool {
+			t, n, derr := encoding.DecodeTuple(rec)
+			if derr != nil {
+				decodeErr = fmt.Errorf("%w: record %v of %q: %v", ErrCorrupt, rid, name, derr)
+				return false
+			}
+			if n != len(rec) || t.Degree() != deg {
+				decodeErr = fmt.Errorf("%w: record %v of %q: malformed tuple record", ErrCorrupt, rid, name)
+				return false
+			}
+			rel.Add(t)
+			return true
+		})
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: scanning %q: %v", ErrCorrupt, name, err)
 		}
-		if n != len(rec) || t.Degree() != deg {
-			decodeErr = fmt.Errorf("%w: record %v of %q: malformed tuple record", ErrCorrupt, rid, name)
-			return false
+		if decodeErr != nil {
+			return nil, decodeErr
 		}
-		rel.Add(t)
-		return true
-	})
-	if err != nil {
-		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
-			return nil, err
-		}
-		return nil, fmt.Errorf("%w: scanning %q: %v", ErrCorrupt, name, err)
-	}
-	if decodeErr != nil {
-		return nil, decodeErr
 	}
 	return rel, nil
 }

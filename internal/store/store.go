@@ -551,7 +551,7 @@ func (s *Store) loadCatalog() error {
 func (s *Store) upgradeIndexes() error {
 	var legacy []*RelStore
 	for _, rs := range s.rels {
-		if rs.ridsD == nil {
+		if rs.shards[0].ridsD == nil {
 			legacy = append(legacy, rs)
 		}
 	}
@@ -603,16 +603,19 @@ func (s *Store) buildIndexes(txn *Txn, rs *RelStore) error {
 	if err := s.catalog.Delete(txn, rs.catRID); err != nil {
 		return err
 	}
-	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(rs.def, rs.heap.FirstPage(), ridsD.Root(), fixedD.Root()))
+	// legacy v2 relations are necessarily single-shard
+	sh := rs.shards[0]
+	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(rs.def,
+		[]shardRoots{{sh.heap.FirstPage(), ridsD.Root(), fixedD.Root()}}))
 	if err != nil {
 		return err
 	}
-	rs.mu.Lock()
 	rs.catRID = rid
-	rs.ridsD, rs.fixedD = ridsD, fixedD
-	rs.rids, rs.fixed = ridsD, fixedD
-	rs.count = ridsD.Len()
-	rs.mu.Unlock()
+	sh.mu.Lock()
+	sh.ridsD, sh.fixedD = ridsD, fixedD
+	sh.rids, sh.fixed = ridsD, fixedD
+	sh.count = ridsD.Len()
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -667,23 +670,34 @@ func (s *Store) CreateRelation(txn *Txn, def RelationDef) (*RelStore, error) {
 	if _, dup := s.rels[def.Name]; dup {
 		return nil, fmt.Errorf("store: relation %q already exists", def.Name)
 	}
-	heap, err := storage.CreateHeap(s.bp, txn)
+	k := def.Shards
+	if k <= 0 {
+		k = 1
+	}
+	def.Shards = k
+	shards := make([]*Shard, 0, k)
+	roots := make([]shardRoots, 0, k)
+	for ord := 0; ord < k; ord++ {
+		heap, err := storage.CreateHeap(s.bp, txn)
+		if err != nil {
+			return nil, err
+		}
+		ridsD, err := storage.CreateDiskIndex(s.bp, txn)
+		if err != nil {
+			return nil, err
+		}
+		fixedD, err := storage.CreateDiskIndex(s.bp, txn)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, shardRoots{heap.FirstPage(), ridsD.Root(), fixedD.Root()})
+		shards = append(shards, newShard(s, def, ord, heap, ridsD, fixedD))
+	}
+	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(def, roots))
 	if err != nil {
 		return nil, err
 	}
-	ridsD, err := storage.CreateDiskIndex(s.bp, txn)
-	if err != nil {
-		return nil, err
-	}
-	fixedD, err := storage.CreateDiskIndex(s.bp, txn)
-	if err != nil {
-		return nil, err
-	}
-	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(def, heap.FirstPage(), ridsD.Root(), fixedD.Root()))
-	if err != nil {
-		return nil, err
-	}
-	rs := newRelStore(s, def, heap, rid, ridsD, fixedD)
+	rs := newRelStore(s, def, rid, shards)
 	rs.visibleAt = ^uint64(0) // invisible to snapshots until the commit publishes it
 	s.markCreateLocked(txn, rs)
 	s.rels[def.Name] = rs

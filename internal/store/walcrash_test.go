@@ -1191,9 +1191,9 @@ func TestCrashRecoveryIndexSplit(t *testing.T) {
 	// cap bucket capacity so the next few inserts overflow and split;
 	// the durable structure stays self-describing, so the recovery
 	// opens below need no knob
-	rs2.ridsD.SetMaxBucketEntries(2)
-	rs2.fixedD.SetMaxBucketEntries(2)
-	ridsBuckets, fixedBuckets := rs2.ridsD.Buckets(), rs2.fixedD.Buckets()
+	rs2.shards[0].ridsD.SetMaxBucketEntries(2)
+	rs2.shards[0].fixedD.SetMaxBucketEntries(2)
+	ridsBuckets, fixedBuckets := rs2.shards[0].ridsD.Buckets(), rs2.shards[0].fixedD.Buckets()
 	pre, err := rs2.Load()
 	if err != nil {
 		t.Fatal(err)
@@ -1213,9 +1213,9 @@ func TestCrashRecoveryIndexSplit(t *testing.T) {
 		t.Fatal(err)
 	}
 	journal := fs.stopRecording()
-	if rs2.ridsD.Buckets() <= ridsBuckets && rs2.fixedD.Buckets() <= fixedBuckets {
+	if rs2.shards[0].ridsD.Buckets() <= ridsBuckets && rs2.shards[0].fixedD.Buckets() <= fixedBuckets {
 		t.Fatalf("journaled transaction split no buckets (rids %d→%d, fixed %d→%d); harness is vacuous",
-			ridsBuckets, rs2.ridsD.Buckets(), fixedBuckets, rs2.fixedD.Buckets())
+			ridsBuckets, rs2.shards[0].ridsD.Buckets(), fixedBuckets, rs2.shards[0].fixedD.Buckets())
 	}
 	post, err := rs2.Load()
 	if err != nil {

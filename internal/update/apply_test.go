@@ -1,0 +1,107 @@
+package update
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/tuple"
+)
+
+// bracketSink counts StatementBegin/StatementEnd pairs while mirroring
+// mutations — the shape of the store's write-through, minus the disk.
+type bracketSink struct {
+	mirrorSink
+	begins, ends int
+}
+
+func (b *bracketSink) StatementBegin() { b.begins++ }
+func (b *bracketSink) StatementEnd()   { b.ends++ }
+
+// TestApplyOneBracketPerBatch: Apply must run a whole batch of
+// mutations under ONE BatchSink bracket (the pipeline's group-commit
+// boundary), return positional per-op results, skip malformed ops
+// without poisoning the rest, and leave the relation exactly where the
+// same ops applied one-by-one would.
+func TestApplyOneBracketPerBatch(t *testing.T) {
+	s := schema.MustOf("A", "B", "C")
+	order := schema.MustPermOf(s, "B", "C", "A")
+	m, err := NewMaintainerIndexed(s, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &bracketSink{mirrorSink: mirrorSink{rel: core.NewRelation(s)}}
+	m.SetSink(sink)
+	if _, err := m.Insert(tuple.FlatOfStrings("a1", "b1", "c1")); err != nil {
+		t.Fatal(err)
+	}
+	sink.begins, sink.ends = 0, 0
+
+	ops := []Op{
+		{F: tuple.FlatOfStrings("a2", "b1", "c1")},               // insert, changes
+		{F: tuple.FlatOfStrings("a1", "b1", "c1")},               // duplicate, no-op
+		{F: tuple.FlatOfStrings("a9", "b9")},                     // malformed: wrong degree
+		{F: tuple.FlatOfStrings("a1", "b1", "c1"), Delete: true}, // delete, changes
+		{F: tuple.FlatOfStrings("zz", "zz", "zz"), Delete: true}, // delete missing, no-op
+		{F: tuple.FlatOfStrings("a3", "b2", "c2")},               // insert, changes
+	}
+	res := m.Apply(ops)
+	if len(res) != len(ops) {
+		t.Fatalf("got %d results for %d ops", len(res), len(ops))
+	}
+	wantChanged := []bool{true, false, false, true, false, true}
+	for i, r := range res {
+		if r.Changed != wantChanged[i] {
+			t.Errorf("op %d: changed=%v, want %v", i, r.Changed, wantChanged[i])
+		}
+		if (i == 2) != (r.Err != nil) {
+			t.Errorf("op %d: err=%v", i, r.Err)
+		}
+	}
+	if sink.begins != 1 || sink.ends != 1 {
+		t.Errorf("batch ran %d/%d brackets, want exactly 1 (group-commit boundary)", sink.begins, sink.ends)
+	}
+
+	// oracle: the same ops through the one-at-a-time API
+	om, err := NewMaintainerIndexed(s, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.Insert(tuple.FlatOfStrings("a1", "b1", "c1")); err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if i == 2 {
+			continue // the malformed op
+		}
+		if op.Delete {
+			_, err = om.Delete(op.F)
+		} else {
+			_, err = om.Insert(op.F)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Relation().Equal(om.Relation()) {
+		t.Fatalf("batched application diverged:\ngot  %v\nwant %v", m.Relation(), om.Relation())
+	}
+	if !sink.rel.Equal(m.Relation()) {
+		t.Fatalf("sink mirror diverged from maintained relation")
+	}
+
+	// an all-no-op batch must not open a bracket at all
+	sink.begins, sink.ends = 0, 0
+	res = m.Apply([]Op{
+		{F: tuple.FlatOfStrings("a2", "b1", "c1")},               // already there
+		{F: tuple.FlatOfStrings("no", "no", "no"), Delete: true}, // not there
+	})
+	for i, r := range res {
+		if r.Changed || r.Err != nil {
+			t.Errorf("no-op batch op %d: %+v", i, r)
+		}
+	}
+	if sink.begins != 0 || sink.ends != 0 {
+		t.Errorf("no-op batch opened %d brackets, want 0", sink.begins)
+	}
+}

@@ -236,14 +236,73 @@ func (m *Maintainer) Insert(f tuple.Flat) (bool, error) {
 	if len(f) != m.rel.Schema().Degree() {
 		return false, fmt.Errorf("update: flat tuple degree %d != schema degree %d", len(f), m.rel.Schema().Degree())
 	}
+	began := false
+	defer func() {
+		if began {
+			m.endStatement()
+		}
+	}()
+	return m.insertCore(f, &began), nil
+}
+
+// insertCore is Insert minus validation and bracket closing: the first
+// changing op opens the BatchSink bracket (setting *began); the caller
+// closes it. Factored out so Apply can run MANY ops under ONE bracket.
+func (m *Maintainer) insertCore(f tuple.Flat, began *bool) bool {
 	if _, covered := m.containsFlat(f); covered {
-		return false, nil
+		return false
 	}
-	m.beginStatement()
-	defer m.endStatement()
+	if !*began {
+		*began = true
+		m.beginStatement()
+	}
 	m.recursionBudget = m.budget()
 	m.recons(tuple.FromFlat(f))
-	return true, nil
+	return true
+}
+
+// Op is one flat-tuple mutation in a batch handed to Apply.
+type Op struct {
+	F      tuple.Flat
+	Delete bool
+}
+
+// OpResult is one op's outcome: whether it changed the relation, and
+// its validation error if it was malformed (malformed ops are skipped;
+// the rest of the batch still applies).
+type OpResult struct {
+	Changed bool
+	Err     error
+}
+
+// Apply runs a batch of flat-tuple mutations as ONE BatchSink bracket:
+// the first changing op opens the statement transaction and every
+// subsequent op's write-through accumulates under it, so a batch of N
+// pipelined statements costs the sink one commit — the maintainer-level
+// analogue of group commit. Results are positional. Ops that change
+// nothing cost no bracket (same as Insert/Delete), so an all-no-op
+// batch performs no commit at all.
+func (m *Maintainer) Apply(ops []Op) []OpResult {
+	out := make([]OpResult, len(ops))
+	began := false
+	defer func() {
+		if began {
+			m.endStatement()
+		}
+	}()
+	deg := m.rel.Schema().Degree()
+	for i, op := range ops {
+		if len(op.F) != deg {
+			out[i].Err = fmt.Errorf("update: flat tuple degree %d != schema degree %d", len(op.F), deg)
+			continue
+		}
+		if op.Delete {
+			out[i].Changed = m.deleteCore(op.F, &began)
+		} else {
+			out[i].Changed = m.insertCore(op.F, &began)
+		}
+	}
+	return out
 }
 
 // beginStatement/endStatement bracket one changing Insert/Delete for a
@@ -268,12 +327,26 @@ func (m *Maintainer) Delete(f tuple.Flat) (bool, error) {
 	if len(f) != m.rel.Schema().Degree() {
 		return false, fmt.Errorf("update: flat tuple degree %d != schema degree %d", len(f), m.rel.Schema().Degree())
 	}
+	began := false
+	defer func() {
+		if began {
+			m.endStatement()
+		}
+	}()
+	return m.deleteCore(f, &began), nil
+}
+
+// deleteCore is Delete minus validation and bracket closing (see
+// insertCore).
+func (m *Maintainer) deleteCore(f tuple.Flat, began *bool) bool {
 	q, covered := m.containsFlat(f) // searcht
 	if !covered {
-		return false, nil
+		return false
 	}
-	m.beginStatement()
-	defer m.endStatement()
+	if !*began {
+		*began = true
+		m.beginStatement()
+	}
 	m.recursionBudget = m.budget()
 	m.removeTuple(q)
 	// Split f's value out of q attribute by attribute, last-nested
@@ -292,7 +365,7 @@ func (m *Maintainer) Delete(f tuple.Flat) (bool, error) {
 		q = qe
 	}
 	// q is now exactly the flat tuple; deletet(q) = drop it.
-	return true, nil
+	return true
 }
 
 // budget returns a recursion bound comfortably above the paper's

@@ -133,6 +133,23 @@ type ServerStats struct {
 	// the served database is in-memory).
 	Pool storage.PoolStats `json:"pool"`
 	WAL  storage.WALStats  `json:"wal"`
+	// Pipelines reports, per relation, how the write pipeline batched
+	// concurrent autocommit statements and how contended the shard
+	// latches were (engine.Database.PipelineStats).
+	Pipelines map[string]RelPipeline `json:"pipelines,omitempty"`
+}
+
+// RelPipeline is one relation's write-pipeline and shard-contention
+// accounting inside ServerStats — a wire-local mirror of
+// engine.RelPipelineStats so the protocol package does not depend on
+// the engine.
+type RelPipeline struct {
+	Shards     int   `json:"shards"`      // heap chains the relation is partitioned across
+	Batches    int64 `json:"batches"`     // pipeline batches applied (each ≤ 1 fsync)
+	Ops        int64 `json:"ops"`         // autocommit statements that rode a pipeline batch
+	MaxBatch   int64 `json:"max_batch"`   // largest batch applied on any shard
+	QueuePeak  int64 `json:"queue_peak"`  // high-water pipeline queue depth on any shard
+	LatchWaits int64 `json:"latch_waits"` // contended shard-latch acquisitions
 }
 
 // Append appends one encoded frame to dst and returns the extended
