@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nfr-bench [-json] [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk|reopen|readers [readers [students]]|concurrent [clients [perClient]]]
+//	nfr-bench [-json] [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk|reopen|range|readers [readers [students]]|concurrent [clients [perClient]]]
 //
 // With -json, each gated benchmark leg additionally writes its result
 // struct to BENCH_<leg>.json in the current directory (statements/s,
@@ -18,7 +18,11 @@
 // crash-recovery replay, and realization equivalence. The reopen
 // experiment measures the open-phase page reads of a clean database
 // and fails if an open ever scans a full heap (the durable hash index
-// must keep opens bounded by catalog + index metadata). The readers
+// must keep opens bounded by catalog + index metadata). The range
+// experiment scans one key window through the B+tree range index and
+// fails if the scan reads more than descent + matching-leaf pages —
+// or as many pages as the full heap scan it is supposed to replace.
+// The readers
 // experiment pits concurrent snapshot readers against a writer
 // transaction stalled mid-statement and fails if any reader blocks
 // behind the writer's latch or throughput collapses. The concurrent
@@ -140,6 +144,24 @@ func main() {
 					res.OpenReads, res.EngineOpenReads, res.Budget, res.HeapPages)
 			}
 			return nil
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "range":
+		if err := inTempDir("nfr-bench-range", func(dir string) error {
+			res, err := experiments.RunRange(w, dir, 97, 800, 64)
+			if err != nil {
+				return err
+			}
+			if !res.OracleOK {
+				return fmt.Errorf("indexed window scan diverged from the heap-scan oracle")
+			}
+			if !res.Bounded {
+				return fmt.Errorf("indexed range scan read %d index page(s): budget %d (%d inner + matching-leaf allowance), heap price %d pages",
+					res.IndexPages, res.Budget, res.InnerPages, res.HeapPages)
+			}
+			return writeBenchJSON("range", res)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)

@@ -1,0 +1,55 @@
+package algebra
+
+import "repro/internal/value"
+
+// This file exposes the read-only predicate structure a query planner
+// needs: the top-level conjunct list and the shape of the two conjunct
+// forms an index can serve (attr-vs-constant comparison and set
+// membership). Everything else (OR, NOT, CARD, attr-vs-attr) stays
+// opaque — the planner treats those conjuncts as residual-only.
+
+// Conjuncts flattens nested ANDs into the top-level conjunct list. A
+// non-AND predicate is its own single conjunct; nil has none.
+func Conjuncts(p Pred) []Pred {
+	if p == nil {
+		return nil
+	}
+	and, ok := p.(andPred)
+	if !ok {
+		return []Pred{p}
+	}
+	var out []Pred
+	for _, q := range and.ps {
+		out = append(out, Conjuncts(q)...)
+	}
+	return out
+}
+
+// AtomCmp is the planner view of an attr-vs-constant comparison
+// conjunct.
+type AtomCmp struct {
+	Attr  string
+	Op    CmpOp
+	Val   value.Atom
+	Quant Quantifier
+}
+
+// AsCmp reports whether p is an attr-vs-constant comparison and
+// returns its parts.
+func AsCmp(p Pred) (AtomCmp, bool) {
+	c, ok := p.(cmpPred)
+	if !ok {
+		return AtomCmp{}, false
+	}
+	return AtomCmp{Attr: c.attr, Op: c.op, Val: c.val, Quant: c.quant}, true
+}
+
+// AsContains reports whether p is a set-membership test and returns
+// its parts.
+func AsContains(p Pred) (attr string, val value.Atom, ok bool) {
+	c, isc := p.(containsPred)
+	if !isc {
+		return "", value.Atom{}, false
+	}
+	return c.attr, c.val, true
+}

@@ -46,12 +46,12 @@ func TestAtomRoundTrip(t *testing.T) {
 
 func TestDecodeAtomErrors(t *testing.T) {
 	cases := [][]byte{
-		{},                   // empty
-		{byte(value.Int)},    // missing varint
-		{byte(value.Float)},  // short float
-		{byte(value.String)}, // missing length
+		{},                           // empty
+		{byte(value.Int)},            // missing varint
+		{byte(value.Float)},          // short float
+		{byte(value.String)},         // missing length
 		{byte(value.String), 5, 'a'}, // short string
-		{99},                 // unknown kind
+		{99},                         // unknown kind
 	}
 	for i, b := range cases {
 		if _, _, err := DecodeAtom(b); err == nil {

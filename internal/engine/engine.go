@@ -861,6 +861,7 @@ type RelStats struct {
 	Compression float64 // FlatTuples / NFRTuples (≥ 1)
 	FixedOn     []string
 	Ops         update.Stats
+	IndexPages  *store.IndexPageCounts // nil for memory-mode relations
 }
 
 // Stats reports size and maintenance statistics for the named

@@ -594,7 +594,15 @@ func (tx *Tx) Stats(name string) (RelStats, error) {
 	if err != nil {
 		return RelStats{}, err
 	}
-	return statsOf(name, rel, ops), nil
+	st := statsOf(name, rel, ops)
+	if r.rs != nil {
+		ic, err := r.rs.IndexPageCounts()
+		if err != nil {
+			return RelStats{}, err
+		}
+		st.IndexPages = &ic
+	}
+	return st, nil
 }
 
 // ValidateDeps checks the named relation's declared dependencies

@@ -389,9 +389,14 @@ func loadRels(t *testing.T, files map[string][]byte, label string) map[string]*c
 
 func loadRelsErr(files map[string][]byte, label string) (map[string]*core.Relation, error) {
 	crashed := &txFS{files: files}
+	// the verification open gets a roomy pool: recovery correctness
+	// cannot depend on pool size (the writer side and the storage-layer
+	// sweeps keep exercising redo under 8 pages), and the per-offset
+	// index verification walks every tree repeatedly — through a tiny
+	// pool that is thousands of checksummed re-reads per offset
 	db, err := Open("db",
 		WithFileSystem(crashed.open, crashed.remove),
-		WithPoolPages(8), WithCheckpointBytes(-1))
+		WithPoolPages(128), WithCheckpointBytes(-1))
 	if err != nil {
 		return nil, fmt.Errorf("%s: recovery failed: %v", label, err)
 	}
@@ -403,6 +408,19 @@ func loadRelsErr(files map[string][]byte, label string) (map[string]*core.Relati
 			return nil, fmt.Errorf("%s: load %s: %v", label, name, err)
 		}
 		out[name] = rel
+		// the recovered B+tree must answer an unbounded range scan with
+		// exactly the heap's canonical tuples
+		if info, err := db.IndexInfo(name); err == nil && info.HasRange && info.Shards == 1 {
+			byIdx, _, err := db.ScanFixedRange(name, nil, nil)
+			if err != nil {
+				db.Close()
+				return nil, fmt.Errorf("%s: range scan of recovered %s: %v", label, name, err)
+			}
+			if !byIdx.Equal(rel) {
+				db.Close()
+				return nil, fmt.Errorf("%s: recovered B+tree of %s disagrees with heap scan", label, name)
+			}
+		}
 	}
 	// recovery must land heap and index on the same boundary
 	if err := db.VerifyIndexes(); err != nil {

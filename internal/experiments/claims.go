@@ -311,6 +311,10 @@ func RunAll(w io.Writer, dir string) error {
 	if _, err := RunDiskEngine(w, dir, 61, 250, 32); err != nil {
 		return err
 	}
+	sep()
+	if _, err := RunRange(w, dir, 97, 800, 64); err != nil {
+		return err
+	}
 	return nil
 }
 

@@ -309,6 +309,24 @@ func TestRunReopen(t *testing.T) {
 	}
 }
 
+func TestRunRange(t *testing.T) {
+	res, err := RunRange(io.Discard, t.TempDir(), 7, 800, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OracleOK {
+		t.Error("indexed window scan diverged from the heap-scan oracle")
+	}
+	if !res.Bounded {
+		t.Errorf("range scan not bounded: %d index pages, budget %d, heap %d pages",
+			res.IndexPages, res.Budget, res.HeapPages)
+	}
+	if res.MatchingFlats == 0 || res.IndexPages == 0 {
+		t.Errorf("vacuous window: %d matching flats, %d index pages",
+			res.MatchingFlats, res.IndexPages)
+	}
+}
+
 func TestRunReaders(t *testing.T) {
 	res, err := RunReaders(io.Discard, t.TempDir(), 7, 4, 800)
 	if err != nil {

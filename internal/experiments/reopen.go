@@ -33,8 +33,8 @@ type ReopenResult struct {
 
 // reopenBudget mirrors the store regression test's bound: a clean open
 // may read the catalog chain, the free-list chain, and each relation's
-// two index directories — never the heaps.
-func reopenBudget(rels int) int { return 4 + 4*rels }
+// two index directories and B+tree meta page — never the heaps.
+func reopenBudget(rels int) int { return 4 + 5*rels }
 
 // RunReopen builds an enrollment database, closes it cleanly, reopens
 // it at the store layer, and reports the open-phase page reads. The

@@ -3,6 +3,7 @@ package query
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/algebra"
@@ -48,6 +49,12 @@ type Execer interface {
 	Def(name string) (engine.RelationDef, error)
 	Stats(name string) (engine.RelStats, error)
 	ValidateDeps(name string) ([]engine.Violation, error)
+	// Index access paths (see internal/query/plan.go). IndexInfo never
+	// fails on an existing relation; the fetch methods fail on targets
+	// without the corresponding index, which the planner rules out.
+	IndexInfo(name string) (engine.IndexInfo, error)
+	LookupFixed(name string, a value.Atom) (*core.Relation, error)
+	ScanFixedRange(name string, lo, hi *engine.Bound) (*core.Relation, int, error)
 }
 
 var (
@@ -204,6 +211,10 @@ func ExecStmtOn(ctx context.Context, target Execer, st Stmt) (Result, error) {
 		return Result{Message: fmt.Sprintf("deleted %d tuple(s) from %s", n, st.Name)}, nil
 	case SelectStmt:
 		return execSelect(ctx, target, st)
+	case UpdateStmt:
+		return execUpdate(ctx, target, st)
+	case ExplainStmt:
+		return execExplain(target, st)
 	case NestStmt:
 		rel, err := relation(st.Name)
 		if err != nil {
@@ -261,6 +272,10 @@ func ExecStmtOn(ctx context.Context, target Execer, st Stmt) (Result, error) {
 			"%s: %d NFR tuple(s) covering %d flat tuple(s) (compression %.2fx); fixed on %v; ops: %d compositions, %d decompositions, %d scans",
 			rs.Name, rs.NFRTuples, rs.FlatTuples, rs.Compression, rs.FixedOn,
 			rs.Ops.Compositions, rs.Ops.Decompositions, rs.Ops.CandidateScans)
+		if ip := rs.IndexPages; ip != nil {
+			msg += fmt.Sprintf("; index pages: hash dir=%d buckets=%d, btree inner=%d leaf=%d",
+				ip.HashDir, ip.HashBuckets, ip.BTreeInner, ip.BTreeLeaf)
+		}
 		return Result{Message: msg}, nil
 	case ValidateStmt:
 		vs, err := target.ValidateDeps(st.Name)
@@ -312,8 +327,20 @@ func execCreate(target Execer, st CreateStmt) (Result, error) {
 		st.Name, sch, rdef.Order.Names(sch))}, nil
 }
 
+// validatePred resolves the predicate's attributes eagerly against sch
+// so errors surface even on empty relations: evaluate once against a
+// probe tuple of nulls.
+func validatePred(sch *schema.Schema, pred algebra.Pred) error {
+	probe := make([]vset.Set, sch.Degree())
+	for i := range probe {
+		probe[i] = vset.Single(value.NullAtom())
+	}
+	_, err := pred.Eval(sch, tuple.MustNew(probe...))
+	return err
+}
+
 func execSelect(ctx context.Context, target Execer, st SelectStmt) (Result, error) {
-	rel, err := target.ReadRelation(ctx, st.Name)
+	def, err := target.Def(st.Name)
 	if err != nil {
 		return Result{}, err
 	}
@@ -321,46 +348,181 @@ func execSelect(ctx context.Context, target Execer, st SelectStmt) (Result, erro
 	if pred == nil {
 		pred = algebra.True()
 	}
-	// Validate the predicate eagerly (attribute resolution) so errors
-	// surface even on empty relations: evaluate once against a probe
-	// tuple of nulls.
-	probe := make([]vset.Set, rel.Schema().Degree())
-	for i := range probe {
-		probe[i] = vset.Single(value.NullAtom())
-	}
-	if _, err := pred.Eval(rel.Schema(), tuple.MustNew(probe...)); err != nil {
+	if err := validatePred(def.Schema, pred); err != nil {
 		return Result{}, err
 	}
-	def, err := target.Def(st.Name)
+	pl, err := planRead(target, st.Name, st.Where, st.Flat)
 	if err != nil {
 		return Result{}, err
 	}
-	order := def.Order
+	rel, _, err := pl.fetch(ctx, target)
+	if err != nil {
+		return Result{}, err
+	}
 
 	var filtered *core.Relation
 	if st.Flat {
-		filtered, err = algebra.SelectFlat(rel, pred, order)
+		filtered, err = algebra.SelectFlat(rel, pred, def.Order)
 	} else {
 		filtered, err = algebra.Select(rel, pred)
 	}
 	if err != nil {
 		return Result{}, err
 	}
-	if st.Cols == nil {
-		return Result{Relation: filtered}, nil
-	}
-	if st.Flat {
-		out, err := algebra.ProjectFlat(filtered, schema.IdentityPerm(len(st.Cols)), st.Cols...)
+	out := filtered
+	if st.Cols != nil {
+		if st.Flat {
+			out, err = algebra.ProjectFlat(filtered, schema.IdentityPerm(len(st.Cols)), st.Cols...)
+		} else {
+			out, err = algebra.Project(filtered, st.Cols...)
+		}
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Relation: out}, nil
 	}
-	out, err := algebra.Project(filtered, st.Cols...)
+	if st.OrderBy != "" {
+		out, err = sortByAttr(out, st.OrderBy, st.Desc)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Relation: out}, nil
+}
+
+// sortByAttr orders the relation's tuples by the named component:
+// atom-wise lexicographic over the (canonically sorted) set, shorter
+// prefix first; desc reverses. The sort is stable, so ties keep
+// storage order.
+func sortByAttr(rel *core.Relation, attr string, desc bool) (*core.Relation, error) {
+	i := rel.Schema().Index(attr)
+	if i < 0 {
+		return nil, fmt.Errorf("query: order by unknown attribute %q", attr)
+	}
+	ts := rel.Tuples()
+	sort.SliceStable(ts, func(a, b int) bool {
+		c := compareSets(ts[a].Set(i), ts[b].Set(i))
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	out := core.NewRelation(rel.Schema())
+	for _, t := range ts {
+		out.Add(t)
+	}
+	return out, nil
+}
+
+func compareSets(a, b vset.Set) int {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		if c := value.Compare(a.At(i), b.At(i)); c != 0 {
+			return c
+		}
+	}
+	return a.Len() - b.Len()
+}
+
+// execUpdate rewrites the flat tuples matching WHERE: every matching
+// flat has its SET attributes replaced, realized as deletes of the old
+// flats followed by inserts of the new ones (each rippling through
+// canonical maintenance). The read side goes through the planner with
+// flat-level semantics, so an indexed conjunct on the fixed attribute
+// turns a full-relation UPDATE into an index-driven one.
+func execUpdate(ctx context.Context, target Execer, st UpdateStmt) (Result, error) {
+	def, err := target.Def(st.Name)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Relation: out}, nil
+	sch := def.Schema
+	pred := st.Where
+	if pred == nil {
+		pred = algebra.True()
+	}
+	if err := validatePred(sch, pred); err != nil {
+		return Result{}, err
+	}
+	setIdx := make([]int, len(st.Set))
+	for i, c := range st.Set {
+		j := sch.Index(c.Attr)
+		if j < 0 {
+			return Result{}, fmt.Errorf("query: update set unknown attribute %q", c.Attr)
+		}
+		setIdx[i] = j
+	}
+	pl, err := planRead(target, st.Name, st.Where, true)
+	if err != nil {
+		return Result{}, err
+	}
+	rel, _, err := pl.fetch(ctx, target)
+	if err != nil {
+		return Result{}, err
+	}
+	// Collect the rewrites first: the fetch is a superset at the flat
+	// level, and each flat is judged by the full predicate.
+	var olds, news []tuple.Flat
+	for _, f := range rel.Expand() {
+		match, err := pred.Eval(sch, tuple.FromFlat(f))
+		if err != nil {
+			return Result{}, err
+		}
+		if !match {
+			continue
+		}
+		nf := f.Clone()
+		for i, c := range st.Set {
+			nf[setIdx[i]] = c.Val
+		}
+		if nf.Equal(f) {
+			continue
+		}
+		olds = append(olds, f)
+		news = append(news, nf)
+	}
+	// All deletes before all inserts, so a rewrite chain (a -> b while
+	// b -> c) cannot delete a flat another rewrite just produced.
+	for _, f := range olds {
+		if _, err := target.Delete(st.Name, f); err != nil {
+			return Result{}, err
+		}
+	}
+	for _, f := range news {
+		if _, err := target.Insert(st.Name, f); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Message: fmt.Sprintf("updated %d flat tuple(s) in %s", len(olds), st.Name)}, nil
+}
+
+// execExplain plans the inner statement without executing it.
+func execExplain(target Execer, st ExplainStmt) (Result, error) {
+	var pl Plan
+	var err error
+	switch in := st.Inner.(type) {
+	case SelectStmt:
+		pl, err = planRead(target, in.Name, in.Where, in.Flat)
+	case UpdateStmt:
+		pl, err = planRead(target, in.Name, in.Where, true)
+	default:
+		return Result{}, fmt.Errorf("query: explain supports select and update, got %T", st.Inner)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if pl.Residual != nil {
+		// surface attribute-resolution errors exactly like execution
+		def, err := target.Def(pl.Relation)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := validatePred(def.Schema, pl.Residual); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Message: pl.Explain()}, nil
 }
 
 // RenderTable prints a relation as an aligned text table, one NFR

@@ -35,6 +35,14 @@ var fuzzSeeds = []string{
 	"select flat flat from r",
 	"-- comment only",
 	"select * from r where a = \"true\"",
+	"update r set a = 1",
+	"update r set a = 1, b = \"x\" where c contains y and a >= 0",
+	"explain select flat * from r where a >= 1 and a < 10",
+	"explain update r set a = 2 where a = 1",
+	"select * from r where a >= 1 and a < 10 order by a",
+	"select flat a, b from r where b contains \"x\" order by a desc",
+	"select * from r order by a asc",
+	"update order set order = 1",
 }
 
 // FuzzParse asserts two properties over arbitrary input: the parser

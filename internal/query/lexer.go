@@ -10,7 +10,9 @@
 //	DROP rel
 //	INSERT INTO rel VALUES (lit, ...) [, (lit, ...)]...
 //	DELETE FROM rel VALUES (lit, ...)
-//	SELECT * | a, b FROM rel [WHERE pred]
+//	SELECT [FLAT] * | a, b FROM rel [WHERE pred] [ORDER BY attr [DESC]]
+//	UPDATE rel SET a = lit [, b = lit]... [WHERE pred]
+//	EXPLAIN select-or-update-stmt
 //	NEST rel ON attr
 //	UNNEST rel ON attr
 //	JOIN rel1, rel2
@@ -21,6 +23,11 @@
 // Predicates: attr op literal, attr CONTAINS literal,
 // CARD(attr) op int, combined with AND / OR / NOT and parentheses.
 // op ∈ { = , <>, <, <=, >, >= }.
+//
+// SELECT and UPDATE reads are planned (internal/query/plan.go): a
+// conjunct on the relation's fixed attribute routes through the durable
+// hash index (equality) or the B+tree range index (inequalities) when
+// the engine reports one; EXPLAIN shows the chosen access path.
 package query
 
 import (

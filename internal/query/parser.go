@@ -49,11 +49,32 @@ type DeleteStmt struct {
 
 // SelectStmt projects/filters a relation.
 type SelectStmt struct {
-	Name  string
-	Cols  []string // nil = *
-	Where algebra.Pred
-	Flat  bool // SELECT FLAT ... : flat-level semantics
+	Name    string
+	Cols    []string // nil = *
+	Where   algebra.Pred
+	Flat    bool   // SELECT FLAT ... : flat-level semantics
+	OrderBy string // "" = storage order
+	Desc    bool
 }
+
+// UpdateStmt rewrites the flat tuples matching WHERE: each one has the
+// SET attributes replaced (a delete of the old flat plus an insert of
+// the new one, rippling through canonical maintenance).
+type UpdateStmt struct {
+	Name  string
+	Set   []SetClause
+	Where algebra.Pred
+}
+
+// SetClause is one attr = literal assignment.
+type SetClause struct {
+	Attr string
+	Val  value.Atom
+}
+
+// ExplainStmt reports the access path the planner picks for the inner
+// statement without executing it.
+type ExplainStmt struct{ Inner Stmt }
 
 // NestStmt applies ν on one attribute.
 type NestStmt struct{ Name, Attr string }
@@ -83,6 +104,8 @@ type CommitStmt struct{}
 type RollbackStmt struct{}
 
 func (CreateStmt) stmt()   {}
+func (UpdateStmt) stmt()   {}
+func (ExplainStmt) stmt()  {}
 func (DropStmt) stmt()     {}
 func (InsertStmt) stmt()   {}
 func (DeleteStmt) stmt()   {}
@@ -197,6 +220,19 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return DeleteStmt{Name: name, Rows: rows}, nil
 	case p.matchKw("select"):
 		return p.parseSelect()
+	case p.matchKw("update"):
+		return p.parseUpdate()
+	case p.matchKw("explain"):
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		switch inner.(type) {
+		case SelectStmt, UpdateStmt:
+			return ExplainStmt{Inner: inner}, nil
+		default:
+			return nil, fmt.Errorf("query: explain supports select and update, got %T", inner)
+		}
 	case p.matchKw("nest"):
 		return p.parseNestLike(true)
 	case p.matchKw("unnest"):
@@ -447,6 +483,58 @@ func (p *parser) parseSelect() (Stmt, error) {
 		return nil, err
 	}
 	st.Name = name
+	if p.matchKw("where") {
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = pred
+	}
+	if p.matchKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		attr, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.OrderBy = attr
+		if p.matchKw("desc") {
+			st.Desc = true
+		} else {
+			p.matchKw("asc")
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	st := UpdateStmt{Name: name}
+	for {
+		attr, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, SetClause{Attr: attr, Val: lit})
+		if p.matchSym(",") {
+			continue
+		}
+		break
+	}
 	if p.matchKw("where") {
 		pred, err := p.parseOr()
 		if err != nil {

@@ -103,8 +103,37 @@ func (s SelectStmt) String() string {
 		b.WriteString(" where ")
 		b.WriteString(s.Where.String())
 	}
+	if s.OrderBy != "" {
+		b.WriteString(" order by ")
+		b.WriteString(s.OrderBy)
+		if s.Desc {
+			b.WriteString(" desc")
+		}
+	}
 	return b.String()
 }
+
+func (s UpdateStmt) String() string {
+	var b strings.Builder
+	b.WriteString("update ")
+	b.WriteString(s.Name)
+	b.WriteString(" set ")
+	for i, c := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Attr)
+		b.WriteString(" = ")
+		b.WriteString(algebra.LiteralString(c.Val))
+	}
+	if s.Where != nil {
+		b.WriteString(" where ")
+		b.WriteString(s.Where.String())
+	}
+	return b.String()
+}
+
+func (s ExplainStmt) String() string { return "explain " + s.Inner.String() }
 
 func (s NestStmt) String() string   { return "nest " + s.Name + " on " + s.Attr }
 func (s UnnestStmt) String() string { return "unnest " + s.Name + " on " + s.Attr }

@@ -131,6 +131,20 @@ func TestStatementsAndStatsOverWire(t *testing.T) {
 	if pp.Shards < 1 || pp.Ops < 1 || pp.Batches < 1 || pp.MaxBatch < 1 {
 		t.Fatalf("pipeline counters empty: %+v", pp)
 	}
+	// Durable relations carry both hash indexes and the B+tree range
+	// index; the stats frame must report their page footprints.
+	ip, ok := st.Indexes["enrollment"]
+	if !ok {
+		t.Fatalf("stats carried no index pages: %+v", st.Indexes)
+	}
+	if ip.HashDir < 1 || ip.HashBuckets < 1 || ip.BTreeInner < 1 || ip.BTreeLeaf < 1 {
+		t.Fatalf("index page counters empty: %+v", ip)
+	}
+	// EXPLAIN travels the wire as an ordinary statement.
+	res = mustExec(t, c, "EXPLAIN SELECT * FROM enrollment WHERE Student >= s0 AND Student < s5")
+	if res.Relation != nil || res.Message == "" {
+		t.Fatalf("explain over wire: %+v", res)
+	}
 	_ = srv
 }
 

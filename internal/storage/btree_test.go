@@ -1,0 +1,366 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func btKey(i int) []byte { return []byte(fmt.Sprintf("k%05d", i)) }
+
+// btModel is the reference: a sorted slice of (key, rid) pairs.
+type btModel []btEntry
+
+func (m btModel) insert(key []byte, rid RID) btModel {
+	pos := sort.Search(len(m), func(i int) bool { return cmpEntry(m[i], key, rid) > 0 })
+	m = append(m, btEntry{})
+	copy(m[pos+1:], m[pos:])
+	m[pos] = btEntry{key: append([]byte(nil), key...), rid: rid}
+	return m
+}
+
+func (m btModel) remove(key []byte, rid RID) (btModel, bool) {
+	pos := sort.Search(len(m), func(i int) bool { return cmpEntry(m[i], key, rid) >= 0 })
+	if pos >= len(m) || cmpEntry(m[pos], key, rid) != 0 {
+		return m, false
+	}
+	return append(m[:pos:pos], m[pos+1:]...), true
+}
+
+// scanAll drains the tree in order.
+func scanAll(t *testing.T, ix *BTree) []btEntry {
+	t.Helper()
+	var out []btEntry
+	if _, err := ix.Scan(nil, true, nil, true, func(key []byte, rid RID) bool {
+		out = append(out, btEntry{key: append([]byte(nil), key...), rid: rid})
+		return true
+	}); err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
+	return out
+}
+
+func sameEntries(a, b []btEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].key, b[i].key) || a[i].rid != b[i].rid {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBTreeSplitsAndOrder drives enough inserts through a tiny-node
+// tree to force both leaf and inner splits, then checks the full scan
+// is the sorted model, point Gets see every rid (including duplicate
+// keys), and the structure validates.
+func TestBTreeSplitsAndOrder(t *testing.T) {
+	bp, flush := newTestPool(t, 16)
+	ix, err := CreateBTree(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetMaxNodeEntries(4)
+	var model btModel
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		k := btKey(rng.Intn(60)) // plenty of duplicate keys
+		rid := RID{Page: uint32(i + 1), Slot: uint16(i % 5)}
+		if err := ix.Put(nil, k, rid); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		model = model.insert(k, rid)
+	}
+	if ix.Height() < 3 {
+		t.Fatalf("height %d after 200 inserts at 4 entries/node; inner splits untested", ix.Height())
+	}
+	if ix.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(model))
+	}
+	if got := scanAll(t, ix); !sameEntries(got, model) {
+		t.Fatalf("scan diverged from model: %d vs %d entries", len(got), len(model))
+	}
+	for i := 0; i < 60; i++ {
+		var want []RID
+		for _, e := range model {
+			if bytes.Equal(e.key, btKey(i)) {
+				want = append(want, e.rid)
+			}
+		}
+		got, err := ix.Get(btKey(i))
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Get %d = %d rids, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ix.Pages(); err != nil {
+		t.Fatalf("structure check: %v", err)
+	}
+
+	// reattach reads only the meta page and answers identically
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := OpenBTree(bp, ix.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != ix.Len() || ix2.Height() != ix.Height() {
+		t.Fatalf("reattach changed shape: len %d/%d height %d/%d", ix2.Len(), ix.Len(), ix2.Height(), ix.Height())
+	}
+	if got := scanAll(t, ix2); !sameEntries(got, model) {
+		t.Fatal("reopened scan diverged from model")
+	}
+}
+
+// TestBTreeRangeScanBounds exercises every bound combination against
+// the model, including open/closed ends on duplicate-key runs.
+func TestBTreeRangeScanBounds(t *testing.T) {
+	bp, _ := newTestPool(t, 16)
+	ix, err := CreateBTree(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetMaxNodeEntries(3)
+	var model btModel
+	for i := 0; i < 40; i++ {
+		k := btKey(i % 10)
+		rid := RID{Page: uint32(i + 1), Slot: 0}
+		if err := ix.Put(nil, k, rid); err != nil {
+			t.Fatal(err)
+		}
+		model = model.insert(k, rid)
+	}
+	for lo := -1; lo < 10; lo++ {
+		for hi := lo; hi < 11; hi++ {
+			for _, loIncl := range []bool{true, false} {
+				for _, hiIncl := range []bool{true, false} {
+					var loK, hiK []byte
+					if lo >= 0 {
+						loK = btKey(lo)
+					}
+					if hi < 10 {
+						hiK = btKey(hi)
+					}
+					var want []btEntry
+					for _, e := range model {
+						if loK != nil {
+							if c := bytes.Compare(e.key, loK); c < 0 || (c == 0 && !loIncl) {
+								continue
+							}
+						}
+						if hiK != nil {
+							if c := bytes.Compare(e.key, hiK); c > 0 || (c == 0 && !hiIncl) {
+								continue
+							}
+						}
+						want = append(want, e)
+					}
+					var got []btEntry
+					if _, err := ix.Scan(loK, loIncl, hiK, hiIncl, func(key []byte, rid RID) bool {
+						got = append(got, btEntry{key: append([]byte(nil), key...), rid: rid})
+						return true
+					}); err != nil {
+						t.Fatalf("scan [%d,%d]: %v", lo, hi, err)
+					}
+					if !sameEntries(got, want) {
+						t.Fatalf("scan lo=%d(%v) hi=%d(%v): %d entries, want %d",
+							lo, loIncl, hi, hiIncl, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBTreeScanPagesBounded is the structural payoff: a window scan
+// touches O(height + matching leaves) pages, never the whole tree.
+func TestBTreeScanPagesBounded(t *testing.T) {
+	bp, _ := newTestPool(t, 32)
+	ix, err := CreateBTree(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetMaxNodeEntries(4)
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := ix.Put(nil, btKey(i), RID{Page: uint32(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, leaves, err := ix.walk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	pages, err := ix.Scan(btKey(100), true, btKey(120), false, func([]byte, RID) bool {
+		matched++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 20 {
+		t.Fatalf("window matched %d entries, want 20", matched)
+	}
+	// ≤ descent + matching leaves + 1 boundary leaf; a split at 5
+	// entries leaves halves of 2, so worst-case occupancy is 2/leaf
+	bound := ix.Height() + 20/2 + 1
+	if pages > bound {
+		t.Fatalf("window scan read %d pages, bound %d (tree has %d leaves)", pages, bound, len(leaves))
+	}
+	if pages >= len(leaves) {
+		t.Fatalf("window scan read %d pages — the whole leaf level (%d)", pages, len(leaves))
+	}
+}
+
+// TestBTreeDeleteUnlink empties whole key runs so leaves drain,
+// verifying emptied leaves leave the tree (TakeReleased), the chain
+// stays consistent, and every answer matches the model throughout.
+func TestBTreeDeleteUnlink(t *testing.T) {
+	bp, _ := newTestPool(t, 16)
+	ix, err := CreateBTree(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetMaxNodeEntries(3)
+	var model btModel
+	type pair struct {
+		k   []byte
+		rid RID
+	}
+	var pairs []pair
+	for i := 0; i < 120; i++ {
+		k, rid := btKey(i), RID{Page: uint32(i + 1)}
+		if err := ix.Put(nil, k, rid); err != nil {
+			t.Fatal(err)
+		}
+		model = model.insert(k, rid)
+		pairs = append(pairs, pair{k, rid})
+	}
+	pagesBefore, err := ix.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	var reclaimed []uint32
+	for i, p := range pairs[:100] {
+		ok, err := ix.Delete(nil, p.k, p.rid)
+		if err != nil || !ok {
+			t.Fatalf("Delete %d: %v %v", i, ok, err)
+		}
+		var was bool
+		model, was = model.remove(p.k, p.rid)
+		if !was {
+			t.Fatal("model out of sync")
+		}
+		reclaimed = append(reclaimed, ix.TakeReleased()...)
+		if i%10 == 0 {
+			if got := scanAll(t, ix); !sameEntries(got, model) {
+				t.Fatalf("after %d deletes scan diverged", i+1)
+			}
+			if _, err := ix.Pages(); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if len(reclaimed) == 0 {
+		t.Fatal("100 deletes at 3 entries/node emptied no leaf; unlink untested")
+	}
+	pagesAfter, err := ix.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pagesAfter) >= len(pagesBefore) {
+		t.Fatalf("tree kept %d pages after draining (was %d)", len(pagesAfter), len(pagesBefore))
+	}
+	own := map[uint32]bool{}
+	for _, pid := range pagesAfter {
+		own[pid] = true
+	}
+	for _, pid := range reclaimed {
+		if own[pid] {
+			t.Fatalf("released page %d still owned by the tree", pid)
+		}
+	}
+	// double delete answers false
+	if ok, _ := ix.Delete(nil, pairs[0].k, pairs[0].rid); ok {
+		t.Fatal("double delete reported a removal")
+	}
+	if got := scanAll(t, ix); !sameEntries(got, model) {
+		t.Fatal("final scan diverged from model")
+	}
+}
+
+// TestBTreeClear resets to a one-leaf tree, releasing everything else.
+func TestBTreeClear(t *testing.T) {
+	bp, _ := newTestPool(t, 16)
+	ix, err := CreateBTree(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetMaxNodeEntries(3)
+	for i := 0; i < 80; i++ {
+		if err := ix.Put(nil, btKey(i), RID{Page: uint32(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := ix.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	released, err := ix.Clear(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 0 || ix.Height() != 1 {
+		t.Fatalf("after Clear: len %d height %d", ix.Len(), ix.Height())
+	}
+	if len(released)+2 != len(before) {
+		t.Fatalf("Clear released %d of %d pages (meta + root leaf stay)", len(released), len(before))
+	}
+	if got := scanAll(t, ix); len(got) != 0 {
+		t.Fatalf("cleared tree still yields %d entries", len(got))
+	}
+	if err := ix.Put(nil, btKey(1), RID{Page: 1}); err != nil {
+		t.Fatalf("Put after Clear: %v", err)
+	}
+	inner, leaf, err := ix.PageCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner != 1 || leaf != 1 {
+		t.Fatalf("PageCounts = %d inner, %d leaf; want 1, 1", inner, leaf)
+	}
+}
+
+// TestBTreeKeyCap rejects impossible keys instead of corrupting pages.
+func TestBTreeKeyCap(t *testing.T) {
+	bp, _ := newTestPool(t, 8)
+	ix, err := CreateBTree(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Put(nil, make([]byte, MaxBTreeKey+1), RID{Page: 1}); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if err := ix.Put(nil, make([]byte, MaxBTreeKey), RID{Page: 1}); err != nil {
+		t.Fatalf("cap-sized key rejected: %v", err)
+	}
+	if err := ix.Put(nil, make([]byte, MaxBTreeKey), RID{Page: 2}); err != nil {
+		t.Fatalf("second cap-sized key (forcing a split) rejected: %v", err)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if _, err := ix.Pages(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -766,6 +766,17 @@ func (ix *DiskHashIndex) Pages() ([]uint32, error) {
 	return out, nil
 }
 
+// PageCounts reports the index's footprint split into directory chain
+// pages and bucket+overflow pages — the observable for the known
+// directory-never-shrinks growth (STATS surfaces it per relation).
+func (ix *DiskHashIndex) PageCounts() (dir, buckets int, err error) {
+	all, err := ix.Pages()
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(ix.dir), len(all) - len(ix.dir), nil
+}
+
 // Clear resets the index to empty under txn, reusing the directory
 // root and the first n0 bucket primaries and returning every other
 // page (grown buckets, overflow chains, directory overflow) for the

@@ -53,11 +53,14 @@ func (d RelationDef) validate() error {
 }
 
 // shardRoots locates one shard's durable structures: its heap chain
-// head and the directory roots of its two hash indexes.
+// head, the directory roots of its two hash indexes, and the meta page
+// of its ordered B+tree range index (0 for records that predate range
+// indexes — upgraded on the first writable open).
 type shardRoots struct {
 	heapFirst uint32
 	ridsRoot  uint32
 	fixedRoot uint32
+	rangeRoot uint32
 }
 
 // catalogEntry is a decoded catalog record plus its location.
@@ -69,9 +72,13 @@ type catalogEntry struct {
 	// are upgraded (rebuild once, persist) on the first writable open.
 	ridsRoot  uint32
 	fixedRoot uint32
+	// rangeRoot is the B+tree range index's meta page; 0 on records
+	// written before the range-index extension (upgraded like v2 hash
+	// indexes: built once by heap scan, persisted).
+	rangeRoot uint32
 	// extra holds the roots of shards 1..K-1 for sharded relations
-	// (shard 0 lives in heapFirst/ridsRoot/fixedRoot above); empty for
-	// the classic single-chain layout.
+	// (shard 0 lives in heapFirst/ridsRoot/fixedRoot/rangeRoot above);
+	// empty for the classic single-chain layout.
 	extra []shardRoots
 	rid   storage.RID
 }
@@ -82,7 +89,8 @@ type catalogEntry struct {
 //	orderLen:uvarint idx:uvarint* nFDs:uvarint fd* nMVDs:uvarint mvd*
 //	fd/mvd := nLhs:uvarint (len name)* nRhs:uvarint (len name)*
 //	[ridsRoot:uvarint fixedRoot:uvarint
-//	 [nExtra:uvarint (heapFirst ridsRoot fixedRoot)*]]
+//	 [nExtra:uvarint (heapFirst ridsRoot fixedRoot)*]
+//	 [rangeRoot:uvarint * K]]
 //
 // The trailing index roots are the version-3 extension; records
 // without them (version 2) decode with zero roots. Passing zero roots
@@ -92,6 +100,16 @@ type catalogEntry struct {
 // stay byte-identical to pre-shard records, so old files read
 // unchanged and new files without sharding stay downgrade-readable.
 // shards[0] supplies heapFirst/ridsRoot/fixedRoot.
+//
+// The third trailing-optional block carries the per-shard B+tree range
+// index roots (shard 0 first). A single-chain relation has no shard
+// block to append it after, so the shard-count position is repurposed:
+// count 0 — previously always invalid, rejected as corrupt — is the
+// sentinel announcing "range block follows". Records without the block
+// (written before range indexes existed) decode with zero range roots
+// and are upgraded on the first writable open. Range roots are
+// all-or-nothing across shards: shards[0].rangeRoot decides whether
+// the block is emitted.
 func encodeCatalogRecord(def RelationDef, shards []shardRoots) []byte {
 	heapFirst, ridsRoot, fixedRoot := shards[0].heapFirst, shards[0].ridsRoot, shards[0].fixedRoot
 	b := []byte{relRecordTag}
@@ -112,7 +130,8 @@ func encodeCatalogRecord(def RelationDef, shards []shardRoots) []byte {
 		b = appendAttrSet(b, m.Lhs)
 		b = appendAttrSet(b, m.Rhs)
 	}
-	if ridsRoot != 0 || fixedRoot != 0 || len(shards) > 1 {
+	withRange := shards[0].rangeRoot != 0
+	if ridsRoot != 0 || fixedRoot != 0 || len(shards) > 1 || withRange {
 		b = binary.AppendUvarint(b, uint64(ridsRoot))
 		b = binary.AppendUvarint(b, uint64(fixedRoot))
 	}
@@ -122,6 +141,14 @@ func encodeCatalogRecord(def RelationDef, shards []shardRoots) []byte {
 			b = binary.AppendUvarint(b, uint64(s.heapFirst))
 			b = binary.AppendUvarint(b, uint64(s.ridsRoot))
 			b = binary.AppendUvarint(b, uint64(s.fixedRoot))
+		}
+	} else if withRange {
+		// shard-count-0 sentinel: single-chain record with a range block
+		b = binary.AppendUvarint(b, 0)
+	}
+	if withRange {
+		for _, s := range shards {
+			b = binary.AppendUvarint(b, uint64(s.rangeRoot))
 		}
 	}
 	return b
@@ -216,9 +243,12 @@ func decodeCatalogRecord(rec []byte) (catalogEntry, error) {
 		return ce, nil
 	}
 	nx, b, err := takeUvarint(b)
-	if err != nil || nx == 0 || nx >= maxShards {
+	if err != nil || nx >= maxShards {
 		return ce, fmt.Errorf("%w: shard count of %q", ErrCorrupt, name)
 	}
+	// nx == 0 is the single-chain-with-range-block sentinel (a real
+	// extra-shard count is always ≥ 1): no shard triples follow, only
+	// the range roots.
 	for i := uint64(0); i < nx; i++ {
 		var s shardRoots
 		var h, r2, f2 uint64
@@ -238,10 +268,31 @@ func decodeCatalogRecord(rec []byte) (catalogEntry, error) {
 		s.heapFirst, s.ridsRoot, s.fixedRoot = uint32(h), uint32(r2), uint32(f2)
 		ce.extra = append(ce.extra, s)
 	}
+	ce.def.Shards = 1 + len(ce.extra)
+	if len(b) == 0 {
+		if nx == 0 {
+			// the sentinel promises a range block; its absence is a
+			// truncated record, not an old one
+			return ce, fmt.Errorf("%w: missing range index roots of %q", ErrCorrupt, name)
+		}
+		// sharded record from before range indexes: zero range roots
+		return ce, nil
+	}
+	for i := 0; i < ce.def.Shards; i++ {
+		var rg uint64
+		rg, b, err = takeUvarint(b)
+		if err != nil || rg == 0 || rg > 1<<32-1 {
+			return ce, fmt.Errorf("%w: range index root of shard %d of %q", ErrCorrupt, i, name)
+		}
+		if i == 0 {
+			ce.rangeRoot = uint32(rg)
+		} else {
+			ce.extra[i-1].rangeRoot = uint32(rg)
+		}
+	}
 	if len(b) != 0 {
 		return ce, fmt.Errorf("%w: %d trailing bytes in catalog record of %q", ErrCorrupt, len(b), name)
 	}
-	ce.def.Shards = 1 + len(ce.extra)
 	return ce, nil
 }
 

@@ -1,0 +1,356 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/tuple"
+	"repro/internal/value"
+)
+
+// TestCatalogRecordRangeRoots covers the third trailing-optional block
+// of the catalog record: per-shard B+tree roots behind the shard-count
+// sentinel for single-chain relations, appended after the shard
+// triples for sharded ones, absent on records from before the range
+// index existed.
+func TestCatalogRecordRangeRoots(t *testing.T) {
+	def := testDef(t)
+
+	// single-chain with a range root: the shard-count position carries
+	// the 0 sentinel
+	rec := encodeCatalogRecord(def, []shardRoots{{7, 9, 12, 15}})
+	ce, err := decodeCatalogRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.ridsRoot != 9 || ce.fixedRoot != 12 || ce.rangeRoot != 15 || ce.def.Shards != 1 {
+		t.Fatalf("single-chain range record decoded %+v", ce)
+	}
+
+	// sharded with range roots
+	def3 := def
+	def3.Shards = 3
+	roots := []shardRoots{{7, 9, 12, 15}, {20, 21, 22, 23}, {30, 31, 32, 33}}
+	ce3, err := decodeCatalogRecord(encodeCatalogRecord(def3, roots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce3.def.Shards != 3 || ce3.rangeRoot != 15 || len(ce3.extra) != 2 ||
+		ce3.extra[0] != roots[1] || ce3.extra[1] != roots[2] {
+		t.Fatalf("sharded range record decoded %+v", ce3)
+	}
+
+	// sharded WITHOUT range roots (a pre-range sharded record) still
+	// decodes, range roots zero
+	old := make([]shardRoots, len(roots))
+	copy(old, roots)
+	for i := range old {
+		old[i].rangeRoot = 0
+	}
+	ceOld, err := decodeCatalogRecord(encodeCatalogRecord(def3, old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ceOld.rangeRoot != 0 || ceOld.extra[0].rangeRoot != 0 || ceOld.def.Shards != 3 {
+		t.Fatalf("pre-range sharded record decoded %+v", ceOld)
+	}
+
+	// every truncation of the range-bearing record is rejected except
+	// the prefixes that are themselves well-formed older record shapes
+	okLens := map[int]bool{
+		len(rec): true,
+		len(encodeCatalogRecord(def, []shardRoots{{7, 0, 0, 0}})):  true, // v2
+		len(encodeCatalogRecord(def, []shardRoots{{7, 9, 12, 0}})): true, // v3 without range
+	}
+	for i := 1; i < len(rec); i++ {
+		if _, err := decodeCatalogRecord(rec[:i]); err == nil && !okLens[i] {
+			t.Fatalf("truncated range record of %d bytes accepted", i)
+		}
+	}
+}
+
+// rangeOracle filters the shard contents by hand: every tuple with at
+// least one fixed atom inside [lo, hi] per the inclusive flags.
+func rangeOracle(t *testing.T, rs *RelStore, lo, hi *RangeBound) map[string]bool {
+	t.Helper()
+	fixedAt := rs.fixedAttr()
+	want := make(map[string]bool)
+	if err := rs.Scan(func(tp tuple.Tuple) bool {
+		for _, a := range tp.Set(fixedAt).Atoms() {
+			if lo != nil {
+				if c := value.Compare(a, lo.Atom); c < 0 || (c == 0 && !lo.Incl) {
+					continue
+				}
+			}
+			if hi != nil {
+				if c := value.Compare(a, hi.Atom); c > 0 || (c == 0 && !hi.Incl) {
+					continue
+				}
+			}
+			want[string(tp.Key())] = true
+			break
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func keysOf(ts []tuple.Tuple) map[string]bool {
+	out := make(map[string]bool, len(ts))
+	for _, tp := range ts {
+		out[string(tp.Key())] = true
+	}
+	return out
+}
+
+// TestScanFixedRange drives the B+tree-backed range scan against the
+// heap oracle on a single-chain and a 4-sharded relation, including
+// grouped determinants (one tuple, several atoms in range — returned
+// once) and unbounded sides.
+func TestScanFixedRange(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "db.nfrs")
+			st, err := Open(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			def := testDef(t)
+			def.Shards = shards
+			txn := st.Begin()
+			rs, err := st.CreateRelation(txn, def)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// students s00..s39 one per tuple, plus grouped tuples whose
+			// fixed set spans the probe windows
+			for i := 0; i < 40; i++ {
+				tp := tupleOf([][]string{
+					{fmt.Sprintf("c%d", i%7)}, {"b1"}, {fmt.Sprintf("s%02d", i)},
+				}, def.Order)
+				if shards == 1 {
+					if err := rs.Insert(txn, tp); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if err := rs.Shard(ShardOfAtom(value.NewString(fmt.Sprintf("s%02d", i)), shards)).Insert(txn, tp); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if shards == 1 {
+				grouped := tupleOf([][]string{{"c9"}, {"b2"}, {"s10x", "s11x", "s12x"}}, def.Order)
+				if err := rs.Insert(txn, grouped); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.Commit(txn); err != nil {
+				t.Fatal(err)
+			}
+			if !rs.HasRangeIndex() {
+				t.Fatal("fresh relation has no range index")
+			}
+
+			bound := func(s string, incl bool) *RangeBound {
+				return &RangeBound{Atom: value.NewString(s), Incl: incl}
+			}
+			cases := []struct{ lo, hi *RangeBound }{
+				{bound("s10", true), bound("s20", false)},
+				{bound("s10", false), bound("s20", true)},
+				{nil, bound("s05", true)},
+				{bound("s35", true), nil},
+				{nil, nil},
+				{bound("s99", true), nil}, // empty window
+			}
+			for _, tc := range cases {
+				got, pages, err := rs.ScanFixedRange(tc.lo, tc.hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := rangeOracle(t, rs, tc.lo, tc.hi)
+				if gotKeys := keysOf(got); len(gotKeys) != len(got) || len(gotKeys) != len(want) {
+					t.Fatalf("range scan returned %d tuples (%d unique), oracle %d", len(got), len(gotKeys), len(want))
+				} else {
+					for k := range want {
+						if !gotKeys[k] {
+							t.Fatalf("range scan lost a tuple the oracle has")
+						}
+					}
+				}
+				if pages < shards {
+					t.Fatalf("range scan reports %d pages over %d shards", pages, shards)
+				}
+			}
+			if err := rs.VerifyIndex(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRangeIndexMaintenance checks delete and replace keep the B+tree
+// in lockstep with the heap (the oracle is VerifyIndex's structural +
+// probe pass, which covers the range index too).
+func TestRangeIndexMaintenance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.nfrs")
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	def := testDef(t)
+	txn := st.Begin()
+	rs, err := st.CreateRelation(txn, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tuples []tuple.Tuple
+	for i := 0; i < 30; i++ {
+		tp := tupleOf([][]string{{fmt.Sprintf("c%d", i)}, {"b"}, {fmt.Sprintf("s%02d", i)}}, def.Order)
+		tuples = append(tuples, tp)
+		if err := rs.Insert(txn, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	txn2 := st.Begin()
+	for _, tp := range tuples[:15] {
+		if err := rs.Remove(txn2, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(txn2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.VerifyIndex(); err != nil {
+		t.Fatalf("after deletes: %v", err)
+	}
+	got, _, err := rs.ScanFixedRange(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 15 {
+		t.Fatalf("full range scan after deletes returned %d tuples, want 15", len(got))
+	}
+	var names []string
+	for _, tp := range got {
+		names = append(names, tp.Set(rs.fixedAttr()).Atoms()[0].S)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("range scan out of order: %v", names)
+	}
+}
+
+// stripRangeRoots rewrites every catalog record without its range
+// block — manufacturing a file from before the range index existed
+// (hash roots intact, B+tree pages orphaned).
+func stripRangeRoots(t *testing.T, path string) {
+	t.Helper()
+	st, err := Open(path, Options{PoolPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := st.Begin()
+	for _, name := range st.Relations() {
+		rs, _ := st.Rel(name)
+		if err := st.catalog.Delete(txn, rs.catRID); err != nil {
+			t.Fatal(err)
+		}
+		sh := rs.shards[0]
+		rid, err := st.catalog.Insert(txn, encodeCatalogRecord(rs.def,
+			[]shardRoots{{sh.heap.FirstPage(), sh.ridsD.Root(), sh.fixedD.Root(), 0}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.catRID = rid
+	}
+	if err := st.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeUpgradeBuildsBTree: opening a v3 file whose records predate
+// the range index builds the B+trees once by heap scan and persists
+// them; a NoSweep open leaves the file untouched and reports no range
+// index; every open after the upgrade is fast again.
+func TestRangeUpgradeBuildsBTree(t *testing.T) {
+	path, canon, _ := buildReopenDB(t)
+	stripRangeRoots(t, path)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := Open(path, Options{PoolPages: 32, NoSweep: true})
+	if err != nil {
+		t.Fatalf("NoSweep open of rangeless file: %v", err)
+	}
+	if mustRel(t, ro, "R1").HasRangeIndex() {
+		t.Fatal("NoSweep open conjured a range index")
+	}
+	if err := ro.VerifyIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("NoSweep open of a rangeless file mutated it")
+	}
+
+	up, err := Open(path, Options{PoolPages: 32})
+	if err != nil {
+		t.Fatalf("range upgrade open: %v", err)
+	}
+	rs := mustRel(t, up, "R1")
+	if !rs.HasRangeIndex() {
+		t.Fatal("writable open did not build the range index")
+	}
+	if err := up.VerifyIndexes(); err != nil {
+		t.Fatalf("upgraded range index diverged from heap oracle: %v", err)
+	}
+	got, _, err := rs.ScanFixedRange(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rangeOracle(t, rs, nil, nil); len(keysOf(got)) != len(want) {
+		t.Fatalf("post-upgrade full scan returned %d tuples, oracle %d", len(keysOf(got)), len(want))
+	}
+	if err := up.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(path, Options{PoolPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if open := st2.OpenIOStats(); open.Misses > reopenBudget(1) {
+		t.Errorf("post-upgrade open read %d pages, budget %d", open.Misses, reopenBudget(1))
+	}
+	got3, err := mustRel(t, st2, "R1").Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got3.Equal(canon) {
+		t.Fatal("content changed across range upgrade + reopen")
+	}
+	if err := st2.VerifyIndexes(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -110,6 +110,12 @@ type Shard struct {
 	// where rebuilt in-memory indexes stand in.
 	ridsD  *storage.DiskHashIndex
 	fixedD *storage.DiskHashIndex
+	// rangeD is the ordered B+tree over the same determinant atoms the
+	// fixed hash index covers (memcomparable keys, see
+	// encoding.AppendOrderedAtom), answering range predicates the hash
+	// index cannot. nil on legacy attachments that predate it or may
+	// not write (NoSweep) — range queries then fall back to heap scans.
+	rangeD *storage.BTree
 	count  int
 	cur    *Txn  // open statement transaction (between brackets)
 	ext    bool  // cur is owned by an engine-level multi-statement Tx
@@ -147,8 +153,8 @@ func (r *RelStore) fixedAttr() int { return r.def.Order[len(r.def.Order)-1] }
 // newShard wires a Shard around an attached heap and (when non-nil)
 // durable indexes; without them, fresh in-memory indexes stand in and
 // the caller populates them by scanning.
-func newShard(s *Store, def RelationDef, ord int, heap *storage.HeapFile, ridsD, fixedD *storage.DiskHashIndex) *Shard {
-	sh := &Shard{st: s, def: def, ord: ord, heap: heap, ridsD: ridsD, fixedD: fixedD}
+func newShard(s *Store, def RelationDef, ord int, heap *storage.HeapFile, ridsD, fixedD *storage.DiskHashIndex, rangeD *storage.BTree) *Shard {
+	sh := &Shard{st: s, def: def, ord: ord, heap: heap, ridsD: ridsD, fixedD: fixedD, rangeD: rangeD}
 	if ridsD != nil {
 		sh.rids, sh.fixed = ridsD, fixedD
 		sh.count = ridsD.Len()
@@ -173,7 +179,7 @@ func newRelStore(s *Store, def RelationDef, catRID storage.RID, shards []*Shard)
 // (Options.NoSweep).
 func openRelStore(s *Store, ce catalogEntry) (*RelStore, error) {
 	if ce.ridsRoot != 0 {
-		roots := append([]shardRoots{{ce.heapFirst, ce.ridsRoot, ce.fixedRoot}}, ce.extra...)
+		roots := append([]shardRoots{{ce.heapFirst, ce.ridsRoot, ce.fixedRoot, ce.rangeRoot}}, ce.extra...)
 		shards := make([]*Shard, 0, len(roots))
 		for ord, rt := range roots {
 			ridsD, err := storage.OpenDiskIndex(s.bp, rt.ridsRoot)
@@ -184,8 +190,15 @@ func openRelStore(s *Store, ce catalogEntry) (*RelStore, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%w: opening fixed index %d of %q: %v", ErrCorrupt, ord, ce.def.Name, err)
 			}
+			var rangeD *storage.BTree
+			if rt.rangeRoot != 0 {
+				rangeD, err = storage.OpenBTree(s.bp, rt.rangeRoot)
+				if err != nil {
+					return nil, fmt.Errorf("%w: opening range index %d of %q: %v", ErrCorrupt, ord, ce.def.Name, err)
+				}
+			}
 			heap := storage.OpenHeapAt(s.bp, rt.heapFirst)
-			shards = append(shards, newShard(s, ce.def, ord, heap, ridsD, fixedD))
+			shards = append(shards, newShard(s, ce.def, ord, heap, ridsD, fixedD, rangeD))
 		}
 		return newRelStore(s, ce.def, ce.rid, shards), nil
 	}
@@ -193,7 +206,7 @@ func openRelStore(s *Store, ce catalogEntry) (*RelStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: opening heap of %q: %v", ErrCorrupt, ce.def.Name, err)
 	}
-	sh := newShard(s, ce.def, 0, heap, nil, nil)
+	sh := newShard(s, ce.def, 0, heap, nil, nil, nil)
 	var dupErr error
 	if err := sh.scanRaw(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
 		// The engine never writes the same tuple twice; a duplicate
@@ -284,6 +297,11 @@ func (r *Shard) indexTuple(txn *Txn, t tuple.Tuple, rid storage.RID) error {
 		if err := r.fixed.Put(txn, encoding.AppendAtom(nil, a), rid); err != nil {
 			return err
 		}
+		if r.rangeD != nil {
+			if err := r.rangeD.Put(txn, encoding.AppendOrderedAtom(nil, a), rid); err != nil {
+				return err
+			}
+		}
 	}
 	r.count++
 	return nil
@@ -296,6 +314,11 @@ func (r *Shard) unindexTuple(txn *Txn, t tuple.Tuple, rid storage.RID) error {
 	for _, a := range t.Set(r.fixedAttr()).Atoms() {
 		if _, err := r.fixed.Delete(txn, encoding.AppendAtom(nil, a), rid); err != nil {
 			return err
+		}
+		if r.rangeD != nil {
+			if _, err := r.rangeD.Delete(txn, encoding.AppendOrderedAtom(nil, a), rid); err != nil {
+				return err
+			}
 		}
 	}
 	r.count--
@@ -315,6 +338,9 @@ func (r *Shard) reclaimIndexPagesLocked(txn *Txn) {
 	}
 	released := r.ridsD.TakeReleased()
 	released = append(released, r.fixedD.TakeReleased()...)
+	if r.rangeD != nil {
+		released = append(released, r.rangeD.TakeReleased()...)
+	}
 	if len(released) == 0 {
 		return
 	}
@@ -548,6 +574,11 @@ func (r *Shard) Reindex() (*core.Relation, error) {
 	if err := r.fixedD.Refresh(); err != nil {
 		return nil, err
 	}
+	if r.rangeD != nil {
+		if err := r.rangeD.Refresh(); err != nil {
+			return nil, err
+		}
+	}
 	r.count = r.ridsD.Len()
 	rel := core.NewRelation(r.def.Schema)
 	var rts []ridTuple
@@ -593,20 +624,40 @@ func (r *Shard) checkLocked(rts []ridTuple) error {
 			if !containsRID(hits, rt.rid) {
 				return fmt.Errorf("store: %q fixed index lost atom of tuple at %v", r.def.Name, rt.rid)
 			}
+			if r.rangeD != nil {
+				hits, err := r.rangeD.Get(encoding.AppendOrderedAtom(nil, a))
+				if err != nil {
+					return err
+				}
+				if !containsRID(hits, rt.rid) {
+					return fmt.Errorf("store: %q range index lost atom of tuple at %v", r.def.Name, rt.rid)
+				}
+			}
 		}
 	}
 	if n := r.fixed.Len(); n != atoms {
 		return fmt.Errorf("store: %q fixed index holds %d entries, heap %d atoms",
 			r.def.Name, n, atoms)
 	}
-	// structural pass: every index page (directory, buckets, overflow)
-	// must be reachable and valid, so damage in never-probed pages
-	// fail-stops too
+	if r.rangeD != nil {
+		if n := r.rangeD.Len(); n != atoms {
+			return fmt.Errorf("store: %q range index holds %d entries, heap %d atoms",
+				r.def.Name, n, atoms)
+		}
+	}
+	// structural pass: every index page (directory, buckets, overflow;
+	// B+tree inner nodes and leaf chain) must be reachable and valid,
+	// so damage in never-probed pages fail-stops too
 	if r.ridsD != nil {
 		if _, err := r.ridsD.Pages(); err != nil {
 			return err
 		}
 		if _, err := r.fixedD.Pages(); err != nil {
+			return err
+		}
+	}
+	if r.rangeD != nil {
+		if _, err := r.rangeD.Pages(); err != nil {
 			return err
 		}
 	}
@@ -650,6 +701,12 @@ func (r *Shard) rebuildLocked(rts []ridTuple) (err error) {
 			err = fmt.Errorf("index rebuild failed (%v) and re-attach failed: %w", err, rfErr)
 			return
 		}
+		if r.rangeD != nil {
+			if rfErr := r.rangeD.Refresh(); rfErr != nil {
+				err = fmt.Errorf("index rebuild failed (%v) and re-attach failed: %w", err, rfErr)
+				return
+			}
+		}
 		r.count = r.ridsD.Len()
 	}()
 	released, err := r.ridsD.Clear(txn)
@@ -661,6 +718,13 @@ func (r *Shard) rebuildLocked(rts []ridTuple) (err error) {
 		return err
 	}
 	released = append(released, rel2...)
+	if r.rangeD != nil {
+		rel3, err := r.rangeD.Clear(txn)
+		if err != nil {
+			return err
+		}
+		released = append(released, rel3...)
+	}
 	r.count = 0
 	for _, rt := range rts {
 		if err := r.indexTuple(txn, rt.t, rt.rid); err != nil {
@@ -733,6 +797,13 @@ func (r *Shard) pages() ([]uint32, error) {
 		}
 		out = append(out, p...)
 		p, err = r.fixedD.Pages()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+	}
+	if r.rangeD != nil {
+		p, err := r.rangeD.Pages()
 		if err != nil {
 			return nil, err
 		}
@@ -963,6 +1034,167 @@ func (r *Shard) LookupFixed(a value.Atom) ([]tuple.Tuple, error) {
 	return out, nil
 }
 
+// RangeBound is one end of a determinant-atom range predicate, as
+// handed to ScanFixedRange. nil stands for "unbounded".
+type RangeBound struct {
+	Atom value.Atom
+	Incl bool
+}
+
+// HasRangeIndex reports whether every shard carries a durable B+tree
+// range index (false for legacy attachments that predate it or were
+// opened without write permission — the planner then falls back to
+// heap scans).
+func (r *RelStore) HasRangeIndex() bool {
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		ok := sh.rangeD != nil
+		sh.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanFixedRange returns every stored tuple with at least one fixed
+// (determinant) atom in the given range, via the B+tree range indexes
+// instead of heap scans. Shards partition by HASH of the atom, so a
+// range spans all of them: the result unions every shard's scan. The
+// page count is the total index pages read (descent + leaf chain),
+// the currency of the bench gate. The caller re-applies its full
+// predicate: the scan answers "some atom in range", which is a
+// superset of any tuple-level predicate over the same component.
+func (r *RelStore) ScanFixedRange(lo, hi *RangeBound) ([]tuple.Tuple, int, error) {
+	var out []tuple.Tuple
+	pages := 0
+	for _, sh := range r.shards {
+		ts, n, err := sh.ScanFixedRange(lo, hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, ts...)
+		pages += n
+	}
+	return out, pages, nil
+}
+
+// ScanFixedRange returns every tuple in this shard with a fixed atom
+// in the given range, plus the number of index pages the scan read.
+func (r *Shard) ScanFixedRange(lo, hi *RangeBound) ([]tuple.Tuple, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rangeD == nil {
+		return nil, 0, fmt.Errorf("store: relation %q has no range index", r.def.Name)
+	}
+	var loKey, hiKey []byte
+	loIncl, hiIncl := true, true
+	if lo != nil {
+		loKey, loIncl = encoding.AppendOrderedAtom(nil, lo.Atom), lo.Incl
+	}
+	if hi != nil {
+		hiKey, hiIncl = encoding.AppendOrderedAtom(nil, hi.Atom), hi.Incl
+	}
+	// A tuple whose fixed component holds several in-range atoms is hit
+	// once per atom; dedup by rid, preserving key order of first hit.
+	seen := make(map[storage.RID]bool)
+	var rids []storage.RID
+	pages, err := r.rangeD.Scan(loKey, loIncl, hiKey, hiIncl, func(_ []byte, rid storage.RID) bool {
+		if !seen[rid] {
+			seen[rid] = true
+			rids = append(rids, rid)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]tuple.Tuple, 0, len(rids))
+	for _, rid := range rids {
+		rec, err := r.heap.Get(rid)
+		if err != nil {
+			return nil, 0, err
+		}
+		t, _, err := encoding.DecodeTuple(rec)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: record %v of %q: %v", ErrCorrupt, rid, r.def.Name, err)
+		}
+		out = append(out, t)
+	}
+	return out, pages, nil
+}
+
+// SetRangeIndexMaxEntries lowers the B+tree node fan-out (testing
+// knob: small trees split early, so split/crash tests stay small). A
+// no-op on shards without a range index.
+func (r *Shard) SetRangeIndexMaxEntries(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rangeD != nil {
+		r.rangeD.SetMaxNodeEntries(n)
+	}
+}
+
+// IndexPageCounts breaks a relation's durable index footprint down by
+// structure, making growth that never shrinks (the hash directory, the
+// B+tree inner skeleton) observable instead of silent.
+type IndexPageCounts struct {
+	// HashDir / HashBuckets cover BOTH hash indexes (primary + fixed):
+	// directory chain pages and bucket+overflow pages.
+	HashDir     int `json:"hash_dir"`
+	HashBuckets int `json:"hash_buckets"`
+	// BTreeInner counts the range index's meta + inner pages;
+	// BTreeLeaf its leaf pages. Zero when the relation predates the
+	// range index.
+	BTreeInner int `json:"btree_inner"`
+	BTreeLeaf  int `json:"btree_leaf"`
+}
+
+// IndexPageCounts sums the per-structure index page counts across
+// shards.
+func (r *RelStore) IndexPageCounts() (IndexPageCounts, error) {
+	var total IndexPageCounts
+	for _, sh := range r.shards {
+		c, err := sh.IndexPageCounts()
+		if err != nil {
+			return IndexPageCounts{}, err
+		}
+		total.HashDir += c.HashDir
+		total.HashBuckets += c.HashBuckets
+		total.BTreeInner += c.BTreeInner
+		total.BTreeLeaf += c.BTreeLeaf
+	}
+	return total, nil
+}
+
+// IndexPageCounts reports this shard's index footprint by structure.
+// Zero for legacy in-memory attachments (nothing durable to count).
+func (r *Shard) IndexPageCounts() (IndexPageCounts, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var c IndexPageCounts
+	if r.ridsD == nil {
+		return c, nil
+	}
+	for _, ix := range []*storage.DiskHashIndex{r.ridsD, r.fixedD} {
+		dir, buckets, err := ix.PageCounts()
+		if err != nil {
+			return IndexPageCounts{}, err
+		}
+		c.HashDir += dir
+		c.HashBuckets += buckets
+	}
+	if r.rangeD != nil {
+		inner, leaf, err := r.rangeD.PageCounts()
+		if err != nil {
+			return IndexPageCounts{}, err
+		}
+		c.BTreeInner += inner
+		c.BTreeLeaf += leaf
+	}
+	return c, nil
+}
+
 // HeapStats reports the heap occupancy of this relation, summed across
 // shards.
 func (r *RelStore) HeapStats() (storage.HeapStats, error) {
@@ -1098,6 +1330,13 @@ func (r *Shard) clearLocked(txn *Txn) error {
 			return err
 		}
 		released = append(released, rel2...)
+		if r.rangeD != nil {
+			rel3, err := r.rangeD.Clear(txn)
+			if err != nil {
+				return err
+			}
+			released = append(released, rel3...)
+		}
 		if len(released) > 0 {
 			if err := r.st.freePages(txn, released); err != nil {
 				return err

@@ -19,9 +19,10 @@ import (
 )
 
 // engineReopenBudget mirrors reopenBudget in package store: catalog
-// chain + free-list chain + two index directories per relation, with
-// slack for chained directory pages. Never a function of heap size.
-func engineReopenBudget(rels int) int { return 4 + 4*rels }
+// chain + free-list chain + two index directories and a B+tree meta
+// page per relation, with slack for chained directory pages. Never a
+// function of heap size.
+func engineReopenBudget(rels int) int { return 4 + 5*rels }
 
 func TestEngineOpenReadsBounded(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "engine-reopen.nfrs")

@@ -53,9 +53,9 @@ func buildReopenDB(t *testing.T) (string, *core.Relation, int) {
 
 // reopenBudget bounds the page reads a clean open may spend: the
 // catalog chain, the free-list chain, and each relation's two index
-// directories, with a little slack for chained directory pages. It
-// must NOT scale with heap size.
-func reopenBudget(rels int) int { return 4 + 4*rels }
+// directories plus its B+tree meta page, with a little slack for
+// chained directory pages. It must NOT scale with heap size.
+func reopenBudget(rels int) int { return 4 + 5*rels }
 
 // TestReopenReadsBounded is the regression test for the durable-index
 // payoff: reopening a clean N-tuple database reads O(catalog + index
@@ -123,7 +123,7 @@ func downgradeToV2(t *testing.T, path string) {
 		if err := st.catalog.Delete(txn, rs.catRID); err != nil {
 			t.Fatal(err)
 		}
-		rid, err := st.catalog.Insert(txn, encodeCatalogRecord(rs.def, []shardRoots{{rs.shards[0].heap.FirstPage(), 0, 0}}))
+		rid, err := st.catalog.Insert(txn, encodeCatalogRecord(rs.def, []shardRoots{{rs.shards[0].heap.FirstPage(), 0, 0, 0}}))
 		if err != nil {
 			t.Fatal(err)
 		}

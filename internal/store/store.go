@@ -57,7 +57,10 @@ var Magic = [4]byte{'N', 'F', 'R', 'S'}
 // and bucket pages, roots recorded in the catalog record). Version-2
 // files remain openable: the first writable open rebuilds the indexes
 // once by heap scan, persists them, and bumps the header — after which
-// every open attaches in O(index directory) page reads. Version-1
+// every open attaches in O(index directory) page reads. The B+tree
+// range index rides a trailing-optional extension of the version-3
+// catalog record (no version bump); v3 records without it get their
+// range indexes built by the same upgrade path. Version-1
 // files predate the checksum field and are not readable. The 8-byte
 // database id appended to the header record is a backward-compatible
 // version-2 extension (headers without it are accepted but cannot be
@@ -547,22 +550,34 @@ func (s *Store) loadCatalog() error {
 // attached from a rebuild-on-open record gets durable indexes built by
 // one heap scan, its catalog record is rewritten with the index roots,
 // the header version byte is bumped in place, and the whole upgrade
-// commits as one batch. Already-v3 files return immediately.
+// commits as one batch. Relations attached from v3 records that
+// predate the B+tree range index (hash roots present, range roots
+// absent) get their range indexes built the same way in the same
+// batch. Fully current files return immediately.
 func (s *Store) upgradeIndexes() error {
-	var legacy []*RelStore
+	var legacy, noRange []*RelStore
 	for _, rs := range s.rels {
-		if rs.shards[0].ridsD == nil {
+		switch {
+		case rs.shards[0].ridsD == nil:
 			legacy = append(legacy, rs)
+		case rs.shards[0].rangeD == nil:
+			noRange = append(noRange, rs)
 		}
 	}
-	if len(legacy) == 0 && s.hdrVer == FormatVersion {
+	if len(legacy) == 0 && len(noRange) == 0 && s.hdrVer == FormatVersion {
 		return nil
 	}
 	sort.Slice(legacy, func(i, j int) bool { return legacy[i].def.Name < legacy[j].def.Name })
+	sort.Slice(noRange, func(i, j int) bool { return noRange[i].def.Name < noRange[j].def.Name })
 	txn := s.Begin()
 	for _, rs := range legacy {
 		if err := s.buildIndexes(txn, rs); err != nil {
 			return fmt.Errorf("%w: upgrading indexes of %q: %v", ErrCorrupt, rs.def.Name, err)
+		}
+	}
+	for _, rs := range noRange {
+		if err := s.buildRangeIndexes(txn, rs); err != nil {
+			return fmt.Errorf("%w: upgrading range index of %q: %v", ErrCorrupt, rs.def.Name, err)
 		}
 	}
 	if err := s.bumpHeaderVersion(txn); err != nil {
@@ -571,14 +586,18 @@ func (s *Store) upgradeIndexes() error {
 	return s.Commit(txn)
 }
 
-// buildIndexes scan-builds both durable indexes for a legacy relation
-// under txn and rewrites its catalog record with the roots.
+// buildIndexes scan-builds all three durable indexes for a legacy
+// relation under txn and rewrites its catalog record with the roots.
 func (s *Store) buildIndexes(txn *Txn, rs *RelStore) error {
 	ridsD, err := storage.CreateDiskIndex(s.bp, txn)
 	if err != nil {
 		return err
 	}
 	fixedD, err := storage.CreateDiskIndex(s.bp, txn)
+	if err != nil {
+		return err
+	}
+	rangeD, err := storage.CreateBTree(s.bp, txn)
 	if err != nil {
 		return err
 	}
@@ -590,6 +609,9 @@ func (s *Store) buildIndexes(txn *Txn, rs *RelStore) error {
 		}
 		for _, a := range t.Set(fixedAttr).Atoms() {
 			if putErr = fixedD.Put(txn, encoding.AppendAtom(nil, a), rid); putErr != nil {
+				return false
+			}
+			if putErr = rangeD.Put(txn, encoding.AppendOrderedAtom(nil, a), rid); putErr != nil {
 				return false
 			}
 		}
@@ -606,7 +628,7 @@ func (s *Store) buildIndexes(txn *Txn, rs *RelStore) error {
 	// legacy v2 relations are necessarily single-shard
 	sh := rs.shards[0]
 	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(rs.def,
-		[]shardRoots{{sh.heap.FirstPage(), ridsD.Root(), fixedD.Root()}}))
+		[]shardRoots{{sh.heap.FirstPage(), ridsD.Root(), fixedD.Root(), rangeD.Root()}}))
 	if err != nil {
 		return err
 	}
@@ -614,8 +636,55 @@ func (s *Store) buildIndexes(txn *Txn, rs *RelStore) error {
 	sh.mu.Lock()
 	sh.ridsD, sh.fixedD = ridsD, fixedD
 	sh.rids, sh.fixed = ridsD, fixedD
+	sh.rangeD = rangeD
 	sh.count = ridsD.Len()
 	sh.mu.Unlock()
+	return nil
+}
+
+// buildRangeIndexes scan-builds the B+tree range index of every shard
+// of a relation whose hash indexes are already durable (a record from
+// before range indexes existed) and rewrites its catalog record with
+// the full root set.
+func (s *Store) buildRangeIndexes(txn *Txn, rs *RelStore) error {
+	roots := make([]shardRoots, 0, len(rs.shards))
+	trees := make([]*storage.BTree, 0, len(rs.shards))
+	fixedAttr := rs.fixedAttr()
+	for _, sh := range rs.shards {
+		rangeD, err := storage.CreateBTree(s.bp, txn)
+		if err != nil {
+			return err
+		}
+		var putErr error
+		if err := sh.scanRaw(context.Background(), func(rid storage.RID, t tuple.Tuple) bool {
+			for _, a := range t.Set(fixedAttr).Atoms() {
+				if putErr = rangeD.Put(txn, encoding.AppendOrderedAtom(nil, a), rid); putErr != nil {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if putErr != nil {
+			return putErr
+		}
+		roots = append(roots, shardRoots{sh.heap.FirstPage(), sh.ridsD.Root(), sh.fixedD.Root(), rangeD.Root()})
+		trees = append(trees, rangeD)
+	}
+	if err := s.catalog.Delete(txn, rs.catRID); err != nil {
+		return err
+	}
+	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(rs.def, roots))
+	if err != nil {
+		return err
+	}
+	rs.catRID = rid
+	for i, sh := range rs.shards {
+		sh.mu.Lock()
+		sh.rangeD = trees[i]
+		sh.mu.Unlock()
+	}
 	return nil
 }
 
@@ -690,8 +759,12 @@ func (s *Store) CreateRelation(txn *Txn, def RelationDef) (*RelStore, error) {
 		if err != nil {
 			return nil, err
 		}
-		roots = append(roots, shardRoots{heap.FirstPage(), ridsD.Root(), fixedD.Root()})
-		shards = append(shards, newShard(s, def, ord, heap, ridsD, fixedD))
+		rangeD, err := storage.CreateBTree(s.bp, txn)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, shardRoots{heap.FirstPage(), ridsD.Root(), fixedD.Root(), rangeD.Root()})
+		shards = append(shards, newShard(s, def, ord, heap, ridsD, fixedD, rangeD))
 	}
 	rid, err := s.catalog.Insert(txn, encodeCatalogRecord(def, roots))
 	if err != nil {

@@ -239,7 +239,7 @@ func TestCreateRelationValidation(t *testing.T) {
 
 func TestCatalogRecordRoundTrip(t *testing.T) {
 	def := testDef(t)
-	rec := encodeCatalogRecord(def, []shardRoots{{7, 9, 12}})
+	rec := encodeCatalogRecord(def, []shardRoots{{7, 9, 12, 0}})
 	ce, err := decodeCatalogRecord(rec)
 	if err != nil {
 		t.Fatal(err)
@@ -248,7 +248,7 @@ func TestCatalogRecordRoundTrip(t *testing.T) {
 		t.Fatalf("index roots lost: %d/%d", ce.ridsRoot, ce.fixedRoot)
 	}
 	// a v2 record (no roots) still decodes, with zero roots
-	v2, err := decodeCatalogRecord(encodeCatalogRecord(def, []shardRoots{{7, 0, 0}}))
+	v2, err := decodeCatalogRecord(encodeCatalogRecord(def, []shardRoots{{7, 0, 0, 0}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestCatalogRecordRoundTrip(t *testing.T) {
 	// every truncation of the record is rejected, never panics — except
 	// the one that strips exactly the optional index-root tail, which is
 	// a well-formed v2 record by construction
-	v2len := len(encodeCatalogRecord(def, []shardRoots{{7, 0, 0}}))
+	v2len := len(encodeCatalogRecord(def, []shardRoots{{7, 0, 0, 0}}))
 	for i := 0; i < len(rec); i++ {
 		if _, err := decodeCatalogRecord(rec[:i+1]); err == nil && i+1 != len(rec) && i+1 != v2len {
 			t.Fatalf("truncated catalog record of %d bytes accepted", i+1)

@@ -137,6 +137,10 @@ type ServerStats struct {
 	// concurrent autocommit statements and how contended the shard
 	// latches were (engine.Database.PipelineStats).
 	Pipelines map[string]RelPipeline `json:"pipelines,omitempty"`
+	// Indexes reports, per relation, the durable index footprint by
+	// structure (engine.Database.IndexPageStats). Empty for in-memory
+	// databases.
+	Indexes map[string]RelIndexPages `json:"indexes,omitempty"`
 }
 
 // RelPipeline is one relation's write-pipeline and shard-contention
@@ -150,6 +154,16 @@ type RelPipeline struct {
 	MaxBatch   int64 `json:"max_batch"`   // largest batch applied on any shard
 	QueuePeak  int64 `json:"queue_peak"`  // high-water pipeline queue depth on any shard
 	LatchWaits int64 `json:"latch_waits"` // contended shard-latch acquisitions
+}
+
+// RelIndexPages is one relation's index page counts inside ServerStats
+// — a wire-local mirror of store.IndexPageCounts so the protocol
+// package does not depend on the storage layer's internals.
+type RelIndexPages struct {
+	HashDir     int `json:"hash_dir"`     // hash directory pages (both hash indexes)
+	HashBuckets int `json:"hash_buckets"` // hash bucket pages (both hash indexes)
+	BTreeInner  int `json:"btree_inner"`  // B+tree meta + inner pages
+	BTreeLeaf   int `json:"btree_leaf"`   // B+tree leaf pages
 }
 
 // Append appends one encoded frame to dst and returns the extended

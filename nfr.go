@@ -11,7 +11,10 @@
 //     fixedness (Def. 7) and cardinality classes (Def. 6);
 //   - the engine: a catalog of relations kept permanently canonical by
 //     the Section-4 incremental insert/delete algorithms, with declared
-//     FDs/MVDs, an NF² query language, and binary persistence;
+//     FDs/MVDs, an NF² query language whose planner routes reads
+//     through the durable hash and B+tree indexes (docs/queries.md has
+//     the statement reference, the planner's soundness rules, and the
+//     EXPLAIN format), and binary persistence;
 //   - the substrate: dependency theory (closures, keys, Bernstein 3NF
 //     synthesis, 4NF), a nested relational algebra, and a paged storage
 //     engine realizing the paper's "realization view" — each relation's
