@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nfr-bench [-json] [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk|reopen|range|readers [readers [students]]|concurrent [clients [perClient]]]
+//	nfr-bench [-json] [all|f3|t1|t2|t3|t4|t5|a4|c1|c2|c3|disk|reopen|range|waldiet|readers [readers [students]]|concurrent [clients [perClient]]]
 //
 // With -json, each gated benchmark leg additionally writes its result
 // struct to BENCH_<leg>.json in the current directory (statements/s,
@@ -22,7 +22,10 @@
 // experiment scans one key window through the B+tree range index and
 // fails if the scan reads more than descent + matching-leaf pages —
 // or as many pages as the full heap scan it is supposed to replace.
-// The readers
+// The waldiet experiment measures WAL bytes logged per warmed-up
+// one-tuple insert statement and fails if a statement logs more than
+// one page-equivalent or the delta format saves less than 5x over
+// full images. The readers
 // experiment pits concurrent snapshot readers against a writer
 // transaction stalled mid-statement and fails if any reader blocks
 // behind the writer's latch or throughput collapses. The concurrent
@@ -192,6 +195,34 @@ func main() {
 					res.StalledReads, res.BaselineReads)
 			}
 			return nil
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "waldiet":
+		if err := inTempDir("nfr-bench-waldiet", func(dir string) error {
+			res, err := experiments.RunWALDiet(w, dir, 101, 400, 200, 64)
+			if err != nil {
+				return err
+			}
+			if !res.Equivalent {
+				return fmt.Errorf("waldiet realization diverged from in-memory engine")
+			}
+			if res.DeltaPages == 0 {
+				return fmt.Errorf("no delta records in the measured window (%d page records all full images)",
+					res.PagesLogged)
+			}
+			// a warmed-up one-tuple insert must not log more than about
+			// one page-equivalent — the pre-diet format logged a full
+			// image of every touched page, several pages per statement
+			if res.BytesPerStatement > experiments.FullImageRecBytes {
+				return fmt.Errorf("WAL diet regressed: %.0f bytes/statement (want ≤ %d, one page-equivalent)",
+					res.BytesPerStatement, experiments.FullImageRecBytes)
+			}
+			if res.Ratio < 5 {
+				return fmt.Errorf("delta records save only %.1fx over full images (want ≥ 5x)", res.Ratio)
+			}
+			return writeBenchJSON("waldiet", res)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)

@@ -36,9 +36,10 @@ import (
 // Entries are ordered by the composite (key, rid.Page, rid.Slot), so
 // duplicate keys need no overflow machinery: separators are full
 // composites and always split a duplicate run cleanly. Node mutation
-// rewrites the whole page with entries in sorted slot order — the WAL
-// logs full page images regardless, so a surgical in-place edit would
-// save nothing.
+// rewrites the whole page with entries in sorted slot order — the
+// WAL's delta records diff the result against the page's previous
+// committed image, so only the bytes that actually changed reach the
+// log and the rewrite costs little more than a surgical in-place edit.
 //
 // Shrinking mirrors the hash index's pragmatics: a leaf emptied by
 // deletes is unlinked from its parent and chain and handed to
@@ -210,9 +211,23 @@ func (ix *BTree) metaBytes() []byte {
 	return b
 }
 
+// deferMeta schedules one meta flush for the transaction: mutations
+// update only the in-memory mirror and the meta page is written once
+// at commit, so every Put/Delete stops re-logging the meta page for
+// its in-place count update. A nil txn (legacy no-WAL pool) has no
+// commit point to defer to and writes immediately.
+func (ix *BTree) deferMeta(txn *Txn) error {
+	if txn == nil {
+		return ix.writeMeta(nil)
+	}
+	txn.Defer(ix, ix.writeMeta)
+	return nil
+}
+
 // writeMeta overwrites the meta record in place (fixed size, the slot
 // never moves) so the persisted shape follows every mutation within
-// the same transaction.
+// the same transaction. It runs as deferred commit work (see
+// deferMeta), not per mutation.
 func (ix *BTree) writeMeta(txn *Txn) error {
 	fr, err := ix.bp.GetMut(txn, ix.metaPid)
 	if err != nil {
@@ -456,7 +471,7 @@ func (ix *BTree) Put(txn *Txn, key []byte, rid RID) error {
 		return err
 	}
 	ix.count++
-	return ix.writeMeta(txn)
+	return ix.deferMeta(txn)
 }
 
 // splitLeaf rewrites the overflowing leaf as two chained leaves and
@@ -568,7 +583,7 @@ func (ix *BTree) Delete(txn *Txn, key []byte, rid RID) (bool, error) {
 		return false, err
 	}
 	ix.count--
-	return true, ix.writeMeta(txn)
+	return true, ix.deferMeta(txn)
 }
 
 // unlinkLeaf splices the emptied leaf out of its parent (dropping the

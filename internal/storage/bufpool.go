@@ -94,14 +94,20 @@ type BufferPool struct {
 	allocate func(txn *Txn) (uint32, bool)
 
 	// MVCC state (see snapshot.go), all under bp.mu. lsn is the
-	// committed LSN clock, bumped once per published commit group; lsns
-	// maps each page to the LSN of its current committed image (absent
-	// = 0, "as old as the database"); bases holds the committed image
-	// of every frame currently claimed by an uncommitted transaction,
-	// captured at claim time; versions holds superseded committed
-	// images retained for pinned snapshots; pins is the multiset of
-	// pinned snapshot LSNs.
+	// committed LSN clock, bumped once per published commit group and
+	// seeded at open from the recovered durable LSN (SetLSN) so
+	// snapshot LSNs stay meaningful across restarts; nextLSN is the
+	// allocator behind it — it advances for every commit group, even
+	// one that failed before publish, so an LSN stamped into a page
+	// image (and possibly partially written through) is never reused
+	// for different content; lsns maps each page to the LSN of its
+	// current committed image (absent = 0, "as old as the database");
+	// bases holds the committed image of every frame currently claimed
+	// by an uncommitted transaction, captured at claim time; versions
+	// holds superseded committed images retained for pinned snapshots;
+	// pins is the multiset of pinned snapshot LSNs.
 	lsn      uint64
+	nextLSN  uint64
 	lsns     map[uint32]uint64
 	bases    map[uint32]*Page
 	versions map[uint32][]pageVersion
@@ -148,6 +154,22 @@ func (bp *BufferPool) SetAllocator(fn func(txn *Txn) (uint32, bool)) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	bp.allocate = fn
+}
+
+// SetLSN seeds the commit clock (and the LSN allocator behind it) with
+// the durable LSN recovered at open — the maximum of the WAL's
+// persisted clock and the page LSNs replayed or probed from the data
+// file. It only moves the clock forward and must be called before the
+// first commit.
+func (bp *BufferPool) SetLSN(lsn uint64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if lsn > bp.lsn {
+		bp.lsn = lsn
+	}
+	if lsn > bp.nextLSN {
+		bp.nextLSN = lsn
+	}
 }
 
 // Stats returns (hits, misses, evictions).
@@ -448,6 +470,17 @@ func (bp *BufferPool) evictLocked() error {
 // pinned at or after it. An empty transaction returns the current
 // clock (it is trivially "visible" everywhere).
 func (bp *BufferPool) CommitTxn(txn *Txn) (uint64, error) {
+	// Deferred work first (index meta flushes): it may dirty more
+	// pages, so it must run before the dirty set is collected. An error
+	// aborts the commit; the callbacks are kept registered so a retried
+	// commit re-runs them (they rewrite current in-memory state, so
+	// re-running is idempotent).
+	for i := 0; i < len(txn.deferred); i++ {
+		if err := txn.deferred[i].fn(txn); err != nil {
+			return 0, err
+		}
+	}
+	txn.clearDeferred()
 	bp.mu.Lock()
 	if bp.wal == nil {
 		bp.mu.Unlock()
@@ -500,17 +533,32 @@ func (bp *BufferPool) PendingCommits() int {
 // that is blocked in CommitTxn, and claims by other transactions wait
 // for the commit to finish.
 func (bp *BufferPool) commitGroup(group []*commitReq) {
+	// Allocate the group's commit LSN before anything is stamped or
+	// logged. nextLSN advances even if this group fails before publish:
+	// a failed group may have left pages stamped (and possibly
+	// partially written through) under this LSN, and reusing it for
+	// different content would defeat the LSN-gated redo rule.
+	bp.mu.Lock()
+	newLSN := bp.nextLSN + 1
+	bp.nextLSN = newLSN
+	bp.mu.Unlock()
 	bp.ckptMu.RLock()
 	batches := make([][]WALPage, len(group))
 	for i, req := range group {
 		batch := make([]WALPage, len(req.frames))
 		for j, fr := range req.frames {
+			// Stamp the commit LSN into the page image before the
+			// checksum, so both the WAL record and the data file carry
+			// it: recovery replays a logged image iff it is newer than
+			// the on-disk page, and the clock is re-seeded from the
+			// durable maximum at the next open.
+			fr.page.SetLSN(newLSN)
 			fr.page.StampChecksum()
 			batch[j] = WALPage{PID: fr.pid, Img: &fr.page}
 		}
 		batches[i] = batch
 	}
-	if err := bp.wal.AppendGroup(batches); err != nil {
+	if err := bp.wal.AppendGroup(batches, newLSN); err != nil {
 		bp.ckptMu.RUnlock()
 		for _, req := range group {
 			req.err = err
@@ -542,7 +590,6 @@ func (bp *BufferPool) commitGroup(group []*commitReq) {
 	// them (every pin is ≤ the pre-bump clock, so "pin ≥ old image's
 	// LSN" is exactly reachability).
 	bp.mu.Lock()
-	newLSN := bp.lsn + 1
 	published := false
 	for _, req := range group {
 		if req.err != nil {
@@ -595,6 +642,7 @@ func (bp *BufferPool) Rollback(txn *Txn) error {
 		fr.owner = nil
 	}
 	txn.dirty = make(map[uint32]*Frame)
+	txn.clearDeferred()
 	bp.ownerCond.Broadcast()
 	if len(pinned) > 0 {
 		return fmt.Errorf("storage: rollback of transaction with pinned pages %v", pinned)

@@ -11,10 +11,10 @@ import (
 // linear-hashing index whose directory and buckets are ordinary
 // checksummed slotted pages behind the buffer pool. Because every
 // mutation goes through GetMut/NewPage under a Txn, index pages ride
-// the same no-steal dirty sets, merged group commits, and full-page-
-// image redo as heap pages — the index needs zero new recovery
-// protocol, and a crash always lands on a state where index and heap
-// describe the same committed transaction boundary.
+// the same no-steal dirty sets, merged group commits, and LSN-gated
+// redo as heap pages — the index needs zero new recovery protocol, and
+// a crash always lands on a state where index and heap describe the
+// same committed transaction boundary.
 //
 // Layout (all pages are standard slotted pages, see page.go):
 //
@@ -335,7 +335,7 @@ func (ix *DiskHashIndex) Put(txn *Txn, key []byte, rid RID) error {
 			return err
 		}
 	}
-	return ix.writeMeta(txn)
+	return ix.deferMeta(txn)
 }
 
 // bucketInsert places rec in the bucket chain rooted at first, growing
@@ -561,9 +561,25 @@ func (ix *DiskHashIndex) dirAppend(txn *Txn, bucketPid uint32) error {
 	return ix.bp.Unpin(nf, true)
 }
 
+// deferMeta schedules one meta flush for the transaction. Mutations
+// only update the in-memory mirror; the meta record (split state +
+// entry count) is written once at commit, so a statement that touches
+// the index many times no longer logs the directory root once per
+// touch — the "index meta re-log" write-amplification fix. A nil txn
+// (legacy no-WAL pool) has no commit point to defer to and writes
+// immediately.
+func (ix *DiskHashIndex) deferMeta(txn *Txn) error {
+	if txn == nil {
+		return ix.writeMeta(nil)
+	}
+	txn.Defer(ix, ix.writeMeta)
+	return nil
+}
+
 // writeMeta overwrites the meta record in place (fixed size, the slot
 // never moves) so the persisted split state and entry count follow
-// every mutation within the same transaction.
+// every mutation within the same transaction. It runs as deferred
+// commit work (see deferMeta), not per mutation.
 func (ix *DiskHashIndex) writeMeta(txn *Txn) error {
 	fr, err := ix.bp.GetMut(txn, ix.root)
 	if err != nil {
@@ -678,7 +694,123 @@ func (ix *DiskHashIndex) Delete(txn *Txn, key []byte, rid RID) (bool, error) {
 			return false, err
 		}
 	}
-	return true, ix.writeMeta(txn)
+	if empty {
+		// the delete emptied a page, so the trailing bucket may now be
+		// fully empty — the only state a linear split can be undone from
+		if err := ix.shrink(txn); err != nil {
+			return true, err
+		}
+	}
+	return true, ix.deferMeta(txn)
+}
+
+// shrink reverses linear splits while the LAST bucket's whole chain is
+// empty: the trailing directory record is removed, the split pointer
+// steps back (one level up when it wraps), and every page of the empty
+// chain is queued for TakeReleased — so a heavily shrunk index gives
+// its directory and bucket pages back instead of keeping its high-water
+// footprint forever. Removing an empty trailing bucket is exactly an
+// undo of the split that created it: the bucket holds no entries to
+// move back, and any key that would have deep-hashed to it now
+// shallow-hashes to its buddy (the restored split target), which is
+// where pre-split lookups already probe.
+func (ix *DiskHashIndex) shrink(txn *Txn) error {
+	for len(ix.buckets) > ix.n0 {
+		last := ix.buckets[len(ix.buckets)-1]
+		empty, pids, err := ix.chainPagesIfEmpty(last)
+		if err != nil {
+			return err
+		}
+		if !empty {
+			return nil
+		}
+		if err := ix.dirRemoveLast(txn); err != nil {
+			return err
+		}
+		ix.buckets = ix.buckets[:len(ix.buckets)-1]
+		if ix.next == 0 {
+			ix.level--
+			ix.next = ix.n0 << ix.level
+		}
+		ix.next--
+		ix.released = append(ix.released, pids...)
+	}
+	return nil
+}
+
+// chainPagesIfEmpty walks the bucket chain rooted at first; when every
+// page is free of live entries it returns (true, all chain page ids).
+func (ix *DiskHashIndex) chainPagesIfEmpty(first uint32) (bool, []uint32, error) {
+	var pids []uint32
+	pid := first
+	limit := ix.chainLimit()
+	for steps := 0; pid != 0; {
+		if steps++; steps > limit {
+			return false, nil, fmt.Errorf("%w: bucket chain cycle at page %d", ErrCorruptIndex, pid)
+		}
+		fr, err := ix.bp.Get(pid)
+		if err != nil {
+			return false, nil, err
+		}
+		live := fr.Page().NumLive()
+		next := fr.Page().Next()
+		if err := ix.bp.Unpin(fr, false); err != nil {
+			return false, nil, err
+		}
+		if live > 0 {
+			return false, nil, nil
+		}
+		pids = append(pids, pid)
+		pid = next
+	}
+	return true, pids, nil
+}
+
+// dirRemoveLast tombstones the trailing bucket record in the directory
+// and trims a directory overflow page the removal leaves empty
+// (unlinked and queued for TakeReleased). Because shrink always removes
+// the HIGHEST live slot and Insert reuses the lowest tombstone first,
+// tombstones stay a suffix of each page's slot order and slot order
+// keeps matching bucket order — the invariant load() depends on.
+func (ix *DiskHashIndex) dirRemoveLast(txn *Txn) error {
+	last := ix.dir[len(ix.dir)-1]
+	fr, err := ix.bp.GetMut(txn, last)
+	if err != nil {
+		return err
+	}
+	p := fr.Page()
+	slot := -1
+	for i := 0; i < p.NumSlots(); i++ {
+		if _, gerr := p.Get(i); gerr == nil && !(last == ix.root && i == 0) {
+			slot = i // keep scanning: we want the highest live slot
+		}
+	}
+	if slot < 0 {
+		ix.bp.Unpin(fr, false)
+		return fmt.Errorf("%w: directory has no bucket record to remove", ErrCorruptIndex)
+	}
+	if derr := p.Delete(slot); derr != nil {
+		ix.bp.Unpin(fr, false)
+		return derr
+	}
+	emptied := last != ix.root && p.NumLive() == 0
+	if err := ix.bp.Unpin(fr, true); err != nil {
+		return err
+	}
+	if emptied {
+		prev := ix.dir[len(ix.dir)-2]
+		pf, err := ix.bp.GetMut(txn, prev)
+		if err != nil {
+			return err
+		}
+		pf.Page().SetNext(0)
+		if err := ix.bp.Unpin(pf, true); err != nil {
+			return err
+		}
+		ix.dir = ix.dir[:len(ix.dir)-1]
+		ix.released = append(ix.released, last)
+	}
+	return nil
 }
 
 // unlinkOverflow splices the empty overflow page victim out of the

@@ -222,3 +222,108 @@ func TestDiskIndexFatEntriesOverflow(t *testing.T) {
 		t.Fatal("page-sized entry accepted")
 	}
 }
+
+// TestDiskIndexShrinksOnDelete: deleting entries contracts the linear-
+// hash table — trailing empty buckets are removed (reverse splits, one
+// level up when the split pointer wraps), emptied directory overflow
+// pages are trimmed, and every shed page lands on TakeReleased. The
+// mid-shrink probe proves addressing stays correct while the table is
+// part-way contracted.
+func TestDiskIndexShrinksOnDelete(t *testing.T) {
+	bp, flush := newTestPool(t, 8)
+	ix, err := CreateDiskIndex(bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetMaxBucketEntries(2)
+	const n = 1200
+	key := func(i int) string { return fmt.Sprintf("shrink-%05d", i) }
+	rid := func(i int) RID { return RID{Page: uint32(i + 1), Slot: uint16(i % 5)} }
+	for i := 0; i < n; i++ {
+		mustPut(t, ix, key(i), rid(i))
+	}
+	grown := ix.Buckets()
+	if grown <= indexInitBuckets {
+		t.Fatalf("no splits after %d inserts", n)
+	}
+	if len(ix.dir) < 2 {
+		t.Fatalf("want a directory overflow page to exercise trimming, got %d dir pages (%d buckets)",
+			len(ix.dir), grown)
+	}
+	ix.TakeReleased() // discard overflow-unlink noise from the insert phase
+
+	// delete the first half; whatever contraction that allows must keep
+	// every remaining key addressable
+	for i := 0; i < n/2; i++ {
+		if ok, err := ix.Delete(nil, []byte(key(i)), rid(i)); err != nil || !ok {
+			t.Fatalf("Delete(%q) = %v, %v", key(i), ok, err)
+		}
+	}
+	for i := n / 2; i < n; i++ {
+		rids, err := ix.Get([]byte(key(i)))
+		if err != nil || len(rids) != 1 || rids[0] != rid(i) {
+			t.Fatalf("mid-shrink: Get(%q) = %v, %v", key(i), rids, err)
+		}
+	}
+
+	// delete the rest: the table must contract all the way back
+	for i := n / 2; i < n; i++ {
+		if ok, err := ix.Delete(nil, []byte(key(i)), rid(i)); err != nil || !ok {
+			t.Fatalf("Delete(%q) = %v, %v", key(i), ok, err)
+		}
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len after deleting everything = %d", ix.Len())
+	}
+	if ix.Buckets() != indexInitBuckets || ix.Level() != 0 {
+		t.Fatalf("empty index kept %d buckets at level %d, want %d at 0",
+			ix.Buckets(), ix.Level(), indexInitBuckets)
+	}
+	if len(ix.dir) != 1 {
+		t.Fatalf("empty index kept %d directory pages, want 1", len(ix.dir))
+	}
+	released := ix.TakeReleased()
+	if len(released) < grown-indexInitBuckets {
+		t.Fatalf("released %d pages, want at least the %d shed buckets",
+			len(released), grown-indexInitBuckets)
+	}
+	pages, err := ix.Pages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1+indexInitBuckets {
+		t.Fatalf("empty index owns %d pages, want %d", len(pages), 1+indexInitBuckets)
+	}
+	// no page is both owned and released
+	owned := map[uint32]bool{}
+	for _, pid := range pages {
+		owned[pid] = true
+	}
+	for _, pid := range released {
+		if owned[pid] {
+			t.Fatalf("page %d both owned and released", pid)
+		}
+	}
+
+	// the contracted index keeps working and persists its shape
+	for i := 0; i < 50; i++ {
+		mustPut(t, ix, key(i), rid(i))
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := OpenDiskIndex(bp, ix.Root())
+	if err != nil {
+		t.Fatalf("reattach after shrink: %v", err)
+	}
+	if ix2.Len() != 50 || ix2.Buckets() != ix.Buckets() || ix2.Level() != ix.Level() {
+		t.Fatalf("reattach changed shape: len %d buckets %d level %d",
+			ix2.Len(), ix2.Buckets(), ix2.Level())
+	}
+	for i := 0; i < 50; i++ {
+		rids, err := ix2.Get([]byte(key(i)))
+		if err != nil || len(rids) != 1 || rids[0] != rid(i) {
+			t.Fatalf("reopened: Get(%q) = %v, %v", key(i), rids, err)
+		}
+	}
+}

@@ -21,7 +21,8 @@ const PageSize = 4096
 //	[2:4)   freeStart uint16 — first free byte after record data
 //	[4:8)   next      uint32 — next page id in a heap chain (0 = none)
 //	[8:12)  checksum  uint32 — CRC32-C of the page with this field zeroed
-//	records grow up from byte 12; the slot directory grows down from
+//	[12:20) pageLSN   uint64 — commit LSN of the page's current image
+//	records grow up from byte 20; the slot directory grows down from
 //	PageSize, 4 bytes per slot: offset uint16, length uint16.
 //	A slot with offset 0 is a tombstone (records never start at 0).
 //
@@ -29,9 +30,19 @@ const PageSize = 4096
 // buffer pool before a page image enters the WAL) and verified by the
 // buffer pool on every read from disk, so a torn or bit-rotted page is
 // detected before any slot arithmetic touches it. See docs/recovery.md.
+//
+// The pageLSN is stamped at group-commit publish (before the checksum,
+// so the checksum covers it): it is the value of the pool's commit
+// clock under which this image became durable. Recovery uses it to
+// gate redo — a logged image is replayed only onto a page whose
+// on-disk LSN is older — which makes replay idempotent even for delta
+// records, and it survives clean closes so the MVCC commit clock is
+// seeded from durable state instead of resetting to zero (see
+// docs/recovery.md and docs/mvcc.md).
 const (
-	pageHeaderSize = 12
+	pageHeaderSize = 20
 	checksumOff    = 8
+	lsnOff         = 12
 	slotSize       = 4
 )
 
@@ -67,6 +78,14 @@ func (p *Page) Next() uint32 { return binary.LittleEndian.Uint32(p[4:8]) }
 
 // SetNext sets the chained next page id.
 func (p *Page) SetNext(pid uint32) { binary.LittleEndian.PutUint32(p[4:8], pid) }
+
+// LSN returns the page's durable commit LSN — the commit-clock value
+// under which the current image was published (0 = as initialized).
+func (p *Page) LSN() uint64 { return binary.LittleEndian.Uint64(p[lsnOff : lsnOff+8]) }
+
+// SetLSN stamps the page's commit LSN. Callers must restamp the
+// checksum afterwards; the checksum covers the LSN field.
+func (p *Page) SetLSN(lsn uint64) { binary.LittleEndian.PutUint64(p[lsnOff:lsnOff+8], lsn) }
 
 // crcTable is the Castagnoli polynomial used for page and WAL record
 // checksums.

@@ -243,7 +243,7 @@ func TestWALAppendGroupRecovery(t *testing.T) {
 		{{1, pageWithRecord(t, "a")}},
 		{{2, pageWithRecord(t, "b")}, {3, pageWithRecord(t, "c")}},
 		{{1, pageWithRecord(t, "a2")}},
-	}); err != nil {
+	}, 1); err != nil {
 		t.Fatal(err)
 	}
 	st := w.Stats()

@@ -13,18 +13,37 @@ import (
 
 // This file implements the write-ahead log behind the paged file's
 // crash recovery (docs/recovery.md). The WAL is a sidecar file holding
-// full-page redo images grouped into commit batches:
+// redo records grouped into commit batches:
 //
-//	header  "NFRW" version(1) reserved(3) dbid:uint64           16 bytes
-//	'P' pid:uint32 image:PageSize crc32c:uint32                 page image
-//	'C' seq:uint64 npages:uint32 crc32c:uint32                  commit
+//	header  "NFRW" version(1) reserved(3) dbid:u64 clock:u64 clockCRC:u32   28 bytes
+//	'P' pid:u32 image:PageSize crc32c:u32                     full page image
+//	'D' pid:u32 size:u32 payload[size] crc32c:u32             page delta
+//	'C' seq:u64 npages:u32 lsn:u64 crc32c:u32                 commit
 //
 // dbid is the owning database's random identity, matched against the
 // id stored in the data file's catalog header so a mispaired or
-// shuffled data/sidecar pair is refused instead of replayed (version 1
-// had an 8-byte header without it).
+// shuffled data/sidecar pair is refused instead of replayed. clock is
+// the highest commit LSN the log has carried, persisted at checkpoints
+// (CRC-guarded against torn header rewrites) so the MVCC commit clock
+// survives log truncation; commit records carry their group's LSN so a
+// crash between a commit and the next checkpoint recovers it too.
 //
-// Ordering rule (the write-ahead invariant): every dirty page's image
+// Record format (the "WAL diet"): the FIRST record for a page after a
+// checkpoint is always a full image — it is the torn-page repair
+// source, and redo can apply it with no prior state. Subsequent
+// touches of the same page in the same checkpoint interval log a
+// physiological DELTA: the byte ranges that changed against the
+// previous committed image (`nranges:u16 {off:u16 len:u16 bytes}`),
+// typically a few dozen bytes instead of a 4 KiB image. Recovery folds
+// deltas onto the retained base image and verifies the reconstructed
+// page's embedded checksum, so a delta that lost its base (impossible
+// in an intact log) or tore is detected exactly like a torn image.
+// Because every page image carries its commit LSN in the page header
+// (page.go), redo is idempotent by the LSN rule — replay a
+// reconstructed image iff it is newer than the on-disk page — rather
+// than by overwrite alone.
+//
+// Ordering rule (the write-ahead invariant): every dirty page's record
 // is appended and the batch's commit record fsync'd BEFORE any of
 // those pages may be written to the data file. One batch = one
 // transaction, but one WRITE and one fsync may cover several batches:
@@ -36,19 +55,26 @@ import (
 // truncated, breaks the sequence, or disagrees with its commit
 // record's page count; a tail cut inside a merged write simply
 // recovers the prefix of whole batches, so crashes still land on
-// transaction boundaries. Full page images make redo idempotent:
-// replaying an already-applied batch rewrites the same bytes, so no
-// per-page LSN is needed.
+// transaction boundaries.
 const (
 	walMagic      = "NFRW"
-	walVersion    = 2
-	walHeaderSize = 16
+	walVersion    = 3
+	walHeaderSize = 28 // v3: magic(4) version(1) reserved(3) dbid(8) clock(8) clockCRC(4)
+	walHeaderV2   = 16
+	walHeaderV1   = 8
 
 	walRecPage   = 'P'
+	walRecDelta  = 'D'
 	walRecCommit = 'C'
 
-	walPageRecSize   = 1 + 4 + PageSize + 4
-	walCommitRecSize = 1 + 8 + 4 + 4
+	walPageRecSize     = 1 + 4 + PageSize + 4
+	walCommitRecSize   = 1 + 8 + 4 + 8 + 4 // v3 commit: tag seq npages lsn crc
+	walCommitRecSizeV2 = 1 + 8 + 4 + 4     // v1/v2 commit: tag seq npages crc
+	walDeltaHdrSize    = 1 + 4 + 4         // tag pid size; payload and crc follow
+
+	// walDeltaMax caps a delta payload: past half a page the full image
+	// is barely bigger and needs no base to replay.
+	walDeltaMax = PageSize / 2
 )
 
 // ErrCorruptWAL wraps WAL open failures that are not a plain torn tail
@@ -59,10 +85,16 @@ var ErrCorruptWAL = errors.New("storage: corrupt WAL")
 // process's appends; Recovered* describe what open-time redo found.
 // Batches/Fsyncs is the group-commit merge factor (1.0 = no merging);
 // MaxGroupBatches is the largest number of transactions one fsync
-// covered.
+// covered. BytesLogged is the total record bytes appended (page
+// images, deltas, and commit records); PagesLogged * walPageRecSize is
+// the bytes a full-image-only log would have spent on the same pages,
+// so the two together measure the delta format's savings.
 type WALStats struct {
 	Batches          int // committed batches appended (one per transaction)
-	PagesLogged      int // page images appended
+	PagesLogged      int // page records appended (full images + deltas)
+	FullPages        int // full-image records among PagesLogged
+	DeltaPages       int // delta records among PagesLogged
+	BytesLogged      int // total record bytes appended
 	Fsyncs           int // commit fsyncs (one per append group)
 	MaxGroupBatches  int // most batches merged into a single fsync
 	CheckpointFsyncs int // fsyncs spent truncating the log at checkpoints
@@ -80,17 +112,20 @@ type WALPage struct {
 // the first append, so opening a database read-only leaves no sidecar
 // behind. All methods are safe for concurrent use.
 type WAL struct {
-	mu      sync.Mutex
-	path    string
-	open    OpenFileFunc
-	f       File // nil until the file exists
-	existed bool // the file was present on disk when the WAL was opened
-	size    int64
-	hdrSize int64 // 16 for v2 files; 8 when attached to a legacy v1 log
-	seq     uint64
-	dbid    uint64           // database identity (0 = unknown / unpaired)
-	images  map[uint32]*Page // latest committed image per page since the last reset
-	stats   WALStats
+	mu       sync.Mutex
+	path     string
+	open     OpenFileFunc
+	f        File // nil until the file exists
+	existed  bool // the file was present on disk when the WAL was opened
+	size     int64
+	hdrSize  int64 // 28 for v3 files; 16 / 8 when attached to a legacy v2 / v1 log
+	recVer   int   // record format: 3 = deltas + LSN commits, 2 = legacy full-image
+	seq      uint64
+	dbid     uint64           // database identity (0 = unknown / unpaired)
+	clock    uint64           // highest commit LSN carried by the log
+	hdrClock uint64           // clock value currently persisted in the header
+	images   map[uint32]*Page // latest committed image per page since the last reset
+	stats    WALStats
 }
 
 // OpenWAL attaches to the write-ahead log at path. An existing file is
@@ -101,7 +136,7 @@ func OpenWAL(path string, open OpenFileFunc) (*WAL, error) {
 	if open == nil {
 		open = OpenOSFile
 	}
-	w := &WAL{path: path, open: open, hdrSize: walHeaderSize, images: make(map[uint32]*Page)}
+	w := &WAL{path: path, open: open, hdrSize: walHeaderSize, recVer: 3, images: make(map[uint32]*Page)}
 	f, err := open(path, false)
 	if errors.Is(err, fs.ErrNotExist) {
 		return w, nil
@@ -129,7 +164,8 @@ func (w *WAL) Existed() bool {
 }
 
 // recover scans the file, collecting the latest committed image per
-// page, and truncates everything past the last committed batch.
+// page (folding delta records onto their bases), and truncates
+// everything past the last committed batch.
 func (w *WAL) recover() error {
 	size, err := w.f.Size()
 	if err != nil {
@@ -144,31 +180,46 @@ func (w *WAL) recover() error {
 	if n, err := w.f.ReadAt(buf, 0); err != nil && !(err == io.EOF && int64(n) == size) {
 		return err
 	}
-	// The first 8 header bytes are fixed; a v2 header carries the
-	// database id in bytes [8:16) (arbitrary, validated by the store
-	// against the data file's id). A legacy v1 log — 8-byte header, no
-	// id — is still readable so a database that crashed under the old
-	// format recovers after an upgrade; it just cannot be
-	// pairing-checked.
+	// The first 8 header bytes are fixed per version. A v3 header adds
+	// the persisted commit clock after the database id; legacy v2
+	// (16-byte header, no clock) and v1 (8-byte header, no id) logs are
+	// still readable so a database that crashed under an old format
+	// recovers after an upgrade — they just keep their old record
+	// format for any further appends.
 	v1prefix := []byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], 1, 0, 0, 0}
-	prefix := []byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], walVersion, 0, 0, 0}
+	v2prefix := []byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], 2, 0, 0, 0}
+	v3prefix := []byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], walVersion, 0, 0, 0}
 	switch {
-	case size >= 8 && bytes.Equal(buf[:8], v1prefix):
-		w.hdrSize = 8
-	case size >= walHeaderSize && bytes.Equal(buf[:len(prefix)], prefix):
+	case size >= walHeaderV1 && bytes.Equal(buf[:8], v1prefix):
+		w.hdrSize, w.recVer = walHeaderV1, 2
+	case size >= walHeaderV2 && bytes.Equal(buf[:8], v2prefix):
+		w.hdrSize, w.recVer = walHeaderV2, 2
 		w.dbid = binary.LittleEndian.Uint64(buf[8:16])
+	case size >= walHeaderSize && bytes.Equal(buf[:8], v3prefix):
+		w.hdrSize, w.recVer = walHeaderSize, 3
+		w.dbid = binary.LittleEndian.Uint64(buf[8:16])
+		// The clock region is rewritten in place at checkpoints; a torn
+		// rewrite can only garble these 12 bytes, which the CRC detects
+		// — then the commit records (and the store's page-LSN probe)
+		// still recover the clock.
+		if crc32.Checksum(buf[16:24], crcTable) == binary.LittleEndian.Uint32(buf[24:28]) {
+			w.clock = binary.LittleEndian.Uint64(buf[16:24])
+			w.hdrClock = w.clock
+		}
 	default:
 		// A header that is a zero-padded prefix of the valid one (or a
-		// full prefix with a cut-short id region) is a torn creation:
-		// the log's first fsync never completed, so no batch was ever
-		// promised durable — treat the log as empty. Any other header
-		// (alien magic, a future version) is corruption we must not
-		// guess at.
+		// full prefix with a cut-short id/clock region) is a torn
+		// creation: the log's first fsync never completed, so no batch
+		// was ever promised durable — treat the log as empty. Any other
+		// header (alien magic, a future version) is corruption we must
+		// not guess at.
 		hdr := buf
 		if size >= walHeaderSize {
 			hdr = buf[:walHeaderSize]
 		}
-		if !tornHeader(hdr, prefix) && !tornHeader(hdr, v1prefix) {
+		if !tornHeader(hdr, v3prefix, walHeaderSize) &&
+			!tornHeader(hdr, v2prefix, walHeaderV2) &&
+			!tornHeader(hdr, v1prefix, walHeaderV1) {
 			return fmt.Errorf("%w: bad header", ErrCorruptWAL)
 		}
 		if err := w.f.Truncate(0); err != nil {
@@ -176,6 +227,10 @@ func (w *WAL) recover() error {
 		}
 		w.size = 0
 		return nil
+	}
+	commitSize := int64(walCommitRecSize)
+	if w.recVer == 2 {
+		commitSize = walCommitRecSizeV2
 	}
 	end := w.hdrSize
 	off := w.hdrSize
@@ -198,13 +253,50 @@ scan:
 			copy(img[:], rec[5:5+PageSize])
 			pending[pid] = &img
 			off += walPageRecSize
-		case walRecCommit:
-			if off+walCommitRecSize > size {
+		case walRecDelta:
+			if w.recVer != 3 || off+walDeltaHdrSize > size {
 				break scan
 			}
-			rec := buf[off : off+walCommitRecSize]
-			if crc32.Checksum(rec[:walCommitRecSize-4], crcTable) !=
-				binary.LittleEndian.Uint32(rec[walCommitRecSize-4:]) {
+			pid := binary.LittleEndian.Uint32(buf[off+1 : off+5])
+			sz := int64(binary.LittleEndian.Uint32(buf[off+5 : off+9]))
+			if sz > PageSize {
+				break scan // garbage length, not a plausible delta
+			}
+			recEnd := off + walDeltaHdrSize + sz + 4
+			if recEnd > size {
+				break scan
+			}
+			rec := buf[off:recEnd]
+			if crc32.Checksum(rec[:len(rec)-4], crcTable) !=
+				binary.LittleEndian.Uint32(rec[len(rec)-4:]) {
+				break scan
+			}
+			// Fold the delta onto the newest image of the page: the one
+			// already pending in this batch, else the last committed one.
+			// A delta with no base, a malformed range list, or a
+			// reconstruction whose embedded page checksum fails is
+			// treated exactly like a torn record.
+			img := new(Page)
+			switch {
+			case pending[pid] != nil:
+				*img = *pending[pid]
+			case w.images[pid] != nil:
+				*img = *w.images[pid]
+			default:
+				break scan
+			}
+			if applyDelta(img, rec[walDeltaHdrSize:len(rec)-4]) != nil || img.VerifyChecksum() != nil {
+				break scan
+			}
+			pending[pid] = img
+			off = recEnd
+		case walRecCommit:
+			if off+commitSize > size {
+				break scan
+			}
+			rec := buf[off : off+commitSize]
+			if crc32.Checksum(rec[:commitSize-4], crcTable) !=
+				binary.LittleEndian.Uint32(rec[commitSize-4:]) {
 				break scan
 			}
 			seq := binary.LittleEndian.Uint64(rec[1:9])
@@ -217,6 +309,11 @@ scan:
 				// tore, or an out-of-order remnant: not a committed batch
 				break scan
 			}
+			if w.recVer == 3 {
+				if lsn := binary.LittleEndian.Uint64(rec[13:21]); lsn > w.clock {
+					w.clock = lsn
+				}
+			}
 			sawCommit = true
 			for pid, img := range pending {
 				w.images[pid] = img
@@ -225,7 +322,7 @@ scan:
 			w.stats.RecoveredPages += len(pending)
 			pending = make(map[uint32]*Page)
 			w.seq = seq
-			off += walCommitRecSize
+			off += commitSize
 			end = off
 		default:
 			break scan
@@ -243,11 +340,12 @@ scan:
 	return nil
 }
 
-// tornHeader reports whether hdr (any length up to walHeaderSize) is a
-// shape only a crash during the header's first, never-fsync'd write can
-// leave: a zero-padded proper prefix of the fixed 8 header bytes, or
-// the full fixed prefix with the 8-byte id region cut short.
-func tornHeader(hdr, prefix []byte) bool {
+// tornHeader reports whether hdr is a shape only a crash during the
+// header's first, never-fsync'd write can leave: a zero-padded proper
+// prefix of the fixed 8 header bytes, or the full fixed prefix with
+// the trailing region (id, clock) cut short of the version's full
+// header length.
+func tornHeader(hdr, prefix []byte, full int) bool {
 	n := len(hdr)
 	if n > len(prefix) {
 		n = len(prefix)
@@ -257,9 +355,10 @@ func tornHeader(hdr, prefix []byte) bool {
 		i++
 	}
 	if i == len(prefix) {
-		// full fixed prefix: torn only if the id region is incomplete
-		// (a complete 16-byte header is handled as valid by the caller)
-		return len(hdr) < walHeaderSize
+		// full fixed prefix: torn only if the trailing region is
+		// incomplete (a complete header is handled as valid by the
+		// caller)
+		return len(hdr) < full
 	}
 	for _, b := range hdr[i:] {
 		if b != 0 {
@@ -269,22 +368,96 @@ func tornHeader(hdr, prefix []byte) bool {
 	return true
 }
 
-// AppendBatch appends one commit batch — every page's image followed by
-// a commit record — and fsyncs once. After AppendBatch returns, the
-// batch is durable and its pages may be written to the data file.
+// diffPage returns a physiological delta payload transforming prev
+// into cur — `nranges:u16 {off:u16 len:u16 bytes}` with nearby ranges
+// merged — or ok=false when the delta would not be materially smaller
+// than a full image (then the caller logs the image).
+func diffPage(prev, cur *Page) ([]byte, bool) {
+	const gap = 16 // merge ranges separated by fewer unchanged bytes
+	type span struct{ off, end int }
+	var spans []span
+	for i := 0; i < PageSize; {
+		if prev[i] == cur[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < PageSize && prev[j] != cur[j] {
+			j++
+		}
+		if n := len(spans); n > 0 && i-spans[n-1].end < gap {
+			spans[n-1].end = j
+		} else {
+			spans = append(spans, span{i, j})
+		}
+		i = j
+	}
+	size := 2
+	for _, s := range spans {
+		size += 4 + s.end - s.off
+	}
+	if size > walDeltaMax {
+		return nil, false
+	}
+	payload := make([]byte, 0, size)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(spans)))
+	for _, s := range spans {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(s.off))
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(s.end-s.off))
+		payload = append(payload, cur[s.off:s.end]...)
+	}
+	return payload, true
+}
+
+// applyDelta folds a delta payload onto img in place, bounds-checking
+// every range against the page and the payload.
+func applyDelta(img *Page, payload []byte) error {
+	if len(payload) < 2 {
+		return fmt.Errorf("%w: delta payload truncated", ErrCorruptWAL)
+	}
+	n := int(binary.LittleEndian.Uint16(payload[0:2]))
+	off := 2
+	for k := 0; k < n; k++ {
+		if off+4 > len(payload) {
+			return fmt.Errorf("%w: delta range header truncated", ErrCorruptWAL)
+		}
+		o := int(binary.LittleEndian.Uint16(payload[off : off+2]))
+		l := int(binary.LittleEndian.Uint16(payload[off+2 : off+4]))
+		off += 4
+		if o+l > PageSize || off+l > len(payload) {
+			return fmt.Errorf("%w: delta range out of bounds", ErrCorruptWAL)
+		}
+		copy(img[o:o+l], payload[off:off+l])
+		off += l
+	}
+	if off != len(payload) {
+		return fmt.Errorf("%w: delta payload has trailing bytes", ErrCorruptWAL)
+	}
+	return nil
+}
+
+// AppendBatch appends one commit batch — every page's record followed
+// by a commit record — and fsyncs once, assigning the next clock value
+// as the batch's commit LSN. After AppendBatch returns, the batch is
+// durable and its pages may be written to the data file.
 func (w *WAL) AppendBatch(pages []WALPage) error {
-	return w.AppendGroup([][]WALPage{pages})
+	return w.AppendGroup([][]WALPage{pages}, w.Clock()+1)
 }
 
 // AppendGroup appends several transactions' commit batches — each its
-// own run of page images followed by a commit record with the next
-// sequence number — as ONE file write and ONE fsync. This is the merged
-// group commit: the batches become durable together, and because every
-// batch keeps its own commit record, recovery of a tail torn inside the
-// group still lands on a whole-batch (transaction) boundary. After
-// AppendGroup returns every batch is durable and its pages may be
-// written to the data file.
-func (w *WAL) AppendGroup(batches [][]WALPage) error {
+// own run of page records followed by a commit record with the next
+// sequence number — as ONE file write and ONE fsync. This is the
+// merged group commit: the batches become durable together, and
+// because every batch keeps its own commit record, recovery of a tail
+// torn inside the group still lands on a whole-batch (transaction)
+// boundary. lsn is the group's commit LSN (all batches of one group
+// publish under one clock tick); it is recorded in each commit record
+// so recovery re-seeds the clock. The first record for a page since
+// the last checkpoint is a full image; later touches log deltas
+// against the retained committed image. After AppendGroup returns
+// every batch is durable and its pages may be written to the data
+// file.
+func (w *WAL) AppendGroup(batches [][]WALPage, lsn uint64) error {
 	n := 0
 	for _, pages := range batches {
 		n += len(pages)
@@ -302,29 +475,42 @@ func (w *WAL) AppendGroup(batches [][]WALPage) error {
 		w.f = f
 	}
 	if w.size == 0 {
-		hdr := make([]byte, walHeaderSize)
-		copy(hdr, walMagic)
-		hdr[4] = walVersion
-		binary.LittleEndian.PutUint64(hdr[8:16], w.dbid)
+		hdr := w.header()
 		if _, err := w.f.WriteAt(hdr, 0); err != nil {
 			return err
 		}
-		w.size = walHeaderSize
+		w.size = int64(len(hdr))
 	}
 	buf := make([]byte, 0, n*walPageRecSize+len(batches)*walCommitRecSize)
 	seq := w.seq
-	nBatches := 0
+	nBatches, nFull, nDelta := 0, 0, 0
 	for _, pages := range batches {
 		if len(pages) == 0 {
 			continue
 		}
 		for _, p := range pages {
+			if w.recVer == 3 {
+				if prev, ok := w.images[p.PID]; ok {
+					if payload, ok := diffPage(prev, p.Img); ok {
+						rec := make([]byte, 0, walDeltaHdrSize+len(payload)+4)
+						rec = append(rec, walRecDelta)
+						rec = binary.LittleEndian.AppendUint32(rec, p.PID)
+						rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+						rec = append(rec, payload...)
+						rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(rec, crcTable))
+						buf = append(buf, rec...)
+						nDelta++
+						continue
+					}
+				}
+			}
 			rec := make([]byte, 0, walPageRecSize)
 			rec = append(rec, walRecPage)
 			rec = binary.LittleEndian.AppendUint32(rec, p.PID)
 			rec = append(rec, p.Img[:]...)
 			rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(rec, crcTable))
 			buf = append(buf, rec...)
+			nFull++
 		}
 		seq++
 		nBatches++
@@ -332,6 +518,9 @@ func (w *WAL) AppendGroup(batches [][]WALPage) error {
 		commit = append(commit, walRecCommit)
 		commit = binary.LittleEndian.AppendUint64(commit, seq)
 		commit = binary.LittleEndian.AppendUint32(commit, uint32(len(pages)))
+		if w.recVer == 3 {
+			commit = binary.LittleEndian.AppendUint64(commit, lsn)
+		}
 		commit = binary.LittleEndian.AppendUint32(commit, crc32.Checksum(commit, crcTable))
 		buf = append(buf, commit...)
 	}
@@ -344,11 +533,17 @@ func (w *WAL) AppendGroup(batches [][]WALPage) error {
 	w.stats.Fsyncs++
 	w.size += int64(len(buf))
 	w.seq = seq
+	if lsn > w.clock {
+		w.clock = lsn
+	}
 	w.stats.Batches += nBatches
 	if nBatches > w.stats.MaxGroupBatches {
 		w.stats.MaxGroupBatches = nBatches
 	}
 	w.stats.PagesLogged += n
+	w.stats.FullPages += nFull
+	w.stats.DeltaPages += nDelta
+	w.stats.BytesLogged += len(buf)
 	for _, pages := range batches {
 		for _, p := range pages {
 			img := *p.Img
@@ -356,6 +551,30 @@ func (w *WAL) AppendGroup(batches [][]WALPage) error {
 		}
 	}
 	return nil
+}
+
+// header builds the on-disk header for the log's format version with
+// the current dbid and clock.
+func (w *WAL) header() []byte {
+	switch {
+	case w.recVer == 2 && w.hdrSize == walHeaderV1:
+		return []byte{walMagic[0], walMagic[1], walMagic[2], walMagic[3], 1, 0, 0, 0}
+	case w.recVer == 2:
+		hdr := make([]byte, walHeaderV2)
+		copy(hdr, walMagic)
+		hdr[4] = 2
+		binary.LittleEndian.PutUint64(hdr[8:16], w.dbid)
+		return hdr
+	default:
+		hdr := make([]byte, walHeaderSize)
+		copy(hdr, walMagic)
+		hdr[4] = walVersion
+		binary.LittleEndian.PutUint64(hdr[8:16], w.dbid)
+		binary.LittleEndian.PutUint64(hdr[16:24], w.clock)
+		binary.LittleEndian.PutUint32(hdr[24:28], crc32.Checksum(hdr[16:24], crcTable))
+		w.hdrClock = w.clock
+		return hdr
+	}
 }
 
 // SetDBID records the owning database's identity; it is stamped into
@@ -376,6 +595,29 @@ func (w *WAL) DBID() uint64 {
 	return w.dbid
 }
 
+// Clock returns the highest commit LSN the log has carried — from the
+// persisted header value, recovered commit records, and this process's
+// appends, whichever is largest. The store seeds the pool's commit
+// clock from it (together with the durable page LSNs) so snapshot LSNs
+// stay meaningful across restarts.
+func (w *WAL) Clock() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.clock
+}
+
+// SetClock raises the log's clock to at least c. The store calls it
+// with the recovered durable LSN before the first append so a lazily
+// created log (and the next checkpoint's header rewrite) starts from
+// the right value.
+func (w *WAL) SetClock(c uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c > w.clock {
+		w.clock = c
+	}
+}
+
 // CommittedImages returns the latest committed image of every page
 // logged since the last reset, for open-time redo. The returned map is
 // the WAL's own; treat it as read-only and apply before Reset.
@@ -387,7 +629,8 @@ func (w *WAL) CommittedImages() map[uint32]*Page {
 
 // Image returns a copy of the latest committed image of pid, if the
 // page was logged since the last reset. The buffer pool uses it to
-// repair a page whose data-file copy fails its checksum.
+// repair a page whose data-file copy fails its checksum. Delta records
+// were already folded onto their base, so the image is always whole.
 func (w *WAL) Image(pid uint32) (Page, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -415,7 +658,11 @@ func (w *WAL) Stats() WALStats {
 
 // Reset truncates the log back to its header after a checkpoint (the
 // data file is synced, so the logged batches are no longer needed) and
-// drops the retained images.
+// drops the retained images — the next touch of any page logs a full
+// image again. On a v3 log the header is first rewritten with the
+// current clock and fsync'd BEFORE the truncate, so the clock can
+// never go backwards: a crash between the two leaves the new clock
+// with the old (idempotently replayable) records still behind it.
 func (w *WAL) Reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -423,16 +670,26 @@ func (w *WAL) Reset() error {
 	if w.f == nil {
 		return nil
 	}
-	if w.size > w.hdrSize {
-		if err := w.f.Truncate(w.hdrSize); err != nil {
+	if w.size <= w.hdrSize {
+		return nil
+	}
+	if w.recVer == 3 && w.clock != w.hdrClock {
+		if _, err := w.f.WriteAt(w.header(), 0); err != nil {
 			return err
 		}
-		w.size = w.hdrSize
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
 		w.stats.CheckpointFsyncs++
 	}
+	if err := w.f.Truncate(w.hdrSize); err != nil {
+		return err
+	}
+	w.size = w.hdrSize
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.stats.CheckpointFsyncs++
 	return nil
 }
 

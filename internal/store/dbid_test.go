@@ -157,7 +157,7 @@ func TestTornHeaderMispairedWALRefused(t *testing.T) {
 	crashedPair(t, b)
 
 	// tear page 1 of a beyond the header record's id bytes (page 1 is at
-	// file offset 0; magic [12:16), version [16], id [17:25))
+	// file offset 0; magic [20:24), version [24], id [25:33))
 	flipByte(t, a, 100)
 	// pair it with b's sidecar
 	wal, err := os.ReadFile(b + ".wal")
@@ -208,7 +208,7 @@ func TestDestroyedHeaderBestEffort(t *testing.T) {
 	crashedPair(t, a)
 	crashedPair(t, b)
 
-	flipByte(t, a, 12) // first magic byte: raw probe now returns 0
+	flipByte(t, a, 20) // first magic byte: raw probe now returns 0
 	wal, err := os.ReadFile(b + ".wal")
 	if err != nil {
 		t.Fatal(err)

@@ -274,14 +274,20 @@ func Open(path string, opts Options) (*Store, error) {
 	}
 
 	// Redo: apply the latest committed image of every logged page, then
-	// checkpoint the log. Idempotent — a crash mid-replay just replays
-	// again on the next open.
+	// checkpoint the log. Replay is gated by the page LSN — an image is
+	// written only when the data file's copy is torn or older — so redo
+	// is idempotent by construction: a crash mid-replay (or a double
+	// replay) just skips what already landed on the next open.
 	if images := wal.CommittedImages(); len(images) > 0 {
 		for pid, img := range images {
 			if err := pg.EnsureAllocated(pid); err != nil {
 				pg.Close()
 				closeWAL()
 				return nil, err
+			}
+			var cur storage.Page
+			if pg.Read(pid, &cur) == nil && cur.VerifyChecksum() == nil && cur.LSN() >= img.LSN() {
+				continue
 			}
 			if err := pg.Write(pid, img); err != nil {
 				pg.Close()
@@ -301,6 +307,24 @@ func Open(path string, opts Options) (*Store, error) {
 		}
 	}
 
+	// Seed the MVCC commit clock from durable state instead of starting
+	// at zero: the log's clock (persisted in its header at checkpoints,
+	// carried by commit records between them) and the catalog root's
+	// page LSN (a clean close seals the final clock there before the
+	// sidecar is removed), whichever is higher. Snapshot LSNs therefore
+	// stay meaningful across restarts, and a commit after reopen can
+	// never reuse an LSN already stamped on a durable page.
+	clockSeed := wal.Clock()
+	if pg.NumPages() >= catalogRoot {
+		var p1 storage.Page
+		if pg.Read(catalogRoot, &p1) == nil && p1.VerifyChecksum() == nil {
+			if l := p1.LSN(); l > clockSeed {
+				clockSeed = l
+			}
+		}
+	}
+	wal.SetClock(clockSeed)
+
 	bp, err := storage.NewBufferPool(pg, opts.PoolPages)
 	if err != nil {
 		pg.Close()
@@ -308,6 +332,7 @@ func Open(path string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	bp.AttachWAL(wal)
+	bp.SetLSN(clockSeed)
 	s := &Store{
 		pager: pg, bp: bp, wal: wal, walPath: walPath,
 		remove: remove, ckptAt: ckptAt,
@@ -407,16 +432,16 @@ func probeDBIDRaw(pg *storage.Pager) uint64 {
 	if pg.Read(catalogRoot, &p) != nil {
 		return 0
 	}
-	// Records grow up from byte 12 (the page header), and the catalog
-	// header is always the page's first record, so:
-	// [12:16) magic, [16] version, [17:25) database id.
-	if string(p[12:16]) != string(Magic[:]) {
+	// Records grow up from byte 20 (the page header, including the page
+	// LSN), and the catalog header is always the page's first record,
+	// so: [20:24) magic, [24] version, [25:33) database id.
+	if string(p[20:24]) != string(Magic[:]) {
 		return 0
 	}
-	if v := p[16]; v != FormatVersion && v != formatV2 {
+	if v := p[24]; v != FormatVersion && v != formatV2 {
 		return 0
 	}
-	return binary.LittleEndian.Uint64(p[17:25])
+	return binary.LittleEndian.Uint64(p[25:33])
 }
 
 // headerRecordLen is the catalog header record's size with the database
@@ -938,11 +963,50 @@ func (s *Store) Flush() error {
 	return s.bp.Checkpoint()
 }
 
+// sealClock persists the commit clock across a clean close: the
+// sidecar (whose header carries the clock) is about to be removed, so
+// if the clock has advanced past what the catalog root's page LSN
+// records, one WAL-protected micro-commit touching the catalog root
+// stamps the final clock into its page header. A session that wrote
+// nothing skips this entirely — closing a read-only open leaves the
+// file byte-identical.
+func (s *Store) sealClock() error {
+	cur := s.bp.LSN()
+	if cur == 0 || s.pager.NumPages() < catalogRoot {
+		return nil
+	}
+	fr, err := s.bp.Get(catalogRoot)
+	if err != nil {
+		return err
+	}
+	sealed := fr.Page().LSN()
+	if err := s.bp.Unpin(fr, false); err != nil {
+		return err
+	}
+	if sealed >= cur {
+		return nil
+	}
+	txn := s.Begin()
+	mf, err := s.bp.GetMut(txn, catalogRoot)
+	if err != nil {
+		return err
+	}
+	if err := s.bp.Unpin(mf, true); err != nil {
+		return err
+	}
+	return s.Commit(txn)
+}
+
 // Close checkpoints and closes the underlying files. After a clean
 // close the WAL sidecar is removed — its absence marks a clean
 // shutdown, and Save snapshots leave no sidecar behind. Transactions
 // still open at Close are discarded, not committed.
 func (s *Store) Close() error {
+	if err := s.sealClock(); err != nil {
+		s.wal.Close()
+		s.pager.Close()
+		return err
+	}
 	if err := s.Flush(); err != nil {
 		s.wal.Close()
 		s.pager.Close()

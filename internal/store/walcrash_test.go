@@ -1246,3 +1246,275 @@ func TestCrashRecoveryIndexSplit(t *testing.T) {
 		return nil
 	})
 }
+
+// TestCrashRecoveryDeltaAcrossCheckpoint sweeps the delta-record era:
+// the journal holds four statements whose WAL records mix first-touch
+// full images and delta records, with an explicit checkpoint in the
+// middle (so the sweep crosses a log truncation and the first-touch
+// rule restarts). Every byte offset in both replay modes must recover
+// a statement-boundary state — a torn delta tail must roll back to the
+// previous boundary, and a torn data page must be repairable from the
+// era's first-touch full image even when the only log records since
+// are deltas.
+func TestCrashRecoveryDeltaAcrossCheckpoint(t *testing.T) {
+	fs := newMemFS()
+	opts := Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove, CheckpointBytes: -1}
+	def := testDef(t)
+
+	// base: a multi-page database, cleanly closed
+	st, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := st.Begin()
+	rs, err := st.CreateRelation(setup, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := workload.GenEnrollment(9, workload.EnrollmentParams{
+		Students: 12, CoursePool: 8, ClubPool: 4, SemesterPool: 3,
+		CoursesPerStudent: 3, ClubsPerStudent: 2,
+	})
+	canon, _ := e.R1.Canonical(def.Order)
+	for i := 0; i < canon.Len(); i++ {
+		if err := rs.Insert(setup, canon.Tuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pad := make([]byte, 700)
+	for i := range pad {
+		pad[i] = 'q'
+	}
+	for i := 0; i < 7; i++ {
+		tp := tupleOf([][]string{
+			{fmt.Sprintf("%s-%d", pad, i)}, {"padclub"}, {fmt.Sprintf("pads%d", i)},
+		}, def.Order)
+		if err := rs.Insert(setup, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base := fs.snapshot()
+
+	st2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, _ := st2.Rel(def.Name)
+	snap := func() *core.Relation {
+		t.Helper()
+		rel, err := rs2.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	states := []*core.Relation{snap()}
+	stmt := func(add, del [][]string) {
+		t.Helper()
+		txn := st2.Begin()
+		if add != nil {
+			if err := rs2.Insert(txn, tupleOf(add, def.Order)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if del != nil {
+			if err := rs2.Remove(txn, tupleOf(del, def.Order)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st2.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, snap())
+	}
+
+	fs.startRecording()
+	// era 1: statement A first-touches its pages after recovery's Reset
+	// (full images), statement B dirties the same tail pages again
+	// (deltas)
+	stmt([][]string{{"da1"}, {"db1"}, {"ds1"}}, nil)
+	stmt([][]string{{"da2"}, {"db2"}, {"ds2"}}, nil)
+	preCkpt := st2.WALStats()
+	if preCkpt.DeltaPages == 0 {
+		t.Fatalf("statement B logged no delta records (full=%d delta=%d); sweep is vacuous",
+			preCkpt.FullPages, preCkpt.DeltaPages)
+	}
+	// checkpoint: log truncates, the first-touch rule starts over
+	if err := st2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// era 2: statement C first-touches again (full images), statement D
+	// deltas the same pages
+	stmt([][]string{{"da3"}, {"db3"}, {"ds3"}}, nil)
+	stmt(nil, [][]string{{"da3"}, {"db3"}, {"ds3"}})
+	post := st2.WALStats()
+	if post.FullPages <= preCkpt.FullPages {
+		t.Fatal("no first-touch full images after the checkpoint")
+	}
+	if post.DeltaPages <= preCkpt.DeltaPages {
+		t.Fatal("no delta records after the checkpoint")
+	}
+	journal := fs.stopRecording()
+	st2.Discard() // crash
+
+	for i := 1; i < len(states); i++ {
+		if states[i].Equal(states[i-1]) {
+			t.Fatalf("statement %d changed nothing", i)
+		}
+	}
+	total := int64(0)
+	for _, op := range journal {
+		total += op.cost()
+	}
+	if total < 2*storage.PageSize {
+		t.Fatalf("journal too small (%d bytes) to exercise torn pages", total)
+	}
+	t.Logf("delta-era journal: %d ops, %d bytes (full=%d delta=%d pages logged)",
+		len(journal), total, post.FullPages, post.DeltaPages)
+	forEachOffset(t, total, func(k int64, reordered bool) error {
+		label := fmt.Sprintf("delta k=%d reordered=%v", k, reordered)
+		state, err := loadStateErr(crashState(base, journal, k, reordered), label, "R1")
+		if err != nil {
+			return err
+		}
+		got := state["R1"]
+		for _, s := range states {
+			if got.Equal(s) {
+				return nil
+			}
+		}
+		return fmt.Errorf("%s: recovered state is not a statement boundary", label)
+	})
+}
+
+// TestCrashRecoveryDoubleReplay proves redo is idempotent end to end:
+// recovery itself is crashed at every sampled offset of ITS journal —
+// including mid-redo-write, between the data sync and the log
+// truncation, and inside the truncation — and the second recovery must
+// land on exactly the state an uninterrupted single replay produces.
+// Before page LSNs this held only because records were whole-page
+// images; with delta records it holds because the LSN gate skips pages
+// the first replay already published, so deltas never apply twice.
+func TestCrashRecoveryDoubleReplay(t *testing.T) {
+	fs := newMemFS()
+	opts := Options{PoolPages: 8, OpenFile: fs.open, RemoveFile: fs.remove, CheckpointBytes: -1}
+	def := testDef(t)
+
+	st, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := st.Begin()
+	rs, err := st.CreateRelation(setup, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := make([]byte, 700)
+	for i := range pad {
+		pad[i] = 'r'
+	}
+	for i := 0; i < 6; i++ {
+		tp := tupleOf([][]string{
+			{fmt.Sprintf("%s-%d", pad, i)}, {"padclub"}, {fmt.Sprintf("pads%d", i)},
+		}, def.Order)
+		if err := rs.Insert(setup, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base := fs.snapshot()
+
+	// journal two statements (full images + deltas) and crash
+	st2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, _ := st2.Rel(def.Name)
+	fs.startRecording()
+	for i := 0; i < 2; i++ {
+		txn := st2.Begin()
+		if err := rs2.Insert(txn, tupleOf([][]string{
+			{fmt.Sprintf("yc%d", i)}, {fmt.Sprintf("yb%d", i)}, {fmt.Sprintf("ys%d", i)},
+		}, def.Order)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st2.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	journal := fs.stopRecording()
+	st2.Discard() // crash #1
+
+	total := int64(0)
+	for _, op := range journal {
+		total += op.cost()
+	}
+	t.Logf("workload journal: %d bytes", total)
+
+	// outer crash points spread across the workload journal
+	outer := []int64{0, total / 4, total / 2, 3 * total / 4, total}
+	for _, k := range outer {
+		for _, reordered := range []bool{false, true} {
+			k, reordered := k, reordered
+			t.Run(fmt.Sprintf("k=%d_reordered=%v", k, reordered), func(t *testing.T) {
+				t.Parallel()
+				crashed := crashState(base, journal, k, reordered)
+
+				// the oracle: one uninterrupted replay of the crashed state
+				want := loadState(t, crashed, "single-replay", "R1")["R1"]
+
+				// replay again, recording recovery's own writes; crash #2
+				// lands at sampled offsets of that recovery journal
+				rfs := &memFS{files: crashState(base, journal, k, reordered)}
+				rbase := rfs.snapshot()
+				rfs.startRecording()
+				rst, err := Open("db", Options{PoolPages: 8, OpenFile: rfs.open, RemoveFile: rfs.remove, CheckpointBytes: -1})
+				if err != nil {
+					t.Fatalf("recording replay failed: %v", err)
+				}
+				rjournal := rfs.stopRecording()
+				rst.Discard()
+				rtotal := int64(0)
+				for _, op := range rjournal {
+					rtotal += op.cost()
+				}
+
+				// every op boundary of the recovery journal, plus strided
+				// mid-op offsets to cut redo writes and the truncation
+				// mid-way
+				offsets := map[int64]bool{0: true, rtotal: true}
+				at := int64(0)
+				for _, op := range rjournal {
+					at += op.cost()
+					offsets[at] = true
+				}
+				for j := int64(0); j <= rtotal; j += 211 {
+					offsets[j] = true
+				}
+				for j := range offsets {
+					for _, rmode := range []bool{false, true} {
+						label := fmt.Sprintf("replay-crash j=%d reordered=%v", j, rmode)
+						got, err := loadStateErr(crashState(rbase, rjournal, j, rmode), label, "R1")
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !got["R1"].Equal(want) {
+							t.Fatalf("%s: double replay diverged from single replay", label)
+						}
+					}
+				}
+			})
+		}
+	}
+}
